@@ -1,0 +1,92 @@
+//! The greedy `t`-spanner [ADD+93] — Figure 1's quality-optimal,
+//! work-heavy sequential baseline.
+//!
+//! Process edges in increasing weight; keep an edge iff the spanner built
+//! so far does not already connect its endpoints within `t·w`. A classic
+//! girth argument shows the result has `O(n^{1+1/k})` edges for
+//! `t = 2k−1` with the best known constant — which is why the experiment
+//! harness uses it as the *size* yardstick for the ESTC spanner.
+//!
+//! Work is `O(m)` bounded Dijkstra runs (`O(m·n^{1+1/k})` in the paper's
+//! table); this baseline is intentionally sequential and unmeasured by the
+//! cost model beyond a work count.
+
+use psh_core::spanner::Spanner;
+use psh_graph::traversal::dijkstra::dijkstra_bounded;
+use psh_graph::{CsrGraph, Edge, INF};
+use psh_pram::Cost;
+
+/// Build the greedy `t`-spanner (use `t = 2k − 1` for the standard
+/// size/stretch trade-off).
+pub fn greedy_spanner(g: &CsrGraph, t: f64) -> (Spanner, Cost) {
+    assert!(t >= 1.0, "stretch must be >= 1");
+    let n = g.n();
+    let mut order: Vec<Edge> = g.edges().to_vec();
+    order.sort_unstable_by_key(|e| (e.w, e.u, e.v));
+    let mut kept: Vec<Edge> = Vec::new();
+    let mut work: u64 = 0;
+    for e in order {
+        let budget = (t * e.w as f64).floor() as u64;
+        // distance in the current spanner, bounded by the budget
+        let h = CsrGraph::from_edges(n, kept.iter().copied());
+        let d = dijkstra_bounded(&h, e.u, budget).dist[e.v as usize];
+        work += h.m() as u64 + 1;
+        if d == INF || d > budget {
+            kept.push(e);
+        }
+    }
+    // Rebuilding the spanner graph per edge is O(m²) — fine for the
+    // test/experiment scales this baseline runs at; `work` reflects it.
+    (Spanner::new(n, kept), Cost::new(work, work))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psh_core::spanner::verify::max_stretch_exact;
+    use psh_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stretch_is_exactly_bounded_by_t() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = generators::connected_random(60, 150, &mut rng);
+        let g = generators::with_uniform_weights(&base, 1, 10, &mut rng);
+        for t in [1.0, 3.0, 5.0] {
+            let (s, _) = greedy_spanner(&g, t);
+            assert!(s.is_subgraph_of(&g));
+            let stretch = max_stretch_exact(&g, &s);
+            assert!(
+                stretch <= t + 1e-9,
+                "t={t}: greedy stretch {stretch} exceeds t"
+            );
+        }
+    }
+
+    #[test]
+    fn t_equals_one_keeps_all_shortest_path_edges() {
+        let g = generators::grid(4, 4);
+        let (s, _) = greedy_spanner(&g, 1.0);
+        // every unit edge is its own unique shortest path in a grid
+        assert_eq!(s.size(), g.m());
+    }
+
+    #[test]
+    fn large_t_on_complete_graph_gives_near_tree() {
+        let g = generators::complete(20);
+        let (s, _) = greedy_spanner(&g, 100.0);
+        // with unit weights, stretch 100 lets one spanning structure serve
+        assert!(s.size() <= 2 * g.n(), "kept {} edges", s.size());
+        assert!(max_stretch_exact(&g, &s).is_finite());
+    }
+
+    #[test]
+    fn size_decreases_with_t() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::erdos_renyi(80, 800, &mut rng);
+        let (s3, _) = greedy_spanner(&g, 3.0);
+        let (s7, _) = greedy_spanner(&g, 7.0);
+        assert!(s7.size() <= s3.size());
+    }
+}

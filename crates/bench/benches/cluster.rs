@@ -1,0 +1,51 @@
+//! Criterion microbench: exponential start time clustering throughput
+//! across graph families and β values (single-core wall-clock; the
+//! reproduction currency is the cost model — see DESIGN.md §1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psh_bench::workloads::Family;
+use psh_cluster::est_cluster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("est_cluster");
+    group.sample_size(10);
+    for family in [Family::Random, Family::Grid] {
+        for n in [1_000usize, 4_000] {
+            let g = family.instantiate(n, 42);
+            group.bench_with_input(
+                BenchmarkId::new(family.name(), n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(7);
+                        black_box(est_cluster(g, 0.2, &mut rng))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("est_cluster_beta_sweep");
+    group.sample_size(10);
+    let g = Family::Random.instantiate(2_000, 42);
+    for beta in [0.05f64, 0.2, 0.8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(beta),
+            &beta,
+            |b, &beta| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    black_box(est_cluster(&g, beta, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion microbench: hopset construction — Algorithm 4 vs the
+//! sampled-clique [KS97] baseline and the sampled hierarchy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psh_baselines::ks_hopset::sampled_clique_hopset;
+use psh_baselines::sampled_hierarchy::{sampled_hierarchy_hopset, HierarchyConfig};
+use psh_bench::workloads::Family;
+use psh_core::hopset::{build_hopset, HopsetParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn experiment_params() -> HopsetParams {
+    HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    }
+}
+
+fn bench_hopset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopset_build");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let g = Family::Random.instantiate(n, 42);
+        group.bench_with_input(BenchmarkId::new("estc_recursive", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(build_hopset(g, &experiment_params(), &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sampled_clique", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(sampled_clique_hopset(g, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sampled_hierarchy", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(sampled_hierarchy_hopset(g, &HierarchyConfig::default(), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hopset);
+criterion_main!(benches);

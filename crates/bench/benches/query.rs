@@ -1,0 +1,50 @@
+//! Criterion microbench: s–t distance queries — hopset-backed h-hop
+//! Bellman–Ford vs plain Bellman–Ford vs exact Dijkstra.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psh_bench::workloads::Family;
+use psh_core::hopset::{build_hopset, HopsetParams};
+use psh_graph::traversal::bellman_ford::hop_limited_pair;
+use psh_graph::traversal::dijkstra::dijkstra_pair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let params = HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    };
+    let mut group = c.benchmark_group("st_query");
+    group.sample_size(20);
+    for family in [Family::PathGraph, Family::Grid] {
+        let n = 4_000usize;
+        let g = family.instantiate(n, 42);
+        let nn = g.n();
+        let (hopset, _) = build_hopset(&g, &params, &mut StdRng::seed_from_u64(7));
+        let extra = hopset.to_extra_edges();
+        let (s, t) = (0u32, (nn - 1) as u32);
+        group.bench_with_input(
+            BenchmarkId::new("hopset_bf", family.name()),
+            &g,
+            |b, g| b.iter(|| black_box(hop_limited_pair(g, Some(&extra), s, t, nn))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("plain_bf", family.name()),
+            &g,
+            |b, g| b.iter(|| black_box(hop_limited_pair(g, None, s, t, nn))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dijkstra", family.name()),
+            &g,
+            |b, g| b.iter(|| black_box(dijkstra_pair(g, s, t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

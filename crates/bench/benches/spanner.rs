@@ -1,0 +1,52 @@
+//! Criterion microbench: spanner construction — ESTC spanner (ours) vs
+//! Baswana–Sen. The greedy baseline is excluded here (quadratic; it only
+//! runs in the table binaries at small scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psh_baselines::baswana_sen::baswana_sen_spanner;
+use psh_bench::workloads::Family;
+use psh_core::spanner::{unweighted_spanner, weighted_spanner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unweighted_spanner_k3");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let g = Family::Random.instantiate(n, 42);
+        group.bench_with_input(BenchmarkId::new("estc", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(unweighted_spanner(g, 3.0, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baswana_sen", n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(baswana_sen_spanner(g, 3, &mut rng))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("weighted_spanner_k3");
+    group.sample_size(10);
+    for u in [16.0f64, 4096.0] {
+        let g = Family::Random.instantiate_weighted(2_000, u, 42);
+        group.bench_with_input(
+            BenchmarkId::new("estc_logk", u as u64),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    black_box(weighted_spanner(g, 3.0, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spanner);
+criterion_main!(benches);

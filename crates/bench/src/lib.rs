@@ -1,0 +1,13 @@
+//! # psh-bench — the experiment harness
+//!
+//! Shared infrastructure for the table-generator binaries (`src/bin/`)
+//! that regenerate every table and figure of the paper, and for the
+//! Criterion micro-benchmarks (`benches/`). See DESIGN.md §3 for the
+//! experiment index and EXPERIMENTS.md for recorded results.
+
+pub mod stats;
+pub mod table;
+pub mod workloads;
+
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,105 @@
+//! The workload registry shared by all experiment binaries.
+//!
+//! Each workload is a named, seeded graph family at a size chosen by the
+//! experiment; the names appear verbatim in EXPERIMENTS.md so every
+//! recorded number is reproducible by `cargo run -p psh-bench --bin …`.
+
+use psh_graph::{generators, CsrGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named graph family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Connected Erdős–Rényi-ish: spanning tree + extra random edges.
+    Random,
+    /// Preferential attachment, 3 edges per vertex (heavy-tailed degrees).
+    PowerLaw,
+    /// Square grid (high diameter, planar-ish).
+    Grid,
+    /// Path (the hop-count adversary).
+    PathGraph,
+    /// Torus (vertex-transitive grid).
+    Torus,
+}
+
+impl Family {
+    /// All families, for sweep loops.
+    pub const ALL: [Family; 5] = [
+        Family::Random,
+        Family::PowerLaw,
+        Family::Grid,
+        Family::PathGraph,
+        Family::Torus,
+    ];
+
+    /// Short name for table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Random => "random",
+            Family::PowerLaw => "power-law",
+            Family::Grid => "grid",
+            Family::PathGraph => "path",
+            Family::Torus => "torus",
+        }
+    }
+
+    /// Instantiate at roughly `n` vertices with the given seed
+    /// (unit weights).
+    pub fn instantiate(&self, n: usize, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Family::Random => generators::connected_random(n, 2 * n, &mut rng),
+            Family::PowerLaw => generators::preferential_attachment(n.max(5), 3, &mut rng),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                generators::grid(side, side)
+            }
+            Family::PathGraph => generators::path(n),
+            Family::Torus => {
+                let side = (n as f64).sqrt().round().max(3.0) as usize;
+                generators::torus(side, side)
+            }
+        }
+    }
+
+    /// Instantiate with log-uniform weights spanning ratio `u`.
+    pub fn instantiate_weighted(&self, n: usize, u: f64, seed: u64) -> CsrGraph {
+        let base = self.instantiate(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E3779B97F4A7C15));
+        generators::with_log_uniform_weights(&base, u, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_instantiate_at_requested_scale() {
+        for f in Family::ALL {
+            let g = f.instantiate(100, 1);
+            assert!(
+                g.n() >= 90 && g.n() <= 110,
+                "{}: n = {}",
+                f.name(),
+                g.n()
+            );
+            assert!(g.m() > 0);
+        }
+    }
+
+    #[test]
+    fn weighted_instances_span_the_ratio() {
+        let g = Family::Random.instantiate_weighted(200, 1024.0, 2);
+        assert!(g.weight_ratio() > 8.0);
+        assert!(g.max_weight().unwrap() <= 1024);
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let a = Family::PowerLaw.instantiate(150, 7);
+        let b = Family::PowerLaw.instantiate(150, 7);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,168 @@
+//! Empirical probes for the clustering's probabilistic guarantees.
+//!
+//! These functions power experiments E5–E7 (DESIGN.md §3): measuring cut
+//! probabilities (Corollary 2.3), ball–cluster intersection counts
+//! (Lemma 2.2 / Corollary 3.1), and cluster radii (Lemma 2.1) so the
+//! benchmark harness can print measured-vs-predicted curves.
+
+use crate::clustering::Clustering;
+use psh_graph::traversal::dial::dial_sssp_bounded;
+use psh_graph::{CsrGraph, VertexId, Weight, INF};
+use std::collections::HashSet;
+
+/// Cut statistics for a clustering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CutStats {
+    /// Number of inter-cluster edges.
+    pub cut: usize,
+    /// Total number of edges.
+    pub total: usize,
+    /// `cut / total` (0 for edgeless graphs).
+    pub fraction: f64,
+}
+
+/// Count cut edges and the cut fraction.
+pub fn cut_stats(g: &CsrGraph, c: &Clustering) -> CutStats {
+    let cut = g.edges().iter().filter(|e| c.is_cut(e)).count();
+    let total = g.m();
+    CutStats {
+        cut,
+        total,
+        fraction: if total == 0 {
+            0.0
+        } else {
+            cut as f64 / total as f64
+        },
+    }
+}
+
+/// Per-edge cut indicators weighted by edge weight, for checking the
+/// Corollary 2.3 curve `P(cut) ≤ 1 − exp(−β·w)` bucketed by weight.
+/// Returns `(weight, was_cut)` per canonical edge.
+pub fn cut_by_weight(g: &CsrGraph, c: &Clustering) -> Vec<(Weight, bool)> {
+    g.edges().iter().map(|e| (e.w, c.is_cut(e))).collect()
+}
+
+/// Number of distinct clusters intersecting the ball `B(v, r)`
+/// (Lemma 2.2's quantity, with the ball centered at a vertex).
+pub fn ball_cluster_count(g: &CsrGraph, c: &Clustering, v: VertexId, r: Weight) -> usize {
+    let (sssp, _) = dial_sssp_bounded(g, &[(v, 0)], r);
+    let mut seen = HashSet::new();
+    for (u, &d) in sssp.dist.iter().enumerate() {
+        if d != INF {
+            seen.insert(c.cluster_id[u]);
+        }
+    }
+    seen.len()
+}
+
+/// Ball–cluster counts for a set of sample centers (one decomposition,
+/// many balls — the per-vertex expectation of Corollary 3.1).
+pub fn ball_cluster_counts(
+    g: &CsrGraph,
+    c: &Clustering,
+    centers: &[VertexId],
+    r: Weight,
+) -> Vec<usize> {
+    centers
+        .iter()
+        .map(|&v| ball_cluster_count(g, c, v, r))
+        .collect()
+}
+
+/// Histogram of cluster radii (Lemma 2.1's quantity) as
+/// `(max_radius, mean_radius)`.
+pub fn radius_summary(c: &Clustering) -> (Weight, f64) {
+    let radii = c.radii();
+    if radii.is_empty() {
+        return (0, 0.0);
+    }
+    let max = *radii.iter().max().unwrap();
+    let mean = radii.iter().sum::<u64>() as f64 / radii.len() as f64;
+    (max, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::est_cluster;
+    use psh_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cut_stats_bounds() {
+        let g = generators::grid(12, 12);
+        let (c, _) = est_cluster(&g, 0.4, &mut StdRng::seed_from_u64(1));
+        let s = cut_stats(&g, &c);
+        assert_eq!(s.total, g.m());
+        assert!(s.cut <= s.total);
+        assert!((0.0..=1.0).contains(&s.fraction));
+    }
+
+    #[test]
+    fn corollary_2_3_cut_probability_respected_in_aggregate() {
+        // Average the cut fraction over many independent clusterings of a
+        // unit-weight graph; Corollary 2.3 bounds each edge's cut
+        // probability by 1 - exp(-β) ≈ β. Allow generous statistical slack.
+        let g = generators::torus(12, 12);
+        let beta = 0.2f64;
+        let trials = 40;
+        let mut frac_sum = 0.0;
+        for seed in 0..trials {
+            let (c, _) = est_cluster(&g, beta, &mut StdRng::seed_from_u64(seed));
+            frac_sum += cut_stats(&g, &c).fraction;
+        }
+        let mean = frac_sum / trials as f64;
+        let bound = 1.0 - (-beta).exp();
+        assert!(
+            mean <= bound * 1.3,
+            "mean cut fraction {mean} exceeds Cor 2.3 bound {bound} with slack"
+        );
+    }
+
+    #[test]
+    fn singleton_clustering_cuts_everything() {
+        let g = generators::cycle(20);
+        let (c, _) = est_cluster(&g, 100.0, &mut StdRng::seed_from_u64(2));
+        assert_eq!(c.num_clusters, 20);
+        let s = cut_stats(&g, &c);
+        assert_eq!(s.cut, g.m());
+    }
+
+    #[test]
+    fn ball_cluster_count_on_singletons_equals_ball_size() {
+        let g = generators::path(9);
+        let (c, _) = est_cluster(&g, 100.0, &mut StdRng::seed_from_u64(3));
+        // all singletons: a radius-2 ball around the middle touches 5 clusters
+        assert_eq!(ball_cluster_count(&g, &c, 4, 2), 5);
+    }
+
+    #[test]
+    fn ball_cluster_count_on_one_big_cluster_is_one() {
+        let g = generators::path(30);
+        let (c, _) = est_cluster(&g, 0.001, &mut StdRng::seed_from_u64(12));
+        if c.num_clusters == 1 {
+            assert_eq!(ball_cluster_count(&g, &c, 15, 5), 1);
+        }
+    }
+
+    #[test]
+    fn cut_by_weight_covers_all_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = generators::grid(8, 8);
+        let g = generators::with_uniform_weights(&base, 1, 4, &mut rng);
+        let (c, _) = est_cluster(&g, 0.1, &mut rng);
+        let rows = cut_by_weight(&g, &c);
+        assert_eq!(rows.len(), g.m());
+    }
+
+    #[test]
+    fn radius_summary_consistent() {
+        let g = generators::grid(10, 10);
+        let (c, _) = est_cluster(&g, 0.3, &mut StdRng::seed_from_u64(5));
+        let (max, mean) = radius_summary(&c);
+        assert!(mean <= max as f64);
+        assert_eq!(max, c.max_radius());
+    }
+}

@@ -1,0 +1,249 @@
+//! The clustering race: a deterministic, bucketed, multi-source shortest
+//! path computation with per-vertex start times.
+//!
+//! Every vertex `u` is born in integer round `start_int[u]` and races
+//! outward; a vertex is assigned to the first racer that reaches it, which
+//! by construction is `argmin_u { (δ_max − δ_u) + dist(u, v) }` —
+//! Algorithm 1's assignment rule. On integer-weight graphs the fractional
+//! part of any arrival time equals the fractional part of the racer's start
+//! time, so processing integer rounds in order with fractional tie-breaking
+//! (then center id, then tree parent id) resolves the true argmin exactly
+//! and deterministically — Appendix A's implementation, with ties fixed
+//! rather than "arbitrary" so reruns are bit-identical.
+//!
+//! Cost model: work = claims examined + edges scanned; depth = one round
+//! per integer time step at which some vertex is assigned (the race's
+//! level-synchronous schedule). Lemma 2.1 bounds the number of rounds by
+//! `O(β⁻¹ log n)` w.h.p.
+
+use crate::clustering::Clustering;
+use crate::shifts::ExponentialShifts;
+use psh_graph::{CsrGraph, VertexId, Weight};
+use psh_pram::Cost;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// A pending claim: `center` (with tie-break key `frac`) tries to absorb
+/// `target`, reached through tree edge from `parent`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Claim {
+    target: VertexId,
+    frac: u32,
+    center: VertexId,
+    parent: VertexId,
+}
+
+/// Run the race defined by `shifts` on `g`. See module docs.
+pub fn shifted_cluster(g: &CsrGraph, shifts: &ExponentialShifts) -> (Clustering, Cost) {
+    let n = g.n();
+    assert_eq!(shifts.len(), n, "shift vector must cover every vertex");
+
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut center = vec![UNASSIGNED; n];
+    let mut parent = vec![UNASSIGNED; n];
+    let mut dist_to_center = vec![0 as Weight; n];
+
+    // Birth claims: every vertex tries to claim itself at its start round.
+    let mut buckets: BTreeMap<u64, Vec<Claim>> = BTreeMap::new();
+    for v in 0..n as u32 {
+        buckets
+            .entry(shifts.start_int[v as usize])
+            .or_default()
+            .push(Claim {
+                target: v,
+                frac: shifts.start_frac[v as usize],
+                center: v,
+                parent: v,
+            });
+    }
+
+    let mut cost = Cost::flat(n as u64);
+    while let Some((&round, _)) = buckets.first_key_value() {
+        let claims = buckets.remove(&round).unwrap();
+        let examined = claims.len() as u64;
+        // Drop stale claims (targets assigned in an earlier round).
+        let center_ref = &center;
+        let mut live: Vec<Claim> = claims
+            .into_par_iter()
+            .filter(|c| center_ref[c.target as usize] == UNASSIGNED)
+            .collect();
+        if live.is_empty() {
+            cost = cost.add_work(examined);
+            continue;
+        }
+        // Winner per target: smallest (frac, center, parent).
+        live.par_sort_unstable();
+        let mut winners: Vec<Claim> = Vec::new();
+        let mut last = UNASSIGNED;
+        for c in live {
+            if c.target != last {
+                winners.push(c);
+                last = c.target;
+            }
+        }
+        for c in &winners {
+            center[c.target as usize] = c.center;
+            parent[c.target as usize] = c.parent;
+            dist_to_center[c.target as usize] =
+                round - shifts.start_int[c.center as usize];
+        }
+        // Expansion: each newly assigned vertex claims its unassigned
+        // neighbors at the arrival round `round + w`.
+        let center_ref = &center;
+        let shifts_ref = &shifts;
+        let expansion: Vec<(u64, Claim)> = winners
+            .par_iter()
+            .flat_map_iter(|c| {
+                let v = c.target;
+                let cen = c.center;
+                g.neighbors(v).filter_map(move |(w, wt)| {
+                    (center_ref[w as usize] == UNASSIGNED).then_some((
+                        round.saturating_add(wt),
+                        Claim {
+                            target: w,
+                            frac: shifts_ref.start_frac[cen as usize],
+                            center: cen,
+                            parent: v,
+                        },
+                    ))
+                })
+            })
+            .collect();
+        let scanned: u64 = winners.par_iter().map(|c| g.degree(c.target) as u64).sum();
+        for (r, claim) in expansion {
+            buckets.entry(r).or_default().push(claim);
+        }
+        cost = cost.then(Cost::flat(examined + scanned + winners.len() as u64));
+    }
+
+    debug_assert!(center.iter().all(|&c| c != UNASSIGNED));
+
+    // Dense cluster ids in increasing center-vertex order (deterministic).
+    let mut centers: Vec<VertexId> = (0..n as u32).filter(|&v| center[v as usize] == v).collect();
+    centers.sort_unstable();
+    let mut dense = vec![UNASSIGNED; n];
+    for (cid, &c) in centers.iter().enumerate() {
+        dense[c as usize] = cid as u32;
+    }
+    let cluster_id: Vec<u32> = center.iter().map(|&c| dense[c as usize]).collect();
+    let num_clusters = centers.len();
+    cost = cost.then(Cost::flat(n as u64));
+
+    (
+        Clustering {
+            center,
+            parent,
+            dist_to_center,
+            cluster_id,
+            centers,
+            num_clusters,
+        },
+        cost,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psh_graph::generators;
+    use psh_graph::traversal::dijkstra;
+    use psh_graph::INF;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Brute-force reference: assign v to argmin over u of
+    /// (δmax − δ_u) + dist(u, v), using exact real-valued keys, ties broken
+    /// by smaller quantized frac then center id (matching the engine).
+    fn brute_force_assignment(g: &CsrGraph, shifts: &ExponentialShifts) -> Vec<u32> {
+        let n = g.n();
+        let all_dist: Vec<Vec<u64>> = (0..n as u32).map(|u| dijkstra(g, u).dist).collect();
+        (0..n)
+            .map(|v| {
+                let mut best: Option<(u64, u32, u32)> = None; // (int_key, frac, center)
+                for u in 0..n as u32 {
+                    let d = all_dist[u as usize][v];
+                    if d == INF {
+                        continue;
+                    }
+                    let key = (
+                        shifts.start_int[u as usize] + d,
+                        shifts.start_frac[u as usize],
+                        u,
+                    );
+                    if best.is_none() || key < best.unwrap() {
+                        best = Some(key);
+                    }
+                }
+                best.unwrap().2
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_brute_force_unit_weights() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::erdos_renyi(40, 70, &mut rng);
+            let shifts = ExponentialShifts::sample(40, 0.4, &mut rng);
+            let (c, _) = shifted_cluster(&g, &shifts);
+            let expect = brute_force_assignment(&g, &shifts);
+            assert_eq!(c.center, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engine_matches_brute_force_weighted() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let base = generators::connected_random(30, 40, &mut rng);
+            let g = generators::with_uniform_weights(&base, 1, 7, &mut rng);
+            let shifts = ExponentialShifts::sample(30, 0.15, &mut rng);
+            let (c, _) = shifted_cluster(&g, &shifts);
+            let expect = brute_force_assignment(&g, &shifts);
+            assert_eq!(c.center, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn output_validates_on_weighted_graphs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = generators::grid(12, 12);
+        let g = generators::with_uniform_weights(&base, 1, 5, &mut rng);
+        let shifts = ExponentialShifts::sample(g.n(), 0.1, &mut rng);
+        let (c, _) = shifted_cluster(&g, &shifts);
+        c.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn tree_distance_bounded_by_center_shift() {
+        // A vertex can only be reached before its own birth if the center's
+        // key beats its start: dist_to_center[v] <= start_int[v] - start_int[c]
+        // + 1 slack; in particular dist <= delta of the center (the race
+        // argument of Lemma 2.1's proof: d(u,v) <= δ_u for the winner u).
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::grid(15, 15);
+        let shifts = ExponentialShifts::sample(g.n(), 0.2, &mut rng);
+        let (c, _) = shifted_cluster(&g, &shifts);
+        for v in 0..g.n() {
+            let cen = c.center[v] as usize;
+            // arrival key = start(c) + d <= start(v) (+1 for rounding)
+            assert!(
+                shifts.start_int[cen] + c.dist_to_center[v] <= shifts.start_int[v] + 1,
+                "vertex {v} claimed after its own birth round"
+            );
+            assert!(
+                (c.dist_to_center[v] as f64) <= shifts.delta[cen] + 1.0,
+                "radius exceeds the center's shift"
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_single_vertex_graph() {
+        let g = CsrGraph::from_edges(1, std::iter::empty());
+        let shifts = ExponentialShifts::sample(1, 0.5, &mut StdRng::seed_from_u64(7));
+        let (c, _) = shifted_cluster(&g, &shifts);
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.center, vec![0]);
+    }
+}

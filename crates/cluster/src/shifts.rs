@@ -1,0 +1,147 @@
+//! Exponential shifts and their integer/fractional decomposition.
+//!
+//! The clustering races each vertex `u` starting at time
+//! `s_u = δ_max − δ_u` with `δ_u ~ Exp(β)`. On integer-weight graphs every
+//! subsequent arrival time is `s_u + (integer)`, so its fractional part is
+//! `frac(s_u)` forever: Appendix A's implementation buckets the race by
+//! integer time and breaks ties within a bucket by the fractional part.
+//! We pre-quantize the fraction to 32 bits so a tie-break is a single
+//! integer comparison (residual collisions — probability ~2⁻³² per pair —
+//! fall through to the center id, keeping everything deterministic).
+//!
+//! `Exp(β)` is sampled by inverse CDF: `δ = −ln(1−U)/β` with `U` uniform in
+//! `[0,1)`; this avoids a dependency on `rand_distr` (DESIGN.md §4).
+
+use rand::Rng;
+
+/// Per-vertex exponential shifts plus their start-time decomposition.
+#[derive(Clone, Debug)]
+pub struct ExponentialShifts {
+    /// The raw shift `δ_u` drawn from `Exp(beta)`.
+    pub delta: Vec<f64>,
+    /// `floor(δ_max − δ_u)` — the integer round in which `u` starts racing.
+    pub start_int: Vec<u64>,
+    /// `frac(δ_max − δ_u)` quantized to 32 bits — the tie-break key.
+    pub start_frac: Vec<u32>,
+    /// Largest shift drawn.
+    pub delta_max: f64,
+    /// The `β` used to sample.
+    pub beta: f64,
+}
+
+impl ExponentialShifts {
+    /// Sample shifts for `n` vertices from `Exp(beta)`.
+    ///
+    /// Panics if `beta <= 0` or `n == 0`.
+    pub fn sample<R: Rng>(n: usize, beta: f64, rng: &mut R) -> Self {
+        assert!(beta > 0.0, "beta must be positive, got {beta}");
+        assert!(n > 0, "cannot sample shifts for an empty vertex set");
+        let delta: Vec<f64> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.random();
+                // -ln(1-U)/β; 1-U ∈ (0,1] so the log argument is never 0
+                -(1.0 - u).ln() / beta
+            })
+            .collect();
+        Self::from_deltas(delta, beta)
+    }
+
+    /// Build the decomposition from explicit shift values (used by tests
+    /// and by experiments replaying recorded shifts).
+    pub fn from_deltas(delta: Vec<f64>, beta: f64) -> Self {
+        let delta_max = delta.iter().copied().fold(0.0f64, f64::max);
+        let mut start_int = Vec::with_capacity(delta.len());
+        let mut start_frac = Vec::with_capacity(delta.len());
+        for &d in &delta {
+            let start = (delta_max - d).max(0.0);
+            let int = start.floor();
+            let frac = start - int;
+            start_int.push(int as u64);
+            // quantize to 32 bits; clamp guards frac == 1.0 - ulp edge cases
+            start_frac.push(((frac * 4_294_967_296.0) as u64).min(u32::MAX as u64) as u32);
+        }
+        ExponentialShifts {
+            delta,
+            start_int,
+            start_frac,
+            delta_max,
+            beta,
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// True if empty (never the case for sampled shifts).
+    pub fn is_empty(&self) -> bool {
+        self.delta.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_mean_tracks_one_over_beta() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let beta = 0.5;
+        let s = ExponentialShifts::sample(20_000, beta, &mut rng);
+        let mean: f64 = s.delta.iter().sum::<f64>() / s.delta.len() as f64;
+        let expect = 1.0 / beta;
+        assert!(
+            (mean - expect).abs() < 0.05 * expect,
+            "Exp(β) sample mean {mean} should be near {expect}"
+        );
+    }
+
+    #[test]
+    fn memorylessness_spot_check() {
+        // P(δ > a+b | δ > a) ≈ P(δ > b) — the property Lemma 2.2's proof uses
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = ExponentialShifts::sample(100_000, 1.0, &mut rng);
+        let (a, b) = (0.7, 0.9);
+        let beyond_a = s.delta.iter().filter(|&&d| d > a).count() as f64;
+        let beyond_ab = s.delta.iter().filter(|&&d| d > a + b).count() as f64;
+        let beyond_b = s.delta.iter().filter(|&&d| d > b).count() as f64;
+        let cond = beyond_ab / beyond_a;
+        let uncond = beyond_b / s.len() as f64;
+        assert!(
+            (cond - uncond).abs() < 0.02,
+            "memorylessness violated: {cond} vs {uncond}"
+        );
+    }
+
+    #[test]
+    fn start_times_decompose_consistently() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = ExponentialShifts::sample(1000, 0.3, &mut rng);
+        for i in 0..s.len() {
+            let start = (s.delta_max - s.delta[i]).max(0.0);
+            let recon = s.start_int[i] as f64 + s.start_frac[i] as f64 / 4_294_967_296.0;
+            assert!(
+                (start - recon).abs() < 1e-6,
+                "vertex {i}: start {start} != reconstruction {recon}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_shift_vertex_starts_at_zero() {
+        let s = ExponentialShifts::from_deltas(vec![0.25, 3.75, 1.5], 1.0);
+        assert_eq!(s.start_int[1], 0);
+        assert_eq!(s.start_frac[1], 0);
+        assert_eq!(s.start_int[0], 3); // 3.75 - 0.25 = 3.5
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn rejects_nonpositive_beta() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = ExponentialShifts::sample(10, 0.0, &mut rng);
+    }
+}

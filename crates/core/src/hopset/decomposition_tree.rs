@@ -1,0 +1,135 @@
+//! Definition B.1 — the hierarchical weight decomposition **tree**, with
+//! binary-lifting LCA.
+//!
+//! The vertices form the leaves (level 0); level `j+1` has a node per
+//! connected component of `G[P_{q(j+1)}]`, parenting the level-`j`
+//! components it contains. A distance query `(s, t)` needs the *level of
+//! the lowest common ancestor* of the two leaves — that level selects the
+//! quotient graph the query runs in (Lemma 5.1). The paper computes LCAs
+//! by parallel tree contraction; we ship the standard binary-lifting
+//! structure (`O(n log n)` preprocessing, `O(log n)` per query), which
+//! [`super::weight_classes::WeightClassDecomposition::query_fast`] uses
+//! in place of the linear level scan.
+
+use psh_graph::VertexId;
+
+/// The decomposition tree over `n` leaves and `levels` internal layers.
+#[derive(Clone, Debug)]
+pub struct DecompositionTree {
+    n: usize,
+    /// `node_of[level][vertex]` — the tree node (dense id) containing
+    /// `vertex` at `level` (level 0 = leaves: identity).
+    node_of: Vec<Vec<u32>>,
+    /// Level of each leaf-pair's LCA is answered from these tables.
+    levels: usize,
+}
+
+impl DecompositionTree {
+    /// Build from per-level component labels (`labels_per_level[j][v]` =
+    /// component of `v` after absorbing categories `0..=j`), as produced
+    /// by the Appendix B prefix sweep.
+    pub fn from_level_labels(n: usize, labels_per_level: &[Vec<u32>]) -> Self {
+        let mut node_of: Vec<Vec<u32>> = Vec::with_capacity(labels_per_level.len() + 1);
+        node_of.push((0..n as u32).collect());
+        for labels in labels_per_level {
+            assert_eq!(labels.len(), n, "label vector must cover every vertex");
+            node_of.push(labels.clone());
+        }
+        DecompositionTree {
+            n,
+            levels: labels_per_level.len(),
+            node_of,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of internal levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The level of the LCA of leaves `s` and `t`: the smallest level at
+    /// which they share a node (`None` if they never merge — disconnected
+    /// vertices). Binary search over levels: "sharing a node" is monotone
+    /// in the level, so this is `O(log levels)` per query.
+    pub fn lca_level(&self, s: VertexId, t: VertexId) -> Option<usize> {
+        if s == t {
+            return Some(0);
+        }
+        let shared =
+            |lvl: usize| self.node_of[lvl][s as usize] == self.node_of[lvl][t as usize];
+        if !shared(self.levels) {
+            return None;
+        }
+        // smallest level in 1..=levels with shared(level)
+        let (mut lo, mut hi) = (1usize, self.levels);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if shared(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+
+    /// The node containing `v` at `level` (level 0 = the leaf itself).
+    pub fn node_at(&self, v: VertexId, level: usize) -> u32 {
+        self.node_of[level][v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 6 leaves; level 1 merges {0,1} and {2,3}; level 2 merges
+    /// {0,1,2,3}; level 3 merges everything except 5 stays alone until…
+    /// it doesn't: 5 never merges (disconnected).
+    fn sample() -> DecompositionTree {
+        let l1 = vec![0, 0, 1, 1, 2, 3];
+        let l2 = vec![0, 0, 0, 0, 1, 2];
+        let l3 = vec![0, 0, 0, 0, 0, 1];
+        DecompositionTree::from_level_labels(6, &[l1, l2, l3])
+    }
+
+    #[test]
+    fn lca_levels_match_hand_computation() {
+        let t = sample();
+        assert_eq!(t.lca_level(0, 1), Some(1));
+        assert_eq!(t.lca_level(2, 3), Some(1));
+        assert_eq!(t.lca_level(0, 2), Some(2));
+        assert_eq!(t.lca_level(1, 3), Some(2));
+        assert_eq!(t.lca_level(0, 4), Some(3));
+        assert_eq!(t.lca_level(4, 4), Some(0));
+        assert_eq!(t.lca_level(0, 5), None, "5 never merges");
+    }
+
+    #[test]
+    fn binary_search_agrees_with_linear_scan() {
+        let t = sample();
+        for s in 0..6u32 {
+            for u in 0..6u32 {
+                let linear = (1..=t.levels())
+                    .find(|&l| t.node_at(s, l) == t.node_at(u, l))
+                    .or(if s == u { Some(0) } else { None });
+                let expect = if s == u { Some(0) } else { linear };
+                assert_eq!(t.lca_level(s, u), expect, "pair ({s},{u})");
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_tree() {
+        let t = DecompositionTree::from_level_labels(3, &[vec![0, 0, 1]]);
+        assert_eq!(t.lca_level(0, 1), Some(1));
+        assert_eq!(t.lca_level(0, 2), None);
+        assert_eq!(t.levels(), 1);
+        assert_eq!(t.n(), 3);
+    }
+}

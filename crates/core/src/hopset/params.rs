@@ -1,0 +1,176 @@
+//! Hopset construction parameters (Theorem 4.4's knobs).
+//!
+//! Algorithm 4 is governed by:
+//!
+//! * `ε` — per-level distortion budget; final distortion is
+//!   `O(ε · log_ρ n)` (Lemma 4.2), so callers targeting a fixed overall
+//!   error divide by `log n` as the paper does in Corollary 4.5.
+//! * `δ > 1` — the small-cluster threshold exponent: a cluster is *small*
+//!   when it has fewer than `|V|/ρ` vertices with
+//!   `ρ = (k·log n / ε)^δ` — clusters must shrink faster than β grows for
+//!   the recursion to terminate with most of the path intact.
+//! * `γ₁` — base-case size `n_final = n^{γ₁}`.
+//! * `γ₂` — top-level decomposition parameter `β₀ = n^{−γ₂}`.
+//! * `k_conf` — the confidence constant of Lemma 2.1 (`k` in
+//!   `kβ⁻¹ log n` diameter bounds).
+//!
+//! Claim 4.1: at recursion level `i`, `β_i = (k·log n/ε)^i · β₀`.
+//! Lemma 4.2's hop bound: `h = n^{1/δ} · n_final^{1−1/δ} · β₀ · d`.
+
+/// Parameters for Algorithm 4 (and its weighted variant).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HopsetParams {
+    /// Per-level distortion `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Small-cluster threshold exponent `δ > 1`.
+    pub delta: f64,
+    /// Base-case exponent: recursion stops below `n^{γ₁}` vertices.
+    pub gamma1: f64,
+    /// Top-level exponent: `β₀ = n^{−γ₂}`.
+    pub gamma2: f64,
+    /// Lemma 2.1 confidence constant (`k ≥ 1`).
+    pub k_conf: f64,
+}
+
+impl Default for HopsetParams {
+    /// The concrete setting the paper suggests after Theorem 4.4:
+    /// `δ = 1.1`, `γ₂ = 0.96`, `γ₁` small, and a constant ε.
+    fn default() -> Self {
+        HopsetParams {
+            epsilon: 0.25,
+            delta: 1.1,
+            gamma1: 0.3,
+            gamma2: 0.96,
+            k_conf: 1.0,
+        }
+    }
+}
+
+impl HopsetParams {
+    /// Validate the theorem's constraints: `ε ∈ (0,1)`, `δ > 1`,
+    /// `0 < γ₁ < γ₂ < 1`, `k_conf ≥ 1`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(format!("epsilon must be in (0,1), got {}", self.epsilon));
+        }
+        if self.delta <= 1.0 {
+            return Err(format!("delta must exceed 1, got {}", self.delta));
+        }
+        if !(0.0 < self.gamma1 && self.gamma1 < self.gamma2 && self.gamma2 < 1.0) {
+            return Err(format!(
+                "need 0 < γ1 < γ2 < 1, got γ1={} γ2={}",
+                self.gamma1, self.gamma2
+            ));
+        }
+        if self.k_conf < 1.0 {
+            return Err(format!("k_conf must be >= 1, got {}", self.k_conf));
+        }
+        Ok(())
+    }
+
+    /// Top-level `β₀ = n^{−γ₂}`.
+    pub fn beta0(&self, n: usize) -> f64 {
+        (n.max(2) as f64).powf(-self.gamma2)
+    }
+
+    /// §5's weighted top level: `β₀ = (n/ε)^{−γ₂}`.
+    pub fn beta0_weighted(&self, n: usize) -> f64 {
+        (n.max(2) as f64 / self.epsilon).powf(-self.gamma2)
+    }
+
+    /// Per-level β multiplier `k·ln n / ε` (floored at 2 so β always
+    /// grows — Claim 4.1's geometric increase).
+    pub fn growth(&self, n: usize) -> f64 {
+        (self.k_conf * (n.max(2) as f64).ln() / self.epsilon).max(2.0)
+    }
+
+    /// Small-cluster divisor `ρ = growth^δ` (floored at 2 so cluster sizes
+    /// strictly shrink and the recursion terminates).
+    pub fn rho(&self, n: usize) -> f64 {
+        self.growth(n).powf(self.delta).max(2.0)
+    }
+
+    /// Base-case size `n_final = n^{γ₁}` (floored at 4).
+    pub fn n_final(&self, n: usize) -> usize {
+        ((n.max(2) as f64).powf(self.gamma1).ceil() as usize).max(4)
+    }
+
+    /// Lemma 4.2's hop bound for distance `d` with top parameter `beta0`:
+    /// `h = n^{1/δ} · n_final^{1−1/δ} · β₀ · d`, scaled by a safety
+    /// constant of 8 (Markov gives a factor-4 exceedance bound; we double
+    /// it) and clamped to `[4, n]`.
+    pub fn hop_bound(&self, n: usize, beta0: f64, d: u64) -> usize {
+        let nf = self.n_final(n) as f64;
+        let raw = (n.max(2) as f64).powf(1.0 / self.delta)
+            * nf.powf(1.0 - 1.0 / self.delta)
+            * beta0
+            * d as f64;
+        ((8.0 * raw).ceil() as usize).clamp(4, n.max(4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        HopsetParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = HopsetParams::default();
+        p.delta = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = HopsetParams::default();
+        p.gamma1 = 0.99;
+        assert!(p.validate().is_err());
+        let mut p = HopsetParams::default();
+        p.epsilon = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = HopsetParams::default();
+        p.k_conf = 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn beta_grows_geometrically_claim_4_1() {
+        let p = HopsetParams::default();
+        let n = 10_000;
+        let g = p.growth(n);
+        let b0 = p.beta0(n);
+        // after i levels β_i = g^i β₀
+        let b3 = b0 * g * g * g;
+        assert!((b3 / b0 - g.powi(3)).abs() < 1e-9);
+        assert!(g >= 2.0);
+    }
+
+    #[test]
+    fn rho_exceeds_growth_for_delta_above_one() {
+        let p = HopsetParams::default();
+        let n = 100_000;
+        assert!(p.rho(n) >= p.growth(n), "ρ = growth^δ with δ>1");
+    }
+
+    #[test]
+    fn hop_bound_scales_linearly_in_d() {
+        let p = HopsetParams::default();
+        let n = 1_000_000;
+        let b0 = p.beta0(n);
+        let h1 = p.hop_bound(n, b0, 1_000);
+        let h2 = p.hop_bound(n, b0, 2_000);
+        // up to clamping, doubling d doubles the bound
+        if h2 < n {
+            assert!(h2 >= h1, "hop bound must be monotone in d");
+        }
+        assert!(p.hop_bound(n, b0, 0) >= 4, "floor applies");
+    }
+
+    #[test]
+    fn n_final_floor() {
+        let p = HopsetParams::default();
+        assert!(p.n_final(10) >= 4);
+        assert!(p.n_final(1_000_000) >= 4);
+    }
+}

@@ -1,0 +1,349 @@
+//! Appendix B — preprocessing to create instances with polynomially
+//! bounded edge weights (Lemma 5.1).
+//!
+//! Edges are split into categories by powers of `base = n/ε`:
+//! `E_i = { e : base^i ≤ w(e) < base^{i+1} }`. Contracting the prefix
+//! `P_{j−1} = E_0 ∪ … ∪ E_{q(j−1)}` (treating those light edges as length
+//! 0) distorts any path that must use a category-`q(j)` edge by at most a
+//! multiplicative `ε`, because a path has at most `n−1` edges and each
+//! dropped edge is lighter by a factor `≥ n/ε`. Meanwhile edges above
+//! category `q(j)+1` can never appear on the path at all. So each query
+//! can be answered inside the quotient graph
+//! `G[P_{q(j+1)}]/P_{q(j−1)}`, whose weights span only `O((n/ε)³)` — the
+//! polynomially-bounded instances §5's hopsets require.
+//!
+//! The **hierarchical weight decomposition** (Definition B.1) is the tree
+//! of connected components of the prefixes; the level at which `s` and `t`
+//! first share a component (their LCA level) selects the query graph.
+//!
+//! Bookkeeping note: we store per-level component labels
+//! (`O(n · #levels)` ints) rather than implementing the paper's chain
+//! trimming; the *graph collection* itself still satisfies Lemma 5.1's
+//! size bound — every edge appears in at most two query graphs, and query
+//! graph vertices are compacted to touched components only.
+
+use psh_graph::traversal::dijkstra::dijkstra_pair;
+use psh_graph::union_find::UnionFind;
+use psh_graph::{CsrGraph, Edge, VertexId, Weight, INF};
+use psh_pram::Cost;
+use std::collections::HashMap;
+
+/// One level of the decomposition: a non-empty weight category, the
+/// component structure of its prefix, and the query graph that answers
+/// LCA-at-this-level queries.
+///
+/// The query graph keeps the **three** categories `q(j−1), q(j), q(j+1)`
+/// and contracts only `P_{q(j−2)}`: a shortest path whose LCA level is `j`
+/// must use a `q(j)` edge (weight `≥ base^{q(j)}`) but may also lean
+/// heavily on `q(j−1)` edges, so those cannot be contracted — only
+/// categories two or more below are ≥ `n/ε` lighter per edge and safe to
+/// zero out (total error `≤ n·(ε/n)·base^{q(j)} ≤ ε·dist`).
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// Category index `q(j)` (weights in `[base^q, base^{q+1})`).
+    pub category: u32,
+    /// Component label of every vertex in `P_{q(j)}` (prefix **through**
+    /// this category).
+    pub labels: Vec<u32>,
+    /// Number of components of the prefix.
+    pub num_components: usize,
+    /// Query graph: categories `q(j)−1 ..= q(j)+1` over the components of
+    /// the contracted prefix (vertices compacted).
+    pub query_graph: CsrGraph,
+    /// Map from contracted-prefix component label to query-graph vertex.
+    pub comp_to_local: HashMap<u32, u32>,
+    /// Which level's labels define the contracted prefix (`None` =
+    /// nothing contracted, endpoints map to themselves).
+    pub contract_level: Option<usize>,
+}
+
+/// The full Appendix B decomposition.
+#[derive(Clone, Debug)]
+pub struct WeightClassDecomposition {
+    /// Levels in increasing category order.
+    pub levels: Vec<Level>,
+    /// The category base `n/ε`.
+    pub base: f64,
+    n: usize,
+}
+
+impl WeightClassDecomposition {
+    /// Build the decomposition of `g` with distortion parameter `eps`.
+    pub fn build(g: &CsrGraph, eps: f64) -> (Self, Cost) {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        let n = g.n();
+        let base = (n.max(2) as f64 / eps).max(2.0);
+        // categorize edges
+        let cat_of = |w: Weight| -> u32 { (w as f64).log(base).floor().max(0.0) as u32 };
+        let mut by_cat: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+        for (eid, e) in g.edges().iter().enumerate() {
+            by_cat.entry(cat_of(e.w)).or_default().push(eid as u32);
+        }
+        let cats: Vec<u32> = by_cat.keys().copied().collect();
+        let mut uf = UnionFind::new(n);
+        // label history: identity before any level, then after each level
+        let identity: Vec<u32> = (0..n as u32).collect();
+        let mut label_history: Vec<Vec<u32>> = Vec::with_capacity(cats.len());
+        let mut levels = Vec::with_capacity(cats.len());
+        let mut cost = Cost::flat(g.m() as u64 + n as u64);
+
+        for (j, &cat) in cats.iter().enumerate() {
+            // Work in *category space*: keep categories cat−1, cat, cat+1;
+            // contract the prefix through the last non-empty category
+            // ≤ cat−2. (With gaps between non-empty categories this is
+            // tighter than "previous two levels": a kept category that is
+            // ≥ 2 below cat would blow the base³ weight-ratio promise,
+            // and one that is ≥ 2 above can never lie on a shortest path.)
+            let contract_idx = cats[..j].iter().rposition(|&c| c + 2 <= cat);
+            let contract_labels: &[u32] = match contract_idx {
+                Some(j2) => &label_history[j2],
+                None => &identity,
+            };
+            let mut cat_eids: Vec<u32> = by_cat[&cat].clone();
+            if cat >= 1 {
+                if let Some(eids) = by_cat.get(&(cat - 1)) {
+                    cat_eids.extend(eids);
+                }
+            }
+            if let Some(eids) = by_cat.get(&(cat + 1)) {
+                cat_eids.extend(eids);
+            }
+            let mut qedges: Vec<(u32, u32, Weight)> = Vec::new();
+            let mut touched: Vec<u32> = Vec::new();
+            for &eid in &cat_eids {
+                let e = g.edge(eid);
+                let (a, b) = (
+                    contract_labels[e.u as usize],
+                    contract_labels[e.v as usize],
+                );
+                if a != b {
+                    qedges.push((a, b, e.w));
+                    touched.push(a);
+                    touched.push(b);
+                }
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            let comp_to_local: HashMap<u32, u32> = touched
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u32))
+                .collect();
+            let query_graph = CsrGraph::from_edges(
+                touched.len(),
+                qedges
+                    .iter()
+                    .map(|&(a, b, w)| Edge::new(comp_to_local[&a], comp_to_local[&b], w)),
+            );
+            cost = cost.then(Cost::flat(cat_eids.len() as u64 + touched.len() as u64));
+
+            // advance the prefix: union this category's edges
+            for &eid in &by_cat[&cat] {
+                let e = g.edge(eid);
+                uf.union(e.u, e.v);
+            }
+            let (labels, num_components) = uf.labels();
+            cost = cost.then(Cost::flat(by_cat[&cat].len() as u64 + n as u64));
+
+            levels.push(Level {
+                category: cat,
+                labels: labels.clone(),
+                num_components,
+                query_graph,
+                comp_to_local,
+                contract_level: contract_idx,
+            });
+            label_history.push(labels);
+        }
+
+        (WeightClassDecomposition { levels, base, n }, cost)
+    }
+
+    /// The LCA level of `s` and `t`: the first level whose prefix connects
+    /// them. `None` if they are disconnected in `G`. Linear scan over the
+    /// levels; see [`Self::decomposition_tree`] for the `O(log)` variant.
+    pub fn lca_level(&self, s: VertexId, t: VertexId) -> Option<usize> {
+        self.levels
+            .iter()
+            .position(|l| l.labels[s as usize] == l.labels[t as usize])
+    }
+
+    /// Materialize the Definition B.1 tree over this decomposition's
+    /// levels, enabling `O(log levels)` LCA-level queries (the structure
+    /// the paper obtains by parallel tree contraction).
+    pub fn decomposition_tree(&self) -> super::decomposition_tree::DecompositionTree {
+        let level_labels: Vec<Vec<u32>> =
+            self.levels.iter().map(|l| l.labels.clone()).collect();
+        super::decomposition_tree::DecompositionTree::from_level_labels(self.n, &level_labels)
+    }
+
+    /// Approximate `s`–`t` distance through the decomposition: answer the
+    /// query in the LCA level's quotient graph. Lemma 5.1: the result is
+    /// within `[(1−ε)·dist, dist]` of the true distance.
+    pub fn query(&self, s: VertexId, t: VertexId) -> Weight {
+        if s == t {
+            return 0;
+        }
+        let Some(j) = self.lca_level(s, t) else {
+            return INF;
+        };
+        let level = &self.levels[j];
+        // map endpoints through the contracted prefix
+        let (cs, ct) = match level.contract_level {
+            None => (s, t),
+            Some(j2) => {
+                let prev = &self.levels[j2];
+                (prev.labels[s as usize], prev.labels[t as usize])
+            }
+        };
+        if cs == ct {
+            // connected by contracted (negligible) edges only
+            return 0;
+        }
+        let (Some(&ls), Some(&lt)) = (
+            level.comp_to_local.get(&cs),
+            level.comp_to_local.get(&ct),
+        ) else {
+            return INF;
+        };
+        dijkstra_pair(&level.query_graph, ls, lt)
+    }
+
+    /// Lemma 5.1's size accounting: total vertices and edges across all
+    /// query graphs.
+    pub fn collection_size(&self) -> (usize, usize) {
+        let v = self.levels.iter().map(|l| l.query_graph.n()).sum();
+        let e = self.levels.iter().map(|l| l.query_graph.m()).sum();
+        (v, e)
+    }
+
+    /// Number of vertices of the original graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Verify Lemma 5.1's weight-ratio promise: every query graph spans at
+    /// most `base³` in weights (categories `q(j)`, `q(j+1)` are adjacent
+    /// powers of `base`, plus in-category spread).
+    pub fn max_query_weight_ratio(&self) -> f64 {
+        self.levels
+            .iter()
+            .map(|l| l.query_graph.weight_ratio())
+            .fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psh_graph::generators;
+    use psh_graph::traversal::dijkstra::dijkstra;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A graph with weights spanning far more than n³.
+    fn wide_weight_graph(seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = generators::connected_random(60, 120, &mut rng);
+        generators::with_log_uniform_weights(&base, 1e15, &mut rng)
+    }
+
+    #[test]
+    fn query_sandwiched_by_lemma_5_1() {
+        let g = wide_weight_graph(1);
+        let eps = 0.2;
+        let (dec, _) = WeightClassDecomposition::build(&g, eps);
+        let exact = dijkstra(&g, 0);
+        for t in 1..g.n() as u32 {
+            let approx = dec.query(0, t);
+            let ex = exact.dist[t as usize];
+            assert!(approx <= ex, "t={t}: {approx} > exact {ex}");
+            assert!(
+                approx as f64 >= (1.0 - eps) * ex as f64 - 1.0,
+                "t={t}: {approx} below (1-ε)·{ex}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_graphs_have_bounded_weight_ratio() {
+        let g = wide_weight_graph(2);
+        let (dec, _) = WeightClassDecomposition::build(&g, 0.25);
+        let bound = dec.base.powi(3);
+        assert!(
+            dec.max_query_weight_ratio() <= bound,
+            "ratio {} exceeds base³ = {bound}",
+            dec.max_query_weight_ratio()
+        );
+    }
+
+    #[test]
+    fn collection_size_is_linear() {
+        let g = wide_weight_graph(3);
+        let (dec, _) = WeightClassDecomposition::build(&g, 0.25);
+        let (v, e) = dec.collection_size();
+        // every edge appears in ≤ 3 query graphs (its own category ±1);
+        // vertices ≤ 2·edges
+        assert!(e <= 3 * g.m(), "edge blowup: {e} vs m={}", g.m());
+        assert!(v <= 6 * g.m() + dec.levels.len());
+    }
+
+    #[test]
+    fn lca_level_is_monotone_in_connectivity() {
+        let g = wide_weight_graph(4);
+        let (dec, _) = WeightClassDecomposition::build(&g, 0.25);
+        // once connected at level j, stay connected at every later level
+        for s in 0..10u32 {
+            for t in 10..20u32 {
+                if let Some(j) = dec.lca_level(s, t) {
+                    for l in j..dec.levels.len() {
+                        assert_eq!(
+                            dec.levels[l].labels[s as usize],
+                            dec.levels[l].labels[t as usize]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_have_no_lca() {
+        let g = CsrGraph::from_edges(4, [Edge::new(0, 1, 5), Edge::new(2, 3, 7)]);
+        let (dec, _) = WeightClassDecomposition::build(&g, 0.25);
+        assert_eq!(dec.lca_level(0, 3), None);
+        assert_eq!(dec.query(0, 3), INF);
+        assert_eq!(dec.query(0, 1), 5);
+    }
+
+    #[test]
+    fn tree_lca_matches_linear_scan() {
+        let g = wide_weight_graph(9);
+        let (dec, _) = WeightClassDecomposition::build(&g, 0.25);
+        let tree = dec.decomposition_tree();
+        for s in 0..g.n() as u32 {
+            for t in [0u32, 7, 23, 41, 59] {
+                if s == t {
+                    assert_eq!(tree.lca_level(s, t), Some(0));
+                } else {
+                    // tree levels are 1-based over the decomposition's
+                    // 0-based levels (tree level 0 = leaves)
+                    let via_tree = tree.lca_level(s, t).map(|l| l - 1);
+                    assert_eq!(via_tree, dec.lca_level(s, t), "pair ({s},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_weights_collapse_to_one_level() {
+        let g = generators::grid(6, 6);
+        let (dec, _) = WeightClassDecomposition::build(&g, 0.25);
+        assert_eq!(dec.levels.len(), 1);
+        // queries are then exact
+        let exact = dijkstra(&g, 0);
+        for t in [5u32, 17, 35] {
+            assert_eq!(dec.query(0, t), exact.dist[t as usize]);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! §5 — hopsets in weighted graphs.
+//!
+//! For each distance estimate `d` running over powers of `n^η` (so
+//! `O(1/η)` estimates per factor-`n` of weight range, `O(3/η)` total for
+//! polynomially bounded weights), round the graph to the grid of
+//! Lemma 5.2 and build an Algorithm 4 hopset on the rounded graph with
+//! `β₀ = (n/ε)^{−γ₂}` and `n_final = n^{γ₁}` (Theorem 5.3).
+//!
+//! A query `(s, t)` runs the h-hop Bellman–Ford in **every** band and
+//! takes the minimum of the unrounded values. Soundness: rounding only
+//! inflates weights and hop limits only inflate distances, so every band's
+//! value is ≥ `dist(s, t)`; for the band with `d ≤ dist(s,t) ≤ n^η·d`, the
+//! value is ≤ `(1+ζ)(1+O(ε log n))·dist(s,t)` with probability ≥ 1/2
+//! (Lemma 4.2 + Lemma 5.2) — so the minimum is a `(1+ε')`-approximation.
+
+use super::rounding::Rounding;
+use super::unweighted::build_hopset_with_beta0;
+use super::{Hopset, HopsetParams};
+use psh_graph::traversal::bellman_ford::{hop_limited_pair, ExtraEdges};
+use psh_graph::{CsrGraph, VertexId, INF};
+use psh_pram::Cost;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One distance band's rounded graph and hopset.
+#[derive(Clone, Debug)]
+pub struct EstimateBand {
+    /// Lower end of the distance band covered by this estimate.
+    pub d: u64,
+    /// The rounding applied (`ŵ = ζd/k`).
+    pub rounding: Rounding,
+    /// The rounded graph.
+    pub graph: CsrGraph,
+    /// The hopset built on the rounded graph.
+    pub hopset: Hopset,
+    /// Compiled adjacency of the hopset.
+    pub extra: ExtraEdges,
+    /// Hop budget for queries in this band (Lemma 4.2's `h`).
+    pub h: usize,
+}
+
+/// The full §5 construction: one hopset per distance band.
+#[derive(Clone, Debug)]
+pub struct WeightedHopsets {
+    /// Bands in increasing `d`.
+    pub bands: Vec<EstimateBand>,
+    /// Band-width exponent: each band covers `[d, d·n^η]`.
+    pub eta: f64,
+    /// Distortion parameter used at construction.
+    pub epsilon: f64,
+    n: usize,
+}
+
+impl WeightedHopsets {
+    /// Total hopset edges across all bands.
+    pub fn total_size(&self) -> usize {
+        self.bands.iter().map(|b| b.hopset.size()).sum()
+    }
+
+    /// Number of estimate bands.
+    pub fn num_bands(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Approximate `s`–`t` distance: minimum over bands of the unrounded
+    /// h-hop distance. Returns `f64::INFINITY` when no band connects them.
+    pub fn query(&self, s: VertexId, t: VertexId) -> (f64, Cost) {
+        if s == t {
+            return (0.0, Cost::ZERO);
+        }
+        let mut best = f64::INFINITY;
+        let mut cost = Cost::ZERO;
+        // The paper tries all bands in parallel; costs compose with par.
+        for band in &self.bands {
+            let (d, _, c) = hop_limited_pair(&band.graph, Some(&band.extra), s, t, band.h);
+            cost = cost.par(c);
+            if d != INF {
+                best = best.min(band.rounding.unround(d));
+            }
+        }
+        (best, cost)
+    }
+}
+
+/// Build the §5 weighted hopsets with band exponent `eta ∈ (0, 1)`.
+pub fn build_weighted_hopsets<R: Rng>(
+    g: &CsrGraph,
+    params: &HopsetParams,
+    eta: f64,
+    rng: &mut R,
+) -> (WeightedHopsets, Cost) {
+    params.validate().expect("invalid hopset parameters");
+    assert!(eta > 0.0 && eta < 1.0, "eta must be in (0,1), got {eta}");
+    let n = g.n();
+    let zeta = params.epsilon / 2.0;
+    // band multiplier c = n^η, floored at 2 so the loop advances
+    let c = (n.max(2) as f64).powf(eta).max(2.0);
+    let d_max: u64 = (n as u64).saturating_mul(g.max_weight().unwrap_or(1));
+    let beta0 = params.beta0_weighted(n);
+
+    let mut bands = Vec::new();
+    let mut cost = Cost::ZERO;
+    let mut d: u64 = 1;
+    while d <= d_max {
+        // paths in this band have ≤ n hops and weight ≤ c·d
+        let rounding = Rounding::for_band(d, n.max(2) as u64, zeta);
+        let graph = rounding.round_graph(g);
+        let seed: u64 = rng.random();
+        let (hopset, hcost) =
+            build_hopset_with_beta0(&graph, params, beta0, &mut StdRng::seed_from_u64(seed));
+        // hop budget from Lemma 4.2 at the band's top distance, in rounded
+        // units (the search runs on the rounded graph)
+        let d_rounded_top = ((c * d as f64) / rounding.what).ceil() as u64;
+        let h = params.hop_bound(n, beta0, d_rounded_top.max(1));
+        let extra = hopset.to_extra_edges();
+        // bands are built in parallel in the paper: par-compose their costs
+        cost = cost.par(hcost.then(Cost::flat(g.m() as u64)));
+        bands.push(EstimateBand {
+            d,
+            rounding,
+            graph,
+            hopset,
+            extra,
+            h,
+        });
+        // next band: d ← d · n^η
+        let next = (d as f64 * c).ceil() as u64;
+        d = next.max(d + 1);
+    }
+    (
+        WeightedHopsets {
+            bands,
+            eta,
+            epsilon: params.epsilon,
+            n,
+        },
+        cost,
+    )
+}
+
+/// Convenience: number of vertices the construction covers.
+impl WeightedHopsets {
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psh_graph::generators;
+    use psh_graph::traversal::dijkstra::dijkstra;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_params() -> HopsetParams {
+        HopsetParams {
+            epsilon: 0.5,
+            delta: 1.5,
+            gamma1: 0.25,
+            gamma2: 0.75,
+            k_conf: 1.0,
+        }
+    }
+
+    fn weighted_instance(seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = generators::grid(12, 12);
+        generators::with_uniform_weights(&base, 1, 50, &mut rng)
+    }
+
+    #[test]
+    fn bands_cover_the_weight_range() {
+        let g = weighted_instance(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (wh, _) = build_weighted_hopsets(&g, &test_params(), 0.4, &mut rng);
+        assert!(wh.num_bands() >= 2, "expected multiple bands");
+        // bands increase geometrically
+        for pair in wh.bands.windows(2) {
+            assert!(pair[1].d > pair[0].d);
+        }
+        let d_max = (g.n() as u64) * g.max_weight().unwrap();
+        assert!(
+            wh.bands.last().unwrap().d <= d_max,
+            "last band beyond the distance range"
+        );
+    }
+
+    #[test]
+    fn query_never_undershoots_and_approximates() {
+        let g = weighted_instance(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (wh, _) = build_weighted_hopsets(&g, &test_params(), 0.4, &mut rng);
+        let exact = dijkstra(&g, 0);
+        let mut checked = 0;
+        for t in [10u32, 50, 100, 143] {
+            let (approx, _) = wh.query(0, t);
+            let ex = exact.dist[t as usize] as f64;
+            assert!(
+                approx >= ex - 1e-9,
+                "t={t}: approx {approx} undershoots exact {ex}"
+            );
+            // generous factor: (1+ζ)(1 + ε·levels) with test params
+            assert!(
+                approx <= 3.0 * ex,
+                "t={t}: approx {approx} too far above exact {ex}"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 4);
+    }
+
+    #[test]
+    fn self_query_is_zero() {
+        let g = weighted_instance(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (wh, _) = build_weighted_hopsets(&g, &test_params(), 0.5, &mut rng);
+        let (d, _) = wh.query(7, 7);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn disconnected_pairs_report_infinity() {
+        let g = CsrGraph::from_unit_edges(4, [(0, 1), (2, 3)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (wh, _) = build_weighted_hopsets(&g, &test_params(), 0.5, &mut rng);
+        let (d, _) = wh.query(0, 3);
+        assert!(d.is_infinite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = weighted_instance(8);
+        let (a, _) = build_weighted_hopsets(&g, &test_params(), 0.4, &mut StdRng::seed_from_u64(9));
+        let (b, _) = build_weighted_hopsets(&g, &test_params(), 0.4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.total_size(), b.total_size());
+        for (x, y) in a.bands.iter().zip(&b.bands) {
+            assert_eq!(x.hopset, y.hopset);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # psh-core — Improved Parallel Algorithms for Spanners and Hopsets
+//!
+//! The primary contribution of Miller, Peng, Vladu & Xu (SPAA 2015),
+//! reproduced in full:
+//!
+//! * [`spanner`] — **Theorem 1.1**: `O(k)`-stretch spanners of expected
+//!   size `O(n^{1+1/k})` on unweighted graphs (Algorithm 2) and
+//!   `O(n^{1+1/k} log k)` on weighted graphs (Algorithm 3 + the `O(log k)`
+//!   well-separated grouping), in `O(m)` work.
+//! * [`hopset`] — **Theorem 1.2**: `(ε·log n, h, O(n))`-hopsets built by
+//!   recursive exponential start time clustering with star and clique
+//!   shortcuts on large clusters (Algorithm 4), the weighted extension via
+//!   Klein–Subramanian rounding (§5), the polynomially-bounded-weight
+//!   preprocessing (Appendix B), and the low-depth limited hopsets
+//!   (Appendix C).
+//! * [`oracle`] — the end-to-end `(1+ε)`-approximate shortest-path oracle
+//!   of Theorem 1.2: preprocess once, then answer `s`–`t` queries with an
+//!   `h`-hop-limited parallel Bellman–Ford.
+//!
+//! Everything is instrumented with the [`psh_pram::Cost`] work/depth model
+//! and is deterministic given an RNG seed.
+
+pub mod hopset;
+pub mod oracle;
+pub mod spanner;
+
+pub use hopset::{Hopset, HopsetParams};
+pub use oracle::ApproxShortestPaths;
+pub use spanner::Spanner;

@@ -1,0 +1,217 @@
+//! The end-to-end `(1+ε)`-approximate shortest-path oracle of Theorem 1.2.
+//!
+//! **Preprocess** (`O(m·poly log n)` work): build a hopset. Unweighted
+//! graphs need a single Algorithm 4 hopset; weighted graphs get one per
+//! distance band (§5). Graphs whose weight ratio exceeds `n³` should be
+//! routed through Appendix B's [`super::hopset::WeightClassDecomposition`]
+//! first (exposed separately; the oracle asserts the poly-bounded case).
+//!
+//! **Query** (`O(m/ε)` work, `O(h)`-round depth): h-hop-limited parallel
+//! Bellman–Ford over `E ∪ E'` — [KS97]'s procedure.
+
+use crate::hopset::weighted::{build_weighted_hopsets, WeightedHopsets};
+use crate::hopset::{build_hopset, Hopset, HopsetParams};
+use psh_graph::traversal::bellman_ford::{hop_limited_pair, ExtraEdges};
+use psh_graph::traversal::dijkstra::dijkstra_pair;
+use psh_graph::{CsrGraph, VertexId, Weight, INF};
+use psh_pram::Cost;
+use rand::Rng;
+
+/// A preprocessed graph that answers approximate distance queries.
+pub struct ApproxShortestPaths {
+    graph: CsrGraph,
+    mode: Mode,
+}
+
+enum Mode {
+    Unweighted {
+        hopset: Hopset,
+        extra: ExtraEdges,
+        /// Hop budget for the worst case `d = n` (queries stop early at
+        /// the Bellman–Ford fixpoint anyway).
+        h_max: usize,
+    },
+    Weighted {
+        hopsets: WeightedHopsets,
+    },
+}
+
+/// A query answer with diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryResult {
+    /// The `(1+ε)`-approximate distance (`f64::INFINITY` if disconnected).
+    pub distance: f64,
+    /// Exact distance is never larger than this answer.
+    pub upper_bound: bool,
+}
+
+impl ApproxShortestPaths {
+    /// Preprocess an **unweighted** graph (Corollary 4.5's setting).
+    pub fn build_unweighted<R: Rng>(
+        g: &CsrGraph,
+        params: &HopsetParams,
+        rng: &mut R,
+    ) -> (Self, Cost) {
+        assert!(g.is_unit_weight(), "use build_weighted for weighted graphs");
+        let (hopset, cost) = build_hopset(g, params, rng);
+        let extra = hopset.to_extra_edges();
+        let h_max = params.hop_bound(g.n(), params.beta0(g.n()), g.n() as u64);
+        (
+            ApproxShortestPaths {
+                graph: g.clone(),
+                mode: Mode::Unweighted {
+                    hopset,
+                    extra,
+                    h_max,
+                },
+            },
+            cost,
+        )
+    }
+
+    /// Preprocess a **weighted** graph with polynomially bounded weights
+    /// (Corollary 5.4's setting; apply Appendix B first otherwise).
+    pub fn build_weighted<R: Rng>(
+        g: &CsrGraph,
+        params: &HopsetParams,
+        eta: f64,
+        rng: &mut R,
+    ) -> (Self, Cost) {
+        let (hopsets, cost) = build_weighted_hopsets(g, params, eta, rng);
+        (
+            ApproxShortestPaths {
+                graph: g.clone(),
+                mode: Mode::Weighted { hopsets },
+            },
+            cost,
+        )
+    }
+
+    /// Approximate `s`–`t` distance.
+    pub fn query(&self, s: VertexId, t: VertexId) -> (QueryResult, Cost) {
+        if s == t {
+            return (
+                QueryResult {
+                    distance: 0.0,
+                    upper_bound: true,
+                },
+                Cost::ZERO,
+            );
+        }
+        match &self.mode {
+            Mode::Unweighted { extra, h_max, .. } => {
+                let (d, _, cost) = hop_limited_pair(&self.graph, Some(extra), s, t, *h_max);
+                (
+                    QueryResult {
+                        distance: if d == INF { f64::INFINITY } else { d as f64 },
+                        upper_bound: true,
+                    },
+                    cost,
+                )
+            }
+            Mode::Weighted { hopsets } => {
+                let (d, cost) = hopsets.query(s, t);
+                (
+                    QueryResult {
+                        distance: d,
+                        upper_bound: true,
+                    },
+                    cost,
+                )
+            }
+        }
+    }
+
+    /// Exact reference distance (Dijkstra) — the verification oracle.
+    pub fn query_exact(&self, s: VertexId, t: VertexId) -> Weight {
+        dijkstra_pair(&self.graph, s, t)
+    }
+
+    /// Number of hopset edges backing this oracle.
+    pub fn hopset_size(&self) -> usize {
+        match &self.mode {
+            Mode::Unweighted { hopset, .. } => hopset.size(),
+            Mode::Weighted { hopsets } => hopsets.total_size(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The query-time hop budget (unweighted mode).
+    pub fn hop_budget(&self) -> Option<usize> {
+        match &self.mode {
+            Mode::Unweighted { h_max, .. } => Some(*h_max),
+            Mode::Weighted { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psh_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_params() -> HopsetParams {
+        HopsetParams {
+            epsilon: 0.5,
+            delta: 1.5,
+            gamma1: 0.25,
+            gamma2: 0.75,
+            k_conf: 1.0,
+        }
+    }
+
+    #[test]
+    fn unweighted_oracle_is_sound_and_accurate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::grid(16, 16);
+        let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &test_params(), &mut rng);
+        for (s, t) in [(0u32, 255u32), (0, 15), (17, 200), (100, 101)] {
+            let (r, _) = oracle.query(s, t);
+            let exact = oracle.query_exact(s, t) as f64;
+            assert!(r.distance >= exact, "undershoot at ({s},{t})");
+            assert!(
+                r.distance <= 2.0 * exact,
+                "({s},{t}): {} vs exact {exact}",
+                r.distance
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_oracle_is_sound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = generators::grid(10, 10);
+        let g = generators::with_uniform_weights(&base, 1, 20, &mut rng);
+        let (oracle, _) =
+            ApproxShortestPaths::build_weighted(&g, &test_params(), 0.4, &mut rng);
+        for (s, t) in [(0u32, 99u32), (5, 60), (42, 43)] {
+            let (r, _) = oracle.query(s, t);
+            let exact = oracle.query_exact(s, t) as f64;
+            assert!(r.distance >= exact - 1e-9);
+            assert!(r.distance <= 3.0 * exact, "({s},{t}): {}", r.distance);
+        }
+    }
+
+    #[test]
+    fn self_and_disconnected_queries() {
+        let g = CsrGraph::from_unit_edges(4, [(0, 1)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &test_params(), &mut rng);
+        assert_eq!(oracle.query(2, 2).0.distance, 0.0);
+        assert!(oracle.query(0, 3).0.distance.is_infinite());
+    }
+
+    #[test]
+    fn hop_budget_exposed_for_unweighted() {
+        let g = generators::path(64);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &test_params(), &mut rng);
+        assert!(oracle.hop_budget().is_some());
+    }
+}

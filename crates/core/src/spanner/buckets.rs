@@ -1,0 +1,114 @@
+//! Edge bucketing by weight for the weighted spanner (§3).
+//!
+//! Edges are bucketed by powers of two, `E_b = { e : w(e) ∈ [2^b, 2^{b+1}) }`
+//! (the paper's `E_i` with `w ∈ [2^{i−1}, 2^i)`, shifted to 0-based), then
+//! the buckets are dealt round-robin into `stride = O(log k)` **groups**
+//! `G_j = ⋃_{i≥0} E_{j + i·stride}`. Within a group, consecutive non-empty
+//! buckets differ in weight by at least `2^{stride−1} ≥ 4k`, the
+//! well-separation Algorithm 3 needs so that contracted pieces (diameter
+//! `≤ w_i`) are negligible against the next level's weights.
+
+use psh_graph::{CsrGraph, Weight};
+
+/// Power-of-two bucket index of a weight (`w >= 1`).
+#[inline]
+pub fn bucket_index(w: Weight) -> u32 {
+    debug_assert!(w >= 1);
+    w.ilog2()
+}
+
+/// Group stride `ceil(log2(8k))`: guarantees the weight ratio between
+/// consecutive buckets of a group is `≥ 8k / 2 = 4k`.
+pub fn group_stride(k: f64) -> u32 {
+    ((8.0 * k).log2().ceil() as u32).max(1)
+}
+
+/// Bucket the canonical edge ids of `g` by [`bucket_index`], ascending.
+/// Returns `(bucket_index, eids)` pairs for non-empty buckets only.
+pub fn bucket_edges(g: &CsrGraph) -> Vec<(u32, Vec<u32>)> {
+    let mut map: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for (eid, e) in g.edges().iter().enumerate() {
+        map.entry(bucket_index(e.w)).or_default().push(eid as u32);
+    }
+    map.into_iter().collect()
+}
+
+/// Deal buckets into `stride` groups: group `j` gets buckets with index
+/// `≡ j (mod stride)`, kept in ascending weight order. Empty groups are
+/// dropped.
+pub fn split_into_groups(
+    buckets: Vec<(u32, Vec<u32>)>,
+    stride: u32,
+) -> Vec<Vec<(u32, Vec<u32>)>> {
+    let mut groups: Vec<Vec<(u32, Vec<u32>)>> = vec![Vec::new(); stride as usize];
+    for (b, eids) in buckets {
+        groups[(b % stride) as usize].push((b, eids));
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psh_graph::Edge;
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+    }
+
+    #[test]
+    fn stride_grows_logarithmically_in_k() {
+        assert_eq!(group_stride(1.0), 3); // log2(8) = 3
+        assert_eq!(group_stride(2.0), 4);
+        assert_eq!(group_stride(16.0), 7);
+        assert!(group_stride(1000.0) <= 13);
+    }
+
+    #[test]
+    fn buckets_partition_edges() {
+        let g = CsrGraph::from_edges(
+            5,
+            [
+                Edge::new(0, 1, 1),
+                Edge::new(1, 2, 3),
+                Edge::new(2, 3, 3),
+                Edge::new(3, 4, 100),
+            ],
+        );
+        let buckets = bucket_edges(&g);
+        let total: usize = buckets.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, g.m());
+        assert_eq!(buckets[0].0, 0); // weight 1
+        assert_eq!(buckets[1].0, 1); // weights 3, 3
+        assert_eq!(buckets[1].1.len(), 2);
+        assert_eq!(buckets[2].0, 6); // weight 100 → bucket 6
+    }
+
+    #[test]
+    fn groups_are_well_separated() {
+        let buckets: Vec<(u32, Vec<u32>)> = (0..12).map(|b| (b, vec![b])).collect();
+        let stride = 4;
+        let groups = split_into_groups(buckets, stride);
+        assert_eq!(groups.len(), 4);
+        for g in &groups {
+            for pair in g.windows(2) {
+                assert!(pair[1].0 - pair[0].0 >= stride, "buckets too close in a group");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_groups_are_dropped() {
+        let buckets = vec![(0u32, vec![0u32]), (8, vec![1])];
+        let groups = split_into_groups(buckets, 4);
+        assert_eq!(groups.len(), 1, "both buckets land in group 0");
+        assert_eq!(groups[0].len(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Spanner constructions (§3 of the paper).
+//!
+//! * [`unweighted::unweighted_spanner`] — Algorithm 2: one exponential
+//!   start time clustering with `β = ln n / 2k`, keep the cluster forest,
+//!   and add one edge from every boundary vertex to each adjacent cluster.
+//!   `O(k)` stretch, expected size `O(n^{1+1/k})` (Lemma 3.2).
+//! * [`well_separated::well_separated_spanner`] — Algorithm 3: on a graph
+//!   whose edge-weight buckets are separated by factors `≥ poly(k)`,
+//!   cluster each bucket's quotient graph `Γ_i = G[A_i]/H_{i−1}` and
+//!   contract the forests as you go.
+//! * [`weighted::weighted_spanner`] — Theorem 3.3: bucket edges by powers
+//!   of two, split the buckets into `O(log k)` well-separated groups, and
+//!   run Algorithm 3 on each group in parallel. Expected size
+//!   `O(n^{1+1/k} log k)`.
+//! * [`verify`] — exact stretch measurement against Dijkstra, the test and
+//!   experiment oracle.
+
+pub mod buckets;
+pub mod unweighted;
+pub mod verify;
+pub mod weighted;
+pub mod well_separated;
+
+pub use unweighted::unweighted_spanner;
+pub use weighted::weighted_spanner;
+pub use well_separated::well_separated_spanner;
+
+use psh_graph::{CsrGraph, Edge};
+
+/// A spanner: a subset of the input graph's edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanner {
+    /// Number of vertices of the spanned graph.
+    pub n: usize,
+    /// The spanner's edges — always canonical edges of the input graph.
+    pub edges: Vec<Edge>,
+}
+
+impl Spanner {
+    /// Create a spanner from an edge set, deduplicating.
+    pub fn new(n: usize, mut edges: Vec<Edge>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        Spanner { n, edges }
+    }
+
+    /// Number of spanner edges.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Materialize the spanner as a graph (for distance queries).
+    pub fn as_graph(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.n, self.edges.iter().copied())
+    }
+
+    /// Check that every spanner edge exists in `g` with the same weight.
+    pub fn is_subgraph_of(&self, g: &CsrGraph) -> bool {
+        self.edges
+            .iter()
+            .all(|e| g.neighbors(e.u).any(|(t, w)| t == e.v && w == e.w))
+    }
+
+    /// `size / n^{1+1/k}` — the constant factor in front of the paper's
+    /// size bound, the quantity Figure 1 compares across algorithms.
+    pub fn size_ratio(&self, k: f64) -> f64 {
+        let bound = (self.n as f64).powf(1.0 + 1.0 / k);
+        self.size() as f64 / bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanner_dedups_edges() {
+        let e = Edge::new(0, 1, 2);
+        let s = Spanner::new(3, vec![e, e, Edge::new(1, 2, 1)]);
+        assert_eq!(s.size(), 2);
+    }
+
+    #[test]
+    fn subgraph_check_catches_foreign_edges() {
+        let g = CsrGraph::from_edges(3, [Edge::new(0, 1, 2)]);
+        let good = Spanner::new(3, vec![Edge::new(0, 1, 2)]);
+        let bad_weight = Spanner::new(3, vec![Edge::new(0, 1, 3)]);
+        let bad_edge = Spanner::new(3, vec![Edge::new(1, 2, 1)]);
+        assert!(good.is_subgraph_of(&g));
+        assert!(!bad_weight.is_subgraph_of(&g));
+        assert!(!bad_edge.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn size_ratio_normalizes() {
+        let s = Spanner::new(100, (0..99).map(|i| Edge::new(i, i + 1, 1)).collect());
+        // k → ∞ bound is n, so ratio ≈ 99/100^(1+eps) — just under 1
+        assert!(s.size_ratio(1e9) < 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Algorithm 2 — spanner construction for unweighted graphs.
+//!
+//! ```text
+//! UnweightedSpanner(G, k):
+//!   1. Compute an exponential start time clustering with β = ln n / 2k;
+//!      let H be the forest produced.
+//!   2. From each boundary vertex, add to H one edge connecting to each
+//!      adjacent cluster.
+//!   3. Return H.
+//! ```
+//!
+//! Lemma 3.2: the result is an `O(k)`-spanner w.h.p. of expected size
+//! `O(n^{1+1/k})`, computed in `O(k log* n)` depth and `O(m)` work. The
+//! intuition: intra-cluster edges are certified by the cluster tree
+//! (diameter `O(k)` w.h.p. since `β = ln n / 2k`); an inter-cluster edge
+//! `(u, v)` is certified by *some* kept edge between the two clusters plus
+//! the two tree paths. Corollary 3.1 bounds the expected number of kept
+//! edges per vertex by `n^{1/k}`.
+
+use super::Spanner;
+use psh_cluster::{est_cluster, Clustering};
+use psh_graph::{CsrGraph, Edge};
+use psh_pram::Cost;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Build an `O(k)`-spanner of the unweighted graph `g`.
+///
+/// `k >= 1` is the stretch parameter; the expected size is
+/// `O(n^{1+1/k})` plus the `n − #clusters` forest edges.
+pub fn unweighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
+    assert!(k >= 1.0, "stretch parameter k must be >= 1, got {k}");
+    assert!(
+        g.is_unit_weight(),
+        "unweighted_spanner requires unit weights; use weighted_spanner"
+    );
+    let n = g.n();
+    if n <= 1 || g.m() == 0 {
+        return (Spanner::new(n, Vec::new()), Cost::ZERO);
+    }
+    let beta = beta_for(n, k);
+    let (clustering, c_cost) = est_cluster(g, beta, rng);
+    let (spanner, s_cost) = spanner_from_clustering(g, &clustering);
+    (spanner, c_cost.then(s_cost))
+}
+
+/// The paper's choice `β = ln n / 2k`.
+pub fn beta_for(n: usize, k: f64) -> f64 {
+    ((n.max(2)) as f64).ln() / (2.0 * k)
+}
+
+/// Steps 2–3 of Algorithm 2 at the canonical-edge-id level: the forest
+/// edge ids plus, for each boundary vertex, the id of one edge into every
+/// adjacent cluster. Algorithm 3 needs ids (not edges) so it can map
+/// quotient-graph selections back to original-graph edges via provenance.
+///
+/// Selected inter-cluster edges are deterministic: for each vertex and each
+/// adjacent cluster, the smallest canonical edge id wins.
+pub fn select_spanner_eids(g: &CsrGraph, c: &Clustering) -> (Vec<u32>, Cost) {
+    // Forest edges: locate the canonical id of each (v, parent) tree edge.
+    let forest: Vec<u32> = (0..g.n() as u32)
+        .into_par_iter()
+        .filter_map(|v| {
+            let p = c.parent[v as usize];
+            if p == v {
+                return None;
+            }
+            let eid = g
+                .neighbors_with_eid(v)
+                .find(|&(t, _, _)| t == p)
+                .map(|(_, _, eid)| eid)
+                .expect("tree parent must be a graph neighbor");
+            Some(eid)
+        })
+        .collect();
+    // One edge per (boundary vertex, adjacent cluster): scan each vertex's
+    // adjacency, keep the min-eid edge into every foreign cluster.
+    let picked: Vec<u32> = (0..g.n() as u32)
+        .into_par_iter()
+        .flat_map_iter(|v| {
+            let mine = c.cluster_id[v as usize];
+            // (foreign cluster, eid) pairs; dedup per cluster keeping min eid
+            let mut locals: Vec<(u32, u32)> = g
+                .neighbors_with_eid(v)
+                .filter_map(|(t, _, eid)| {
+                    let ct = c.cluster_id[t as usize];
+                    (ct != mine).then_some((ct, eid))
+                })
+                .collect();
+            locals.sort_unstable();
+            locals.dedup_by_key(|&mut (ct, _)| ct);
+            locals.into_iter().map(|(_, eid)| eid)
+        })
+        .collect();
+    let mut eids = forest;
+    eids.extend(picked);
+    eids.sort_unstable();
+    eids.dedup();
+    let cost = Cost::new(2 * g.m() as u64 + g.n() as u64, 2);
+    (eids, cost)
+}
+
+/// Steps 2–3 of Algorithm 2 as a [`Spanner`] over `g`'s own edges.
+pub fn spanner_from_clustering(g: &CsrGraph, c: &Clustering) -> (Spanner, Cost) {
+    let (eids, cost) = select_spanner_eids(g, c);
+    let edges: Vec<Edge> = eids.iter().map(|&eid| g.edge(eid)).collect();
+    (Spanner::new(g.n(), edges), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spanner::verify::max_stretch_exact;
+    use psh_graph::connectivity::components_union_find;
+    use psh_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spanner_is_a_subgraph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::connected_random(200, 400, &mut rng);
+        let (s, _) = unweighted_spanner(&g, 3.0, &mut rng);
+        assert!(s.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn spanner_preserves_connectivity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::connected_random(300, 900, &mut rng);
+        let (s, _) = unweighted_spanner(&g, 2.0, &mut rng);
+        let (comp, _) = components_union_find(&s.as_graph());
+        assert_eq!(comp.count, 1, "spanner must stay connected");
+    }
+
+    #[test]
+    fn stretch_is_bounded_by_o_of_k() {
+        // Lemma 3.2 promises O(k); the hidden constant via tree diameters
+        // is ~4 (two tree paths of radius 2k·c each, plus the crossing
+        // edge). We assert max stretch <= 8k + 2 on a batch of graphs.
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::connected_random(120, 400, &mut rng);
+            let k = 2.0;
+            let (s, _) = unweighted_spanner(&g, k, &mut rng);
+            let stretch = max_stretch_exact(&g, &s);
+            assert!(
+                stretch <= 8.0 * k + 2.0,
+                "seed {seed}: stretch {stretch} exceeds 8k+2"
+            );
+        }
+    }
+
+    #[test]
+    fn size_shrinks_as_k_grows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::erdos_renyi(400, 4000, &mut rng);
+        let (s2, _) = unweighted_spanner(&g, 2.0, &mut StdRng::seed_from_u64(10));
+        let (s8, _) = unweighted_spanner(&g, 8.0, &mut StdRng::seed_from_u64(10));
+        assert!(
+            s8.size() < s2.size(),
+            "larger k must sparsify more: k=8 gave {}, k=2 gave {}",
+            s8.size(),
+            s2.size()
+        );
+        // both are far below m on a dense graph
+        assert!(s8.size() < g.m());
+    }
+
+    #[test]
+    fn work_is_linear_in_m() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::erdos_renyi(500, 5000, &mut rng);
+        let (_, cost) = unweighted_spanner(&g, 3.0, &mut rng);
+        // generous constant: clustering + selection touch each edge O(1) times
+        assert!(
+            cost.work < 40 * (g.m() as u64 + g.n() as u64),
+            "work {} should be linear in m",
+            cost.work
+        );
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = CsrGraph::from_edges(1, std::iter::empty());
+        let (s, _) = unweighted_spanner(&g, 2.0, &mut rng);
+        assert_eq!(s.size(), 0);
+        let g = CsrGraph::from_edges(5, std::iter::empty());
+        let (s, _) = unweighted_spanner(&g, 2.0, &mut rng);
+        assert_eq!(s.size(), 0);
+    }
+
+    #[test]
+    fn tree_input_returns_whole_tree() {
+        // a tree is its own unique spanner: every edge is a bridge
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::random_tree(100, &mut rng);
+        let (s, _) = unweighted_spanner(&g, 2.0, &mut rng);
+        assert_eq!(s.size(), g.m(), "all bridges must be kept");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires unit weights")]
+    fn rejects_weighted_input() {
+        let g = CsrGraph::from_edges(3, [Edge::new(0, 1, 5)]);
+        let _ = unweighted_spanner(&g, 2.0, &mut StdRng::seed_from_u64(7));
+    }
+}

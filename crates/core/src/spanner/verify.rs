@@ -1,0 +1,167 @@
+//! Stretch verification — the exact oracle behind every spanner claim.
+//!
+//! A subgraph `H` is a `t`-spanner iff `dist_H(u, v) ≤ t · dist_G(u, v)`
+//! for every **edge** `(u, v)` of `G` (§2.2: "it is sufficient to prove the
+//! stretch bound for endpoints of every edge" — any path distorts by at
+//! most the max edge distortion). So verification computes, for every edge
+//! (or a sample), `dist_H(u, v) / w(u, v)`.
+
+use super::Spanner;
+use psh_graph::traversal::dijkstra::dijkstra;
+use psh_graph::{CsrGraph, INF};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Maximum stretch over **all** edges of `g` (exact; one Dijkstra in the
+/// spanner per distinct edge source, so use on small/medium graphs).
+///
+/// Returns `f64::INFINITY` if some edge's endpoints are disconnected in the
+/// spanner.
+pub fn max_stretch_exact(g: &CsrGraph, s: &Spanner) -> f64 {
+    let h = s.as_graph();
+    let mut sources: Vec<u32> = g.edges().iter().map(|e| e.u).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    let stretches: Vec<f64> = sources
+        .par_iter()
+        .map(|&u| {
+            let dist = dijkstra(&h, u);
+            g.edges()
+                .iter()
+                .filter(|e| e.u == u)
+                .map(|e| {
+                    let d = dist.dist[e.v as usize];
+                    if d == INF {
+                        f64::INFINITY
+                    } else {
+                        d as f64 / e.w as f64
+                    }
+                })
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    stretches.into_iter().fold(0.0, f64::max)
+}
+
+/// Stretch statistics over a random sample of `sample_size` edges:
+/// `(max, mean)`. Suitable for large graphs in the experiment harness.
+pub fn stretch_sampled<R: Rng>(
+    g: &CsrGraph,
+    s: &Spanner,
+    sample_size: usize,
+    rng: &mut R,
+) -> (f64, f64) {
+    if g.m() == 0 {
+        return (1.0, 1.0);
+    }
+    let h = s.as_graph();
+    let mut eids: Vec<u32> = (0..g.m() as u32).collect();
+    eids.shuffle(rng);
+    eids.truncate(sample_size.max(1));
+    // group by source to share Dijkstra runs
+    let mut edges: Vec<_> = eids.iter().map(|&i| g.edge(i)).collect();
+    edges.sort_unstable();
+    let mut per_edge: Vec<f64> = Vec::with_capacity(edges.len());
+    let mut i = 0;
+    while i < edges.len() {
+        let u = edges[i].u;
+        let dist = dijkstra(&h, u);
+        while i < edges.len() && edges[i].u == u {
+            let e = edges[i];
+            let d = dist.dist[e.v as usize];
+            per_edge.push(if d == INF {
+                f64::INFINITY
+            } else {
+                d as f64 / e.w as f64
+            });
+            i += 1;
+        }
+    }
+    let max = per_edge.iter().copied().fold(0.0, f64::max);
+    let mean = per_edge.iter().sum::<f64>() / per_edge.len() as f64;
+    (max, mean)
+}
+
+/// Assert (in tests/experiments) that `s` is a `bound`-spanner of `g`.
+pub fn verify_stretch(g: &CsrGraph, s: &Spanner, bound: f64) -> Result<(), String> {
+    if !s.is_subgraph_of(g) {
+        return Err("spanner contains edges not in the graph".into());
+    }
+    let got = max_stretch_exact(g, s);
+    if got <= bound {
+        Ok(())
+    } else {
+        Err(format!("stretch {got} exceeds bound {bound}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psh_graph::generators;
+    use psh_graph::Edge;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn whole_graph_has_stretch_one() {
+        let g = generators::grid(5, 5);
+        let s = Spanner::new(g.n(), g.edges().to_vec());
+        assert_eq!(max_stretch_exact(&g, &s), 1.0);
+        verify_stretch(&g, &s, 1.0).unwrap();
+    }
+
+    #[test]
+    fn cycle_minus_edge_stretches_by_n_minus_1() {
+        let g = generators::cycle(8);
+        // drop the edge (7, 0): its endpoints are now 7 apart in the spanner
+        let edges: Vec<Edge> = g
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| !(e.u == 0 && e.v == 7))
+            .collect();
+        let s = Spanner::new(8, edges);
+        assert_eq!(max_stretch_exact(&g, &s), 7.0);
+    }
+
+    #[test]
+    fn disconnection_reported_as_infinite() {
+        let g = generators::path(4);
+        let s = Spanner::new(4, vec![Edge::new(0, 1, 1)]);
+        assert!(max_stretch_exact(&g, &s).is_infinite());
+        assert!(verify_stretch(&g, &s, 100.0).is_err());
+    }
+
+    #[test]
+    fn sampled_stretch_bounded_by_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::connected_random(80, 200, &mut rng);
+        // spanner: drop ~half the non-tree edges deterministically
+        let keep: Vec<Edge> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0 || *i < 79)
+            .map(|(_, e)| *e)
+            .collect();
+        let s = Spanner::new(g.n(), keep);
+        let exact = max_stretch_exact(&g, &s);
+        let (smax, smean) = stretch_sampled(&g, &s, 50, &mut rng);
+        assert!(smax <= exact + 1e-9);
+        assert!(smean <= smax + 1e-9);
+    }
+
+    #[test]
+    fn weighted_stretch_uses_weights() {
+        // triangle with one heavy edge; dropping it gives stretch 2/10 path
+        let g = CsrGraph::from_edges(
+            3,
+            [Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(0, 2, 10)],
+        );
+        let s = Spanner::new(3, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)]);
+        // dist_H(0,2) = 2, w = 10 → stretch 0.2 for that edge; max over all = 1
+        assert_eq!(max_stretch_exact(&g, &s), 1.0);
+    }
+}

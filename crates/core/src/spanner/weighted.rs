@@ -1,0 +1,128 @@
+//! Theorem 3.3 — the full weighted spanner pipeline.
+//!
+//! 1. Bucket edges by powers of two ([`super::buckets`]).
+//! 2. Deal the buckets into `O(log k)` groups so buckets within a group
+//!    are weight-separated by `≥ 4k`.
+//! 3. Run Algorithm 3 ([`super::well_separated`]) on every group — the
+//!    paper runs them "in parallel", so the groups' costs compose with
+//!    [`Cost::par`] — and take the union.
+//!
+//! Result (Theorem 3.3): an `O(k)`-spanner of expected size
+//! `O(n^{1+1/k} log k)` in `O(m)` work and `O(k log* n log U)` depth.
+
+use super::buckets::{bucket_edges, group_stride, split_into_groups};
+use super::well_separated::well_separated_spanner;
+use super::Spanner;
+use psh_graph::{CsrGraph, Edge};
+use psh_pram::Cost;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build an `O(k)`-spanner of a (positively) weighted graph.
+pub fn weighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
+    assert!(k >= 1.0, "stretch parameter k must be >= 1, got {k}");
+    let n = g.n();
+    if n <= 1 || g.m() == 0 {
+        return (Spanner::new(n, Vec::new()), Cost::ZERO);
+    }
+    let stride = group_stride(k);
+    let buckets = bucket_edges(g);
+    let groups = split_into_groups(buckets, stride);
+    // Independent seeds per group so groups can run in parallel while
+    // staying deterministic.
+    let seeds: Vec<u64> = (0..groups.len()).map(|_| rng.random()).collect();
+    let results: Vec<(Vec<Edge>, Cost)> = groups
+        .iter()
+        .zip(seeds)
+        .map(|(group, seed)| {
+            let levels: Vec<Vec<u32>> = group.iter().map(|(_, eids)| eids.clone()).collect();
+            let mut group_rng = StdRng::seed_from_u64(seed);
+            well_separated_spanner(g, &levels, k, &mut group_rng)
+        })
+        .collect();
+    // Groups run in parallel: work adds, depth maxes.
+    let cost = Cost::par_all(results.iter().map(|(_, c)| *c)).then(Cost::flat(g.m() as u64));
+    let edges: Vec<Edge> = results.into_iter().flat_map(|(e, _)| e).collect();
+    (Spanner::new(n, edges), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spanner::verify::max_stretch_exact;
+    use psh_graph::connectivity::components_union_find;
+    use psh_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn weighted_instance(seed: u64, ratio: f64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = generators::connected_random(150, 350, &mut rng);
+        generators::with_log_uniform_weights(&base, ratio, &mut rng)
+    }
+
+    #[test]
+    fn spanner_is_subgraph_and_preserves_connectivity() {
+        let g = weighted_instance(1, 4096.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (s, _) = weighted_spanner(&g, 3.0, &mut rng);
+        assert!(s.is_subgraph_of(&g));
+        let (c, _) = components_union_find(&s.as_graph());
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn stretch_bounded_across_weight_ratios() {
+        for (seed, ratio) in [(3u64, 16.0), (4, 1024.0), (5, 65536.0)] {
+            let g = weighted_instance(seed, ratio);
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let k = 2.0;
+            let (s, _) = weighted_spanner(&g, k, &mut rng);
+            let stretch = max_stretch_exact(&g, &s);
+            assert!(
+                stretch.is_finite() && stretch <= 16.0 * k + 4.0,
+                "ratio {ratio}: stretch {stretch}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_weight_graphs_degenerate_to_a_single_group() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::connected_random(200, 500, &mut rng);
+        let (s, _) = weighted_spanner(&g, 2.0, &mut rng);
+        assert!(s.is_subgraph_of(&g));
+        assert!(max_stretch_exact(&g, &s) <= 20.0);
+    }
+
+    #[test]
+    fn size_stays_near_linear_on_dense_weighted_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = generators::erdos_renyi(300, 8000, &mut rng);
+        let g = generators::with_log_uniform_weights(&base, 4096.0, &mut rng);
+        let (s, _) = weighted_spanner(&g, 4.0, &mut rng);
+        // n^{1+1/4}·log k ≈ 300^1.25 · 2 ≈ 2500; allow constant slack
+        assert!(
+            s.size() < g.m() / 2,
+            "spanner size {} vs m {} — no sparsification?",
+            s.size(),
+            g.m()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = weighted_instance(8, 256.0);
+        let (a, _) = weighted_spanner(&g, 3.0, &mut StdRng::seed_from_u64(42));
+        let (b, _) = weighted_spanner(&g, 3.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = CsrGraph::from_edges(4, std::iter::empty());
+        let (s, _) = weighted_spanner(&g, 2.0, &mut rng);
+        assert_eq!(s.size(), 0);
+    }
+}

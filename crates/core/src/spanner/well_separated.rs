@@ -1,0 +1,225 @@
+//! Algorithm 3 — spanner construction on graphs with well-separated edge
+//! weight buckets.
+//!
+//! ```text
+//! WellSeparatedSpanner(G):
+//!   1. Relabel the buckets A_1 … A_s ascending, edges of A_i in
+//!      [w_i, 2 w_i), with w_{i+1}/w_i ≥ O(k).
+//!   2. H_0 = ∅, S = ∅.
+//!   3. for i = 1 to s:
+//!   4.   Γ_i = G[A_i] / H_{i−1}   (uniform weights)
+//!   5.   ESTCluster(Γ_i, β = ln n / 2k)
+//!   6.   F = forest produced
+//!   7.   S = S ∪ F;  H_i = H_{i−1} ∪ F
+//!   8.   add one boundary edge per (boundary vertex, adjacent cluster) to S
+//!   9. return S
+//! ```
+//!
+//! The contraction `H_{i−1}` is maintained as a union-find over the
+//! *original* vertex set: a cluster formed at level `i` has diameter
+//! `O(k · 2^{b_i+1})` w.h.p., which well-separation makes negligible
+//! against level `i+1` weights — so contracted vertices behave like points
+//! (the stretch loses only the factor 2 the proof of Theorem 3.3 budgets).
+//!
+//! Every edge added to `S` is an **original** graph edge, recovered through
+//! the quotient graph's provenance.
+
+use super::unweighted::{beta_for, select_spanner_eids};
+use psh_cluster::est_cluster;
+use psh_graph::union_find::UnionFind;
+use psh_graph::{CsrGraph, Edge};
+use psh_pram::Cost;
+use rand::Rng;
+
+/// Run Algorithm 3 over explicit weight levels.
+///
+/// `levels` lists, in ascending weight order, the canonical edge ids of
+/// each bucket `A_i` of `g`; the caller (Theorem 3.3's driver) guarantees
+/// well-separation. Returns the selected original edges and the cost. The
+/// clustering parameter uses the *global* `n` of `g`, matching the paper's
+/// `β = ln n / 2k`.
+pub fn well_separated_spanner<R: Rng>(
+    g: &CsrGraph,
+    levels: &[Vec<u32>],
+    k: f64,
+    rng: &mut R,
+) -> (Vec<Edge>, Cost) {
+    assert!(k >= 1.0, "stretch parameter k must be >= 1");
+    let beta = beta_for(g.n(), k);
+    let mut contraction = UnionFind::new(g.n());
+    let mut selected: Vec<Edge> = Vec::new();
+    let mut cost = Cost::ZERO;
+
+    for eids in levels {
+        if eids.is_empty() {
+            continue;
+        }
+        // --- Build Γ_i = G[A_i]/H_{i-1} with provenance -----------------
+        // Map endpoints to contraction components; drop edges inside one
+        // component (their stretch is certified by the contracted piece).
+        let mut level_edges: Vec<(u32, u32, u32)> = Vec::with_capacity(eids.len());
+        for &eid in eids {
+            let e = g.edge(eid);
+            let (cu, cv) = (contraction.find(e.u), contraction.find(e.v));
+            if cu != cv {
+                let (a, b) = if cu < cv { (cu, cv) } else { (cv, cu) };
+                level_edges.push((a, b, eid));
+            }
+        }
+        cost = cost.then(Cost::flat(eids.len() as u64));
+        if level_edges.is_empty() {
+            continue;
+        }
+        // Compact the touched component ids into 0..t.
+        let mut comps: Vec<u32> = level_edges
+            .iter()
+            .flat_map(|&(a, b, _)| [a, b])
+            .collect();
+        comps.sort_unstable();
+        comps.dedup();
+        let local_of = |c: u32| comps.binary_search(&c).unwrap() as u32;
+        // Dedup parallel edges per component pair, keeping the smallest
+        // original eid (deterministic representative).
+        level_edges.sort_unstable();
+        level_edges.dedup_by_key(|&mut (a, b, _)| (a, b));
+        let provenance: Vec<u32> = level_edges.iter().map(|&(_, _, eid)| eid).collect();
+        let local_graph = CsrGraph::from_edges(
+            comps.len(),
+            level_edges
+                .iter()
+                .map(|&(a, b, _)| Edge::new(local_of(a), local_of(b), 1)),
+        );
+        // from_edges sorts canonically; our input is already sorted by
+        // (a, b) with unique pairs, so canonical order matches provenance.
+        debug_assert_eq!(local_graph.m(), provenance.len());
+
+        // --- Cluster Γ_i and select spanner edges ------------------------
+        let (clustering, c_cost) = est_cluster(&local_graph, beta, rng);
+        let (local_eids, s_cost) = select_spanner_eids(&local_graph, &clustering);
+        selected.extend(
+            local_eids
+                .iter()
+                .map(|&leid| g.edge(provenance[leid as usize])),
+        );
+        cost = cost.then(c_cost).then(s_cost);
+
+        // --- Contract the clusters into H_i ------------------------------
+        // Every vertex merges with its cluster center; since the cluster
+        // forest spans the cluster, this equals H_{i-1} ∪ F.
+        for v in 0..local_graph.n() as u32 {
+            let cen = clustering.center[v as usize];
+            if cen != v {
+                contraction.union(comps[v as usize], comps[cen as usize]);
+            }
+        }
+        cost = cost.then(Cost::flat(local_graph.n() as u64));
+    }
+
+    selected.sort_unstable();
+    selected.dedup();
+    (selected, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spanner::verify::max_stretch_exact;
+    use crate::spanner::Spanner;
+    use psh_graph::connectivity::components_union_find;
+    use psh_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Build a graph whose weights come in well-separated tiers and the
+    /// matching level lists.
+    fn tiered_graph(seed: u64, tiers: &[u64]) -> (CsrGraph, Vec<Vec<u32>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = generators::connected_random(120, 240, &mut rng);
+        use rand::Rng;
+        let edges: Vec<Edge> = base
+            .edges()
+            .iter()
+            .map(|e| {
+                let t = rng.random_range(0..tiers.len());
+                Edge::new(e.u, e.v, tiers[t])
+            })
+            .collect();
+        let g = CsrGraph::from_edges(base.n(), edges);
+        let levels: Vec<Vec<u32>> = tiers
+            .iter()
+            .map(|&t| {
+                g.edges()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.w == t)
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            })
+            .collect();
+        (g, levels)
+    }
+
+    #[test]
+    fn output_is_subgraph_and_connected() {
+        let (g, levels) = tiered_graph(1, &[1, 64, 4096]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (edges, _) = well_separated_spanner(&g, &levels, 2.0, &mut rng);
+        let s = Spanner::new(g.n(), edges);
+        assert!(s.is_subgraph_of(&g));
+        let (c, _) = components_union_find(&s.as_graph());
+        let (cg, _) = components_union_find(&g);
+        assert_eq!(c.count, cg.count, "spanner must preserve connectivity");
+    }
+
+    #[test]
+    fn stretch_bounded_on_tiered_graphs() {
+        for seed in 0..4u64 {
+            let (g, levels) = tiered_graph(seed, &[1, 64, 4096]);
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let k = 2.0;
+            let (edges, _) = well_separated_spanner(&g, &levels, k, &mut rng);
+            let s = Spanner::new(g.n(), edges);
+            let stretch = max_stretch_exact(&g, &s);
+            assert!(
+                stretch <= 16.0 * k + 4.0,
+                "seed {seed}: stretch {stretch} too large"
+            );
+        }
+    }
+
+    #[test]
+    fn contraction_shrinks_later_levels() {
+        // With a very coarse k, level-1 clusters swallow most vertices, so
+        // the level-2 quotient should be much smaller than n. We observe
+        // this indirectly: total selected edges stay near-linear.
+        let (g, levels) = tiered_graph(7, &[1, 1 << 10, 1 << 20]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (edges, _) = well_separated_spanner(&g, &levels, 4.0, &mut rng);
+        assert!(
+            edges.len() <= 2 * g.n(),
+            "selected {} edges on n={} — contraction failed?",
+            edges.len(),
+            g.n()
+        );
+    }
+
+    #[test]
+    fn single_level_matches_unweighted_behaviour() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::connected_random(100, 300, &mut rng);
+        let levels = vec![(0..g.m() as u32).collect::<Vec<_>>()];
+        let (edges, _) = well_separated_spanner(&g, &levels, 2.0, &mut StdRng::seed_from_u64(4));
+        let s = Spanner::new(g.n(), edges);
+        assert!(s.is_subgraph_of(&g));
+        assert!(max_stretch_exact(&g, &s) <= 18.0);
+    }
+
+    #[test]
+    fn empty_levels_are_skipped() {
+        let (g, levels) = tiered_graph(5, &[1, 64]);
+        let padded = vec![Vec::new(), levels[0].clone(), Vec::new(), levels[1].clone()];
+        let mut rng = StdRng::seed_from_u64(6);
+        let (edges, _) = well_separated_spanner(&g, &padded, 2.0, &mut rng);
+        assert!(!edges.is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Incremental graph builder.
+//!
+//! Most call sites construct graphs in one shot with
+//! [`CsrGraph::from_edges`]; the builder exists for generators and
+//! transformation passes that accumulate edges piecemeal and want the
+//! dedup/canonicalization behaviour documented in [`crate::csr`].
+
+use crate::csr::{CsrGraph, Edge, VertexId, Weight};
+
+/// Accumulates edges and finishes into a [`CsrGraph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// With pre-reserved edge capacity.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Add an undirected edge; order of endpoints is irrelevant.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> &mut Self {
+        self.edges.push(Edge::new(u, v, w));
+        self
+    }
+
+    /// Add a unit-weight edge.
+    #[inline]
+    pub fn add_unit_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.add_edge(u, v, 1)
+    }
+
+    /// Extend from an edge iterator.
+    pub fn extend<I: IntoIterator<Item = Edge>>(&mut self, iter: I) -> &mut Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Number of edges accumulated so far (before dedup).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges were added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finish into a CSR graph (dedups parallel edges, drops self-loops).
+    pub fn build(self) -> CsrGraph {
+        CsrGraph::from_edges(self.n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_expected_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_unit_edge(0, 1).add_edge(1, 2, 5).add_edge(2, 1, 3);
+        assert_eq!(b.len(), 3);
+        let g = b.build();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edge(1).w, 3); // parallel (1,2) edges merged to min
+    }
+
+    #[test]
+    fn empty_builder_builds_edgeless_graph() {
+        let b = GraphBuilder::new(3);
+        assert!(b.is_empty());
+        let g = b.build();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn extend_accepts_edge_iterators() {
+        let mut b = GraphBuilder::with_capacity(3, 2);
+        b.extend([Edge::new(0, 1, 1), Edge::new(1, 2, 1)]);
+        assert_eq!(b.build().m(), 2);
+    }
+}

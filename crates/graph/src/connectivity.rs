@@ -1,0 +1,198 @@
+//! Connected components.
+//!
+//! Two engines with identical outputs:
+//!
+//! * [`components_union_find`] — work-efficient, processes the edge list
+//!   through the concurrent union-find (the [SDB14] shape the paper cites).
+//! * [`components_label_propagation`] — round-synchronous min-label
+//!   propagation, the textbook PRAM algorithm; its depth is the graph
+//!   diameter, and it exists mostly to cross-check the union-find engine
+//!   and to give a depth-meaningful baseline for the cost model.
+//!
+//! Both return dense labels: `labels[v] in 0..count`, equal iff connected.
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::union_find::AtomicUnionFind;
+use psh_pram::Cost;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Output of a connectivity computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// Dense component label per vertex (`0..count`).
+    pub labels: Vec<u32>,
+    /// Number of connected components.
+    pub count: usize,
+}
+
+impl Components {
+    /// True if `a` and `b` are in the same component.
+    pub fn same(&self, a: VertexId, b: VertexId) -> bool {
+        self.labels[a as usize] == self.labels[b as usize]
+    }
+
+    /// Sizes of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.count];
+        for &l in &self.labels {
+            s[l as usize] += 1;
+        }
+        s
+    }
+
+    /// Vertices of each component (index = label).
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &l) in self.labels.iter().enumerate() {
+            out[l as usize].push(v as u32);
+        }
+        out
+    }
+}
+
+/// Connected components via concurrent union-find over the edge list.
+pub fn components_union_find(g: &CsrGraph) -> (Components, Cost) {
+    let uf = AtomicUnionFind::new(g.n());
+    g.edges().par_iter().for_each(|e| {
+        uf.union(e.u, e.v);
+    });
+    let (labels, count) = uf.labels();
+    // Work: one union per edge plus the relabel scan. Depth: the union-find
+    // phase is a single logical round in the cost model (unions commute);
+    // the relabel is another.
+    let cost = Cost::new(g.m() as u64 + g.n() as u64, 2);
+    (Components { labels, count }, cost)
+}
+
+/// Connected components via synchronous min-label propagation.
+///
+/// Depth equals the number of rounds to reach a fixpoint, which is at most
+/// the maximum component diameter plus one.
+pub fn components_label_propagation(g: &CsrGraph) -> (Components, Cost) {
+    let n = g.n();
+    // Round-synchronous (Jacobi) iteration with double buffering: every
+    // round reads only the previous round's labels, so the number of rounds
+    // — and hence the measured depth — is the same regardless of thread
+    // count or scheduling. In-place updates would "cheat" on one thread by
+    // collapsing a whole path in a single sweep.
+    let mut cur: Vec<u32> = (0..n as u32).collect();
+    let mut next: Vec<u32> = vec![0; n];
+    let mut cost = Cost::ZERO;
+    loop {
+        let changed = AtomicBool::new(false);
+        let cur_ref = &cur;
+        let changed_ref = &changed;
+        next.par_iter_mut().enumerate().for_each(|(v, out)| {
+            let mine = cur_ref[v];
+            let mut best = mine;
+            for (u, _) in g.neighbors(v as u32) {
+                best = best.min(cur_ref[u as usize]);
+            }
+            if best < mine {
+                changed_ref.store(true, Ordering::Relaxed);
+            }
+            *out = best;
+        });
+        cost = cost.then(Cost::flat(2 * g.m() as u64 + n as u64));
+        std::mem::swap(&mut cur, &mut next);
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    let raw = cur;
+    // densify
+    let mut map = vec![u32::MAX; n];
+    let mut dense = vec![0u32; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        let r = raw[v] as usize;
+        if map[r] == u32::MAX {
+            map[r] = next;
+            next += 1;
+        }
+        dense[v] = map[r];
+    }
+    cost = cost.then(Cost::flat(n as u64));
+    (
+        Components {
+            labels: dense,
+            count: next as usize,
+        },
+        cost,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Edge;
+    use proptest::prelude::*;
+
+    fn two_triangles() -> CsrGraph {
+        CsrGraph::from_unit_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    }
+
+    #[test]
+    fn union_find_finds_two_components() {
+        let (c, _) = components_union_find(&two_triangles());
+        assert_eq!(c.count, 2);
+        assert!(c.same(0, 2));
+        assert!(c.same(3, 5));
+        assert!(!c.same(0, 3));
+        assert_eq!(c.sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn label_propagation_matches_union_find() {
+        let g = two_triangles();
+        let (a, _) = components_union_find(&g);
+        let (b, _) = components_label_propagation(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let g = CsrGraph::from_unit_edges(4, [(1, 2)]);
+        let (c, _) = components_union_find(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn members_partition_the_vertex_set() {
+        let (c, _) = components_union_find(&two_triangles());
+        let members = c.members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        for (label, verts) in members.iter().enumerate() {
+            for &v in verts {
+                assert_eq!(c.labels[v as usize] as usize, label);
+            }
+        }
+    }
+
+    #[test]
+    fn label_propagation_depth_tracks_diameter() {
+        // a path has diameter n-1; label propagation needs ~that many rounds
+        let n = 32;
+        let g = CsrGraph::from_unit_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)));
+        let (c, cost) = components_label_propagation(&g);
+        assert_eq!(c.count, 1);
+        assert!(
+            cost.depth >= n as u64 - 1,
+            "depth {} should be at least the path diameter",
+            cost.depth
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_engines_agree(raw in proptest::collection::vec((0u32..40, 0u32..40), 0..120)) {
+            let g = CsrGraph::from_edges(40, raw.iter().map(|&(u, v)| Edge::new(u, v, 1)));
+            let (a, _) = components_union_find(&g);
+            let (b, _) = components_label_propagation(&g);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Synthetic workload generators.
+//!
+//! The paper's guarantees are distribution-free, so the experiment suite
+//! needs workloads spanning the regimes the analyses distinguish:
+//!
+//! * sparse vs. dense random graphs (Erdős–Rényi by edge count),
+//! * heavy-tailed degree graphs (preferential attachment — the "RMAT-like"
+//!   stand-in for social/web graphs),
+//! * high-diameter structured graphs (paths, cycles, 2-D grids/tori) where
+//!   hop counts actually bind,
+//! * trees (spanner/hopset degenerate cases),
+//! * geometric graphs (road-network-like locality),
+//! * weight assigners controlling the ratio `U` between the heaviest and
+//!   lightest edge — the parameter that drives the `O(log U)` depth of
+//!   Theorem 1.1 and Appendix B's preprocessing.
+//!
+//! All generators are deterministic given the `Rng`, and every experiment
+//! constructs its `StdRng` from a recorded seed.
+
+use crate::csr::{CsrGraph, Edge, VertexId, Weight};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Path on `n` vertices: `0 - 1 - … - n-1`, unit weights.
+pub fn path(n: usize) -> CsrGraph {
+    CsrGraph::from_unit_edges(n, (1..n as u32).map(|v| (v - 1, v)))
+}
+
+/// Cycle on `n >= 3` vertices.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let edges = (1..n as u32)
+        .map(|v| (v - 1, v))
+        .chain(std::iter::once((n as u32 - 1, 0)));
+    CsrGraph::from_unit_edges(n, edges)
+}
+
+/// Star: vertex 0 joined to all others.
+pub fn star(n: usize) -> CsrGraph {
+    CsrGraph::from_unit_edges(n, (1..n as u32).map(|v| (0, v)))
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_unit_edges(n, edges)
+}
+
+/// 2-D grid of `rows × cols` vertices, unit weights, 4-neighbor topology.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    CsrGraph::from_unit_edges(rows * cols, edges)
+}
+
+/// 2-D torus (grid with wraparound), so it is vertex-transitive.
+pub fn torus(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both sides >= 3");
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((id(r, c), id(r, (c + 1) % cols)));
+            edges.push((id(r, c), id((r + 1) % rows, c)));
+        }
+    }
+    CsrGraph::from_unit_edges(rows * cols, edges)
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct uniformly random edges.
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    assert!(n >= 2, "need at least two vertices");
+    let max_m = n * (n - 1) / 2;
+    assert!(m <= max_m, "asked for {m} edges but K_{n} has only {max_m}");
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    CsrGraph::from_unit_edges(n, edges)
+}
+
+/// Connected Erdős–Rényi-style graph: a uniform random spanning tree plus
+/// `extra` random edges. Used where experiments need connectivity (spanner
+/// stretch is only defined within components).
+pub fn connected_random<R: Rng>(n: usize, extra: usize, rng: &mut R) -> CsrGraph {
+    assert!(n >= 1);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n - 1 + extra);
+    // random attachment tree (uniform over recursive trees)
+    for v in 1..n as u32 {
+        let parent = rng.random_range(0..v);
+        edges.push((parent, v));
+    }
+    let mut seen: HashSet<(u32, u32)> = edges
+        .iter()
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    let mut added = 0;
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let budget = extra.min(max_extra);
+    while added < budget {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            edges.push(key);
+            added += 1;
+        }
+    }
+    CsrGraph::from_unit_edges(n, edges)
+}
+
+/// Preferential attachment ("Barabási–Albert"): each new vertex attaches to
+/// `deg` existing vertices chosen proportionally to degree. Heavy-tailed
+/// degree distribution; the "RMAT-like" social-graph stand-in.
+pub fn preferential_attachment<R: Rng>(n: usize, deg: usize, rng: &mut R) -> CsrGraph {
+    assert!(deg >= 1 && n > deg, "need n > deg >= 1");
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * deg);
+    // endpoint pool: each edge contributes both endpoints, so sampling a
+    // uniform pool element is degree-proportional sampling
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * n * deg);
+    // seed clique on deg+1 vertices
+    for u in 0..=(deg as u32) {
+        for v in (u + 1)..=(deg as u32) {
+            edges.push((u, v));
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    for v in (deg as u32 + 1)..n as u32 {
+        // ordered container: HashSet iteration order is instance-seeded,
+        // which would break determinism of subsequent pool sampling
+        let mut chosen: Vec<u32> = Vec::with_capacity(deg);
+        let mut guard = 0;
+        while chosen.len() < deg && guard < 100 * deg {
+            let t = pool[rng.random_range(0..pool.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+        }
+        chosen.sort_unstable();
+        for &t in &chosen {
+            edges.push((t, v));
+            pool.push(t);
+            pool.push(v);
+        }
+    }
+    CsrGraph::from_unit_edges(n, edges)
+}
+
+/// Random geometric graph on the unit square: vertices are random points,
+/// edges join pairs within `radius`, weighted by scaled Euclidean distance
+/// (minimum weight 1). Road-network-like locality.
+pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> CsrGraph {
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    // grid-bucket the points so this is O(n + edges), not O(n^2)
+    let cell = radius.max(1e-9);
+    let cells = (1.0 / cell).ceil() as i64 + 1;
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
+        std::collections::HashMap::new();
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        buckets
+            .entry(((x / cell) as i64, (y / cell) as i64))
+            .or_default()
+            .push(i as u32);
+    }
+    let scale = 1000.0 / radius; // distances land in [1, ~1000]
+    let mut edges = Vec::new();
+    for (&(cx, cy), members) in &buckets {
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+                    continue;
+                }
+                if let Some(others) = buckets.get(&(nx, ny)) {
+                    for &a in members {
+                        for &b in others {
+                            if a < b {
+                                let (ax, ay) = pts[a as usize];
+                                let (bx, by) = pts[b as usize];
+                                let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+                                if d <= radius {
+                                    let w = ((d * scale) as u64).max(1);
+                                    edges.push(Edge::new(a, b, w));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+/// Random recursive tree on `n` vertices (each vertex attaches to a uniform
+/// earlier vertex).
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> CsrGraph {
+    let edges = (1..n as u32).map(|v| (rng.random_range(0..v), v)).collect::<Vec<_>>();
+    CsrGraph::from_unit_edges(n, edges)
+}
+
+/// Reweight a graph with independent uniform weights in `[lo, hi]`.
+pub fn with_uniform_weights<R: Rng>(g: &CsrGraph, lo: Weight, hi: Weight, rng: &mut R) -> CsrGraph {
+    assert!(1 <= lo && lo <= hi);
+    CsrGraph::from_edges(
+        g.n(),
+        g.edges()
+            .iter()
+            .map(|e| Edge::new(e.u, e.v, rng.random_range(lo..=hi))),
+    )
+}
+
+/// Reweight with log-uniform weights spanning the ratio `U`: weights are
+/// `2^X` for `X` uniform in `[0, log2 U]`, clamped to `[1, U]`. This is the
+/// weight distribution that exercises every bucket of the §3 hierarchy.
+pub fn with_log_uniform_weights<R: Rng>(g: &CsrGraph, ratio_u: f64, rng: &mut R) -> CsrGraph {
+    assert!(ratio_u >= 1.0);
+    let logu = ratio_u.log2();
+    CsrGraph::from_edges(
+        g.n(),
+        g.edges().iter().map(|e| {
+            let x = rng.random::<f64>() * logu;
+            let w = (x.exp2()).round().clamp(1.0, ratio_u) as Weight;
+            Edge::new(e.u, e.v, w)
+        }),
+    )
+}
+
+/// Caterpillar: a path of length `spine` with `legs` pendant vertices per
+/// spine vertex. Adversarial for clustering (many boundary vertices).
+pub fn caterpillar(spine: usize, legs: usize) -> CsrGraph {
+    let n = spine * (legs + 1);
+    let mut edges = Vec::new();
+    for s in 0..spine {
+        let sid = (s * (legs + 1)) as u32;
+        if s + 1 < spine {
+            edges.push((sid, ((s + 1) * (legs + 1)) as u32));
+        }
+        for l in 1..=legs {
+            edges.push((sid, sid + l as u32));
+        }
+    }
+    CsrGraph::from_unit_edges(n, edges)
+}
+
+/// Two cliques of size `k` joined by a path of length `bridge`; the classic
+/// dumbbell that separates diameter-sensitive algorithms.
+pub fn dumbbell(k: usize, bridge: usize) -> CsrGraph {
+    assert!(k >= 2 && bridge >= 1);
+    let n = 2 * k + bridge.saturating_sub(1);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let clique = |base: u32, edges: &mut Vec<(u32, u32)>| {
+        for u in 0..k as u32 {
+            for v in (u + 1)..k as u32 {
+                edges.push((base + u, base + v));
+            }
+        }
+    };
+    clique(0, &mut edges);
+    clique((k + bridge - 1) as u32, &mut edges);
+    // path from vertex k-1 (in clique A) to vertex k+bridge-1 (first of B)
+    let mut prev = (k - 1) as u32;
+    for i in 0..bridge {
+        let next = (k + i) as u32;
+        edges.push((prev, next));
+        prev = next;
+    }
+    CsrGraph::from_unit_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::components_union_find;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(7);
+        assert_eq!(g.m(), 7);
+        for v in 0..7 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        // horizontal: 3*3, vertical: 2*4
+        assert_eq!(g.m(), 17);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(g.m(), 40);
+    }
+
+    #[test]
+    fn erdos_renyi_has_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(100, 250, &mut rng);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 250);
+    }
+
+    #[test]
+    fn connected_random_is_connected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = connected_random(200, 100, &mut rng);
+        assert_eq!(g.m(), 299);
+        let (c, _) = components_union_find(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn preferential_attachment_basics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = preferential_attachment(300, 3, &mut rng);
+        assert_eq!(g.n(), 300);
+        let (c, _) = components_union_find(&g);
+        assert_eq!(c.count, 1);
+        // heavy tail: some vertex has much more than average degree
+        let maxdeg = (0..300u32).map(|v| g.degree(v)).max().unwrap();
+        assert!(maxdeg >= 10, "expected a hub, max degree {maxdeg}");
+    }
+
+    #[test]
+    fn geometric_weights_scale_with_distance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_geometric(400, 0.12, &mut rng);
+        assert!(g.m() > 0);
+        assert!(g.min_weight().unwrap() >= 1);
+        assert!(g.max_weight().unwrap() <= 1001);
+    }
+
+    #[test]
+    fn random_tree_is_spanning_tree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_tree(128, &mut rng);
+        assert_eq!(g.m(), 127);
+        let (c, _) = components_union_find(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn uniform_weights_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = with_uniform_weights(&cycle(50), 5, 20, &mut rng);
+        assert!(g.min_weight().unwrap() >= 5);
+        assert!(g.max_weight().unwrap() <= 20);
+    }
+
+    #[test]
+    fn log_uniform_weights_span_the_ratio() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = with_log_uniform_weights(&complete(40), 1024.0, &mut rng);
+        assert!(g.min_weight().unwrap() >= 1);
+        assert!(g.max_weight().unwrap() <= 1024);
+        assert!(g.weight_ratio() > 16.0, "weights should spread, U={}", g.weight_ratio());
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 3 + 12);
+        let (c, _) = components_union_find(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let g = dumbbell(5, 4);
+        let (c, _) = components_union_find(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(g.n(), 13);
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = erdos_renyi(80, 160, &mut StdRng::seed_from_u64(42));
+        let g2 = erdos_renyi(80, 160, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1.edges(), g2.edges());
+        let t1 = random_tree(64, &mut StdRng::seed_from_u64(9));
+        let t2 = random_tree(64, &mut StdRng::seed_from_u64(9));
+        assert_eq!(t1.edges(), t2.edges());
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-text graph I/O.
+//!
+//! A minimal, dependency-free edge-list format so experiments can be
+//! exported/replayed and external graphs (e.g. DIMACS-converted road
+//! networks) can be loaded:
+//!
+//! ```text
+//! p <n> <m>
+//! e <u> <v> <w>
+//! …
+//! ```
+//!
+//! Lines starting with `c` (comments) or blank lines are ignored.
+//! Vertices are 0-based. The writer emits canonical (deduplicated) edges.
+
+use crate::csr::{CsrGraph, Edge};
+use std::io::{self, BufRead, Write};
+
+/// Serialize `g` to the edge-list format.
+pub fn write_graph<W: Write>(g: &CsrGraph, mut out: W) -> io::Result<()> {
+    writeln!(out, "p {} {}", g.n(), g.m())?;
+    for e in g.edges() {
+        writeln!(out, "e {} {} {}", e.u, e.v, e.w)?;
+    }
+    Ok(())
+}
+
+/// Parse a graph from the edge-list format. Returns a descriptive error
+/// for malformed input (missing header, bad counts, out-of-range ids).
+pub fn read_graph<R: BufRead>(input: R) -> io::Result<CsrGraph> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut n: Option<usize> = None;
+    let mut declared_m = 0usize;
+    let mut edges: Vec<Edge> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                let nn: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(format!("line {}: bad p line", lineno + 1)))?;
+                declared_m = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(format!("line {}: bad p line", lineno + 1)))?;
+                n = Some(nn);
+                edges.reserve(declared_m);
+            }
+            Some("e") => {
+                let n = n.ok_or_else(|| bad("e line before p line".into()))?;
+                let mut next_num = |what: &str| -> io::Result<u64> {
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(format!("line {}: bad {what}", lineno + 1)))
+                };
+                let u = next_num("source")?;
+                let v = next_num("target")?;
+                let w = next_num("weight")?;
+                if u as usize >= n || v as usize >= n {
+                    return Err(bad(format!(
+                        "line {}: endpoint out of range (n = {n})",
+                        lineno + 1
+                    )));
+                }
+                if w == 0 {
+                    return Err(bad(format!("line {}: zero weight", lineno + 1)));
+                }
+                edges.push(Edge::new(u as u32, v as u32, w));
+            }
+            Some(other) => {
+                return Err(bad(format!("line {}: unknown record '{other}'", lineno + 1)))
+            }
+            None => {}
+        }
+    }
+    let n = n.ok_or_else(|| bad("missing p line".into()))?;
+    if edges.len() != declared_m {
+        return Err(bad(format!(
+            "header declared {declared_m} edges, found {}",
+            edges.len()
+        )));
+    }
+    Ok(CsrGraph::from_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_the_graph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = generators::connected_random(60, 150, &mut rng);
+        let g = generators::with_uniform_weights(&base, 1, 40, &mut rng);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let back = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "c a comment\n\np 3 2\nc another\ne 0 1 5\ne 1 2 7\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edge(0).w, 5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_graph("e 0 1 5\n".as_bytes()).is_err(), "edge before header");
+        assert!(read_graph("p 2\n".as_bytes()).is_err(), "short p line");
+        assert!(read_graph("p 2 1\ne 0 5 1\n".as_bytes()).is_err(), "range");
+        assert!(read_graph("p 2 1\ne 0 1 0\n".as_bytes()).is_err(), "zero w");
+        assert!(read_graph("p 2 2\ne 0 1 1\n".as_bytes()).is_err(), "count");
+        assert!(read_graph("x nonsense\n".as_bytes()).is_err(), "record");
+        assert!(read_graph("".as_bytes()).is_err(), "empty");
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = CsrGraph::from_edges(4, std::iter::empty());
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let back = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(back.n(), 4);
+        assert_eq!(back.m(), 0);
+    }
+}

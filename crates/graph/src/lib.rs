@@ -1,0 +1,45 @@
+//! # psh-graph — the graph substrate
+//!
+//! Everything in the paper runs on undirected graphs with positive integer
+//! edge weights (§2 normalizes the minimum weight to 1; Appendix A buckets
+//! searches by integer distance parts). This crate provides that substrate:
+//!
+//! * [`CsrGraph`] — compressed-sparse-row undirected graphs with `u64`
+//!   weights and *edge provenance*: every adjacency slot knows which
+//!   canonical undirected edge it came from, so higher layers (spanners,
+//!   quotient graphs) can always map work back to original edges.
+//! * [`generators`] — synthetic workloads: Erdős–Rényi, preferential
+//!   attachment, grids/tori, paths, trees, geometric graphs, and weight
+//!   assigners (uniform, log-uniform over a ratio `U`).
+//! * [`traversal`] — the parallel search engines the paper builds on:
+//!   level-synchronous BFS [UY91], bucketed integer-weight SSSP
+//!   ("weighted parallel BFS", Dial's algorithm as used by [KS97]),
+//!   hop-limited Bellman–Ford (the hopset query engine), and exact
+//!   Dijkstra as a verification oracle.
+//! * [`connectivity`] / [`union_find`] — connected components (parallel
+//!   label propagation and union-find), used by Appendix B's hierarchical
+//!   weight decomposition.
+//! * [`quotient`] — contraction `G/H` keeping the lightest parallel edge,
+//!   exactly the quotient operation of §2, with provenance to original
+//!   edges.
+//! * [`subgraph`] — splitting a graph into per-cluster induced subgraphs
+//!   in one pass (the recursion step of Algorithm 4).
+//!
+//! All traversals are instrumented with the [`psh_pram::Cost`] work/depth
+//! model: work counts edge scans / relaxations, depth counts synchronous
+//! rounds.
+
+pub mod builder;
+pub mod connectivity;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod prefix;
+pub mod quotient;
+pub mod subgraph;
+pub mod traversal;
+pub mod union_find;
+
+pub use csr::{CsrGraph, Edge, VertexId, Weight, INF};
+pub use quotient::QuotientGraph;
+pub use subgraph::SubGraph;

@@ -1,0 +1,102 @@
+//! Small parallel primitives: prefix sums and index packing.
+//!
+//! These are the PRAM toolbox pieces the paper's routines assume for free
+//! (frontier compaction in BFS, offset computation when splitting clusters
+//! into subgraphs). In the cost model each invocation is a constant number
+//! of rounds; we charge them as such at call sites.
+
+use rayon::prelude::*;
+
+/// Exclusive prefix sum: `out[i] = sum(xs[..i])`, and the total is returned.
+/// Runs in two passes over chunk-local sums, the classic work-efficient
+/// parallel scan shape.
+pub fn exclusive_prefix_sum(xs: &[usize]) -> (Vec<usize>, usize) {
+    let len = xs.len();
+    if len == 0 {
+        return (Vec::new(), 0);
+    }
+    // Chunked two-phase scan. Chunk size balances scheduling overhead
+    // against parallelism; at our scales a few thousand is fine.
+    const CHUNK: usize = 4096;
+    let chunk_sums: Vec<usize> = xs.par_chunks(CHUNK).map(|c| c.iter().sum()).collect();
+    let mut chunk_offsets = Vec::with_capacity(chunk_sums.len());
+    let mut acc = 0usize;
+    for s in &chunk_sums {
+        chunk_offsets.push(acc);
+        acc += s;
+    }
+    let mut out = vec![0usize; len];
+    out.par_chunks_mut(CHUNK)
+        .zip(xs.par_chunks(CHUNK))
+        .zip(chunk_offsets.par_iter())
+        .for_each(|((out_chunk, in_chunk), &start)| {
+            let mut running = start;
+            for (o, &x) in out_chunk.iter_mut().zip(in_chunk) {
+                *o = running;
+                running += x;
+            }
+        });
+    (out, acc)
+}
+
+/// Indices `i` where `keep[i]` is true, in increasing order.
+pub fn pack_indices(keep: &[bool]) -> Vec<u32> {
+    keep.par_iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i as u32))
+        .collect()
+}
+
+/// Histogram of `keys` over the domain `0..buckets`.
+pub fn histogram(keys: &[u32], buckets: usize) -> Vec<usize> {
+    let mut h = vec![0usize; buckets];
+    for &k in keys {
+        h[k as usize] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        let xs = [3usize, 0, 1, 4, 1, 5];
+        let (ps, total) = exclusive_prefix_sum(&xs);
+        assert_eq!(ps, vec![0, 3, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn prefix_sum_empty() {
+        let (ps, total) = exclusive_prefix_sum(&[]);
+        assert!(ps.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn pack_indices_selects_true_positions() {
+        let keep = [true, false, false, true, true];
+        assert_eq!(pack_indices(&keep), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(histogram(&[0, 2, 2, 1, 2], 4), vec![1, 1, 3, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prefix_sum_agrees_with_scan(xs in proptest::collection::vec(0usize..100, 0..10_000)) {
+            let (ps, total) = exclusive_prefix_sum(&xs);
+            let mut acc = 0usize;
+            for (i, &x) in xs.iter().enumerate() {
+                prop_assert_eq!(ps[i], acc);
+                acc += x;
+            }
+            prop_assert_eq!(total, acc);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Quotient graphs `G/H`: contraction with minimum-weight parallel-edge
+//! merging and edge provenance.
+//!
+//! §2 of the paper: "we will use `G/H` to denote the quotient graph obtained
+//! from `G` after contracting the connected components of `H` into points,
+//! removing self-loops and merging parallel edges (by keeping the shortest
+//! edge)." Both the weighted spanner (Algorithm 3, `Γ_i = G[A_i]/H_{i-1}`)
+//! and Appendix B's weight decomposition quotient by prefixes of edge
+//! classes.
+//!
+//! Spanners must ultimately contain **original** edges, so each quotient
+//! edge records which canonical edge of the parent graph it represents
+//! (the lightest among its parallel class, ties broken deterministically by
+//! edge id).
+
+use crate::csr::{CsrGraph, Edge, VertexId};
+use psh_pram::Cost;
+
+/// A contracted graph with provenance into its parent.
+#[derive(Clone, Debug)]
+pub struct QuotientGraph {
+    /// The quotient graph over super-vertices `0..count`.
+    pub graph: CsrGraph,
+    /// For each canonical edge of `graph`, the canonical edge id in the
+    /// *parent* graph it represents.
+    pub parent_eid: Vec<u32>,
+    /// The labeling used to contract (`labels[parent_vertex] = super_vertex`).
+    pub labels: Vec<u32>,
+}
+
+impl QuotientGraph {
+    /// The parent-graph edge represented by quotient edge `qeid`.
+    pub fn original_edge(&self, parent: &CsrGraph, qeid: u32) -> Edge {
+        parent.edge(self.parent_eid[qeid as usize])
+    }
+
+    /// Super-vertex of a parent vertex.
+    #[inline]
+    pub fn super_of(&self, v: VertexId) -> VertexId {
+        self.labels[v as usize]
+    }
+}
+
+/// Contract `g` by a dense labeling (`labels[v] in 0..k`). Self-loops
+/// (intra-component edges) disappear; parallel edges keep the lightest
+/// representative, ties broken by the smaller parent edge id so the result
+/// is deterministic.
+pub fn quotient(g: &CsrGraph, labels: &[u32], k: usize) -> (QuotientGraph, Cost) {
+    assert_eq!(labels.len(), g.n());
+    // (super_u, super_v, w, parent_eid) for inter-component edges
+    let mut qedges: Vec<(u32, u32, u64, u32)> = Vec::new();
+    for (eid, e) in g.edges().iter().enumerate() {
+        let (lu, lv) = (labels[e.u as usize], labels[e.v as usize]);
+        if lu != lv {
+            let (a, b) = if lu < lv { (lu, lv) } else { (lv, lu) };
+            qedges.push((a, b, e.w, eid as u32));
+        }
+    }
+    // Sort by endpoints, then weight, then parent id → first of each group
+    // is the canonical lightest representative.
+    qedges.sort_unstable();
+    qedges.dedup_by_key(|&mut (a, b, _, _)| (a, b));
+    let parent_eid: Vec<u32> = qedges.iter().map(|&(_, _, _, id)| id).collect();
+    let graph = CsrGraph::from_edges(k, qedges.iter().map(|&(a, b, w, _)| Edge::new(a, b, w)));
+    debug_assert_eq!(graph.m(), parent_eid.len());
+    let cost = Cost::new(g.m() as u64 + g.n() as u64, 2);
+    (
+        QuotientGraph {
+            graph,
+            parent_eid,
+            labels: labels.to_vec(),
+        },
+        cost,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// 0-1-2 form one component, 3-4 another, 5 alone; various cross edges.
+    fn sample() -> (CsrGraph, Vec<u32>) {
+        let g = CsrGraph::from_edges(
+            6,
+            [
+                Edge::new(0, 1, 1), // internal to component 0
+                Edge::new(1, 2, 1), // internal to component 0
+                Edge::new(2, 3, 7), // cross 0-1
+                Edge::new(0, 4, 3), // cross 0-1 (parallel after contraction, lighter)
+                Edge::new(4, 5, 2), // cross 1-2
+                Edge::new(3, 5, 9), // cross 1-2 (parallel, heavier)
+            ],
+        );
+        (g, vec![0, 0, 0, 1, 1, 2])
+    }
+
+    #[test]
+    fn contraction_merges_and_keeps_lightest() {
+        let (g, labels) = sample();
+        let (q, _) = quotient(&g, &labels, 3);
+        assert_eq!(q.graph.n(), 3);
+        assert_eq!(q.graph.m(), 2); // {0,1} and {1,2}
+        let e01 = q.graph.edges().iter().find(|e| e.u == 0 && e.v == 1).unwrap();
+        assert_eq!(e01.w, 3); // min(7, 3)
+        let e12 = q.graph.edges().iter().find(|e| e.u == 1 && e.v == 2).unwrap();
+        assert_eq!(e12.w, 2); // min(2, 9)
+    }
+
+    #[test]
+    fn provenance_maps_to_the_lightest_parent_edge() {
+        let (g, labels) = sample();
+        let (q, _) = quotient(&g, &labels, 3);
+        for (qeid, qe) in q.graph.edges().iter().enumerate() {
+            let orig = q.original_edge(&g, qeid as u32);
+            assert_eq!(orig.w, qe.w);
+            // endpoints of the original edge contract to the quotient endpoints
+            let (su, sv) = (q.super_of(orig.u), q.super_of(orig.v));
+            assert_eq!(
+                (su.min(sv), su.max(sv)),
+                (qe.u, qe.v),
+                "provenance endpoint mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn full_contraction_gives_single_vertex() {
+        let (g, _) = sample();
+        let labels = vec![0u32; 6];
+        let (q, _) = quotient(&g, &labels, 1);
+        assert_eq!(q.graph.n(), 1);
+        assert_eq!(q.graph.m(), 0);
+    }
+
+    #[test]
+    fn identity_contraction_preserves_graph() {
+        let (g, _) = sample();
+        let labels: Vec<u32> = (0..6).collect();
+        let (q, _) = quotient(&g, &labels, 6);
+        assert_eq!(q.graph.m(), g.m());
+        assert_eq!(q.graph.edges(), g.edges());
+    }
+
+    proptest! {
+        /// Quotient edges biject onto the connected pairs of super-vertices,
+        /// each carrying the minimum crossing weight.
+        #[test]
+        fn prop_quotient_min_weights(
+            raw in proptest::collection::vec((0u32..20, 0u32..20, 1u64..50), 0..100),
+            labels in proptest::collection::vec(0u32..5, 20)) {
+            let g = CsrGraph::from_edges(20, raw.iter().map(|&(u, v, w)| Edge::new(u, v, w)));
+            let (q, _) = quotient(&g, &labels, 5);
+            use std::collections::HashMap;
+            let mut expect: HashMap<(u32, u32), u64> = HashMap::new();
+            for e in g.edges() {
+                let (a, b) = (labels[e.u as usize], labels[e.v as usize]);
+                if a != b {
+                    let key = (a.min(b), a.max(b));
+                    let slot = expect.entry(key).or_insert(u64::MAX);
+                    *slot = (*slot).min(e.w);
+                }
+            }
+            prop_assert_eq!(q.graph.m(), expect.len());
+            for e in q.graph.edges() {
+                prop_assert_eq!(expect[&(e.u, e.v)], e.w);
+            }
+        }
+    }
+}

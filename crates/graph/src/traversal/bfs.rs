@@ -1,0 +1,177 @@
+//! Parallel level-synchronous BFS, after Ullman–Yannakakis [UY91].
+//!
+//! Each round expands the whole frontier in parallel; contended claims on a
+//! newly discovered vertex are resolved by an atomic `fetch_min` on the
+//! claiming parent, so the output forest is deterministic (the minimum-id
+//! eligible parent always wins) regardless of scheduling.
+//!
+//! Cost accounting: work = initialization + edges scanned per round
+//! (including re-scans of already-visited targets — that is what a PRAM
+//! implementation pays too); depth = one round per BFS level, matching the
+//! `O(diameter)` depth of the paper's parallel BFS (the `log* n` CRCW
+//! factor is a model constant we do not multiply in — see DESIGN.md §1).
+
+use crate::csr::{CsrGraph, VertexId, INF};
+use crate::traversal::SsspResult;
+use psh_pram::Cost;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// BFS from a single source.
+pub fn parallel_bfs(g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
+    parallel_bfs_multi(g, &[src])
+}
+
+/// BFS from a set of sources, all at distance 0. `max_levels` bounds how
+/// far the search runs via [`parallel_bfs_bounded`]; this entry point runs
+/// to exhaustion.
+pub fn parallel_bfs_multi(g: &CsrGraph, sources: &[VertexId]) -> (SsspResult, Cost) {
+    parallel_bfs_bounded(g, sources, usize::MAX)
+}
+
+/// BFS from `sources`, stopping after `max_levels` levels (vertices further
+/// away keep `dist == INF`). Used by Algorithm 4's clique-edge computation,
+/// which only needs distances within a bounded-diameter piece.
+pub fn parallel_bfs_bounded(
+    g: &CsrGraph,
+    sources: &[VertexId],
+    max_levels: usize,
+) -> (SsspResult, Cost) {
+    let n = g.n();
+    let claim: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let mut dist = vec![INF; n];
+
+    let mut frontier: Vec<VertexId> = sources.to_vec();
+    frontier.sort_unstable();
+    frontier.dedup();
+    for &s in &frontier {
+        dist[s as usize] = 0;
+        claim[s as usize].store(s, Ordering::Relaxed);
+    }
+
+    let mut cost = Cost::flat(n as u64); // initialization round
+    let mut level: u64 = 0;
+    while !frontier.is_empty() && (level as usize) < max_levels {
+        level += 1;
+        let scanned: u64 = frontier.par_iter().map(|&u| g.degree(u) as u64).sum();
+        // Expansion: claim unvisited neighbors with atomic min on parent.
+        let (dist_ref, claim_ref) = (&dist, &claim);
+        let mut next: Vec<VertexId> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                g.neighbors(u).filter_map(move |(w, _)| {
+                    if dist_ref[w as usize] == INF {
+                        claim_ref[w as usize].fetch_min(u, Ordering::Relaxed);
+                        Some(w)
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        next.par_sort_unstable();
+        next.dedup();
+        for &w in &next {
+            dist[w as usize] = level;
+        }
+        cost = cost.then(Cost::flat(scanned + next.len() as u64));
+        frontier = next;
+    }
+
+    let parent: Vec<VertexId> = claim.into_iter().map(AtomicU32::into_inner).collect();
+    (SsspResult { dist, parent }, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::dijkstra::dijkstra;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bfs_on_a_path() {
+        let g = generators::path(6);
+        let (r, cost) = parallel_bfs(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(r.path_to(5).unwrap(), vec![0, 1, 2, 3, 4, 5]);
+        // depth = init round + 5 discovery levels + 1 final empty expansion
+        assert_eq!(cost.depth, 7);
+    }
+
+    #[test]
+    fn bfs_respects_level_bound() {
+        let g = generators::path(10);
+        let (r, _) = parallel_bfs_bounded(&g, &[0], 3);
+        assert_eq!(r.dist[3], 3);
+        assert_eq!(r.dist[4], INF);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = generators::path(7);
+        let (r, _) = parallel_bfs_multi(&g, &[0, 6]);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let g = CsrGraph::from_unit_edges(4, [(0, 1)]);
+        let (r, _) = parallel_bfs(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, INF, INF]);
+        assert_eq!(r.parent[2], u32::MAX);
+    }
+
+    #[test]
+    fn parent_is_min_id_among_equally_good() {
+        // diamond: 0-1, 0-2, 1-3, 2-3 — both 1 and 2 can parent 3
+        let g = CsrGraph::from_unit_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let (r, _) = parallel_bfs(&g, 0);
+        assert_eq!(r.parent[3], 1, "deterministic min-id parent expected");
+    }
+
+    #[test]
+    fn bfs_matches_dijkstra_on_unit_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::connected_random(300, 500, &mut rng);
+        let (b, _) = parallel_bfs(&g, 7);
+        let d = dijkstra(&g, 7);
+        assert_eq!(b.dist, d.dist);
+    }
+
+    #[test]
+    fn duplicate_sources_are_deduped() {
+        let g = generators::path(4);
+        let (r, _) = parallel_bfs_multi(&g, &[2, 2, 2]);
+        assert_eq!(r.dist, vec![2, 1, 0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bfs_triangle_inequality_on_edges(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::erdos_renyi(60, 120, &mut rng);
+            let (r, _) = parallel_bfs(&g, 0);
+            for e in g.edges() {
+                let (du, dv) = (r.dist[e.u as usize], r.dist[e.v as usize]);
+                if du != INF && dv != INF {
+                    prop_assert!(du.abs_diff(dv) <= 1, "BFS levels differ by more than an edge");
+                } else {
+                    // both endpoints of an edge are reachable or neither is
+                    prop_assert_eq!(du, dv);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_bfs_deterministic(seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::erdos_renyi(80, 200, &mut rng);
+            let (a, _) = parallel_bfs(&g, 3);
+            let (b, _) = parallel_bfs(&g, 3);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Bucketed integer-weight SSSP — the paper's "weighted parallel BFS".
+//!
+//! Klein–Subramanian [KS97] (and §5 of the paper) run shortest-path
+//! searches on integer-weight graphs by processing distance values in
+//! increasing order: all vertices settled at the same distance form one
+//! parallel round, so the *depth* of a search is the number of distinct
+//! distance levels — which the rounding scheme of Lemma 5.2 compresses to
+//! `O(ck/ζ)`. This is Dial's algorithm with lazy buckets; we use an ordered
+//! map so sparse distance ranges skip empty levels in O(log) time.
+//!
+//! Supports per-source start offsets, which is how a super-source with
+//! weighted spokes (the ESTC implementation of Appendix A, Lemma 2.1) is
+//! expressed without materializing the extra vertex.
+
+use crate::csr::{CsrGraph, VertexId, Weight, INF};
+use crate::traversal::SsspResult;
+use psh_pram::Cost;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// Single-source exact SSSP on integer weights.
+pub fn dial_sssp(g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
+    dial_sssp_offsets(g, &[(src, 0)])
+}
+
+/// Multi-source SSSP where source `s` starts at distance `offset`.
+pub fn dial_sssp_offsets(g: &CsrGraph, sources: &[(VertexId, Weight)]) -> (SsspResult, Cost) {
+    dial_sssp_bounded(g, sources, INF)
+}
+
+/// Multi-source SSSP ignoring distances beyond `bound` (those vertices
+/// keep `dist == INF`). Bounded searches are what Algorithm 4 runs inside
+/// its bounded-diameter recursive pieces.
+pub fn dial_sssp_bounded(
+    g: &CsrGraph,
+    sources: &[(VertexId, Weight)],
+    bound: Weight,
+) -> (SsspResult, Cost) {
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut settled = vec![false; n];
+    let mut buckets: BTreeMap<Weight, Vec<VertexId>> = BTreeMap::new();
+
+    for &(s, off) in sources {
+        if off <= bound && off < dist[s as usize] {
+            dist[s as usize] = off;
+            parent[s as usize] = s;
+            buckets.entry(off).or_default().push(s);
+        }
+    }
+
+    let mut cost = Cost::flat(n as u64);
+    while let Some((&key, _)) = buckets.first_key_value() {
+        let candidates = buckets.remove(&key).unwrap();
+        // Lazy deletion: keep only entries that are still current and
+        // not yet settled (a vertex can be inserted at several keys).
+        let dist_ref = &dist;
+        let current: Vec<VertexId> = candidates
+            .into_iter()
+            .filter(|&v| dist_ref[v as usize] == key && !settled[v as usize])
+            .collect();
+        if current.is_empty() {
+            continue;
+        }
+        for &v in &current {
+            settled[v as usize] = true;
+        }
+        let scanned: u64 = current.par_iter().map(|&v| g.degree(v) as u64).sum();
+        // Two-phase deterministic relaxation: gather tentative improvements,
+        // then apply the per-target minimum (ties to the smaller parent id).
+        let mut relax: Vec<(VertexId, Weight, VertexId)> = current
+            .par_iter()
+            .flat_map_iter(|&u| {
+                g.neighbors(u).filter_map(move |(v, w)| {
+                    let nd = key.saturating_add(w);
+                    (nd < dist_ref[v as usize] && nd <= bound).then_some((v, nd, u))
+                })
+            })
+            .collect();
+        relax.par_sort_unstable();
+        let mut last = u32::MAX;
+        for (v, nd, p) in relax {
+            if v == last {
+                continue; // a better (or equal, smaller-parent) entry won
+            }
+            last = v;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = p;
+                buckets.entry(nd).or_default().push(v);
+            }
+        }
+        cost = cost.then(Cost::flat(scanned + current.len() as u64));
+    }
+
+    (SsspResult { dist, parent }, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Edge;
+    use crate::generators;
+    use crate::traversal::dijkstra::dijkstra;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_dijkstra_on_small_weighted_graph() {
+        let g = CsrGraph::from_edges(
+            5,
+            [
+                Edge::new(0, 1, 10),
+                Edge::new(0, 2, 3),
+                Edge::new(2, 1, 4),
+                Edge::new(1, 3, 2),
+                Edge::new(2, 3, 8),
+                Edge::new(3, 4, 1),
+            ],
+        );
+        let (r, _) = dial_sssp(&g, 0);
+        assert_eq!(r.dist, dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn offsets_shift_sources() {
+        let g = generators::path(5); // 0-1-2-3-4 unit
+        // source 0 at offset 3, source 4 at offset 0
+        let (r, _) = dial_sssp_offsets(&g, &[(0, 3), (4, 0)]);
+        assert_eq!(r.dist, vec![3, 3, 2, 1, 0]);
+        // vertex 1: via 0 costs 4, via 4 costs 3
+        assert_eq!(r.parent[1], 2);
+    }
+
+    #[test]
+    fn bound_prunes_far_vertices() {
+        let g = generators::path(10);
+        let (r, _) = dial_sssp_bounded(&g, &[(0, 0)], 4);
+        assert_eq!(r.dist[4], 4);
+        assert_eq!(r.dist[5], INF);
+    }
+
+    #[test]
+    fn depth_counts_distance_levels() {
+        // path with weight-3 edges: levels are 0,3,6,9 → 4 nonempty rounds + init
+        let g = CsrGraph::from_edges(4, (0..3).map(|i| Edge::new(i, i + 1, 3)));
+        let (r, cost) = dial_sssp(&g, 0);
+        assert_eq!(r.dist, vec![0, 3, 6, 9]);
+        assert_eq!(cost.depth, 1 + 4);
+    }
+
+    #[test]
+    fn duplicate_and_dominated_sources() {
+        let g = generators::path(3);
+        let (r, _) = dial_sssp_offsets(&g, &[(1, 5), (1, 2), (1, 9)]);
+        assert_eq!(r.dist, vec![3, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dial_equals_dijkstra(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = generators::connected_random(60, 100, &mut rng);
+            let g = generators::with_uniform_weights(&base, 1, 30, &mut rng);
+            let (r, _) = dial_sssp(&g, 5);
+            prop_assert_eq!(r.dist, dijkstra(&g, 5).dist);
+        }
+
+        #[test]
+        fn prop_multi_source_is_min_over_sources(seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = generators::connected_random(40, 60, &mut rng);
+            let g = generators::with_uniform_weights(&base, 1, 10, &mut rng);
+            let sources = [(3u32, 2u64), (17, 0), (25, 7)];
+            let (r, _) = dial_sssp_offsets(&g, &sources);
+            for v in 0..40u32 {
+                let expect = sources
+                    .iter()
+                    .map(|&(s, off)| dijkstra(&g, s).dist[v as usize].saturating_add(off))
+                    .min()
+                    .unwrap();
+                prop_assert_eq!(r.dist[v as usize], expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Sequential Dijkstra — the exact-distance verification oracle.
+//!
+//! Every probabilistic guarantee in the reproduction (spanner stretch,
+//! hopset distortion, oracle accuracy) is checked against these exact
+//! distances in tests and experiments. Not instrumented with the cost
+//! model: it is the *referee*, not a contestant.
+
+use crate::csr::{CsrGraph, VertexId, Weight, INF};
+use crate::traversal::SsspResult;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Exact single-source shortest paths.
+pub fn dijkstra(g: &CsrGraph, src: VertexId) -> SsspResult {
+    dijkstra_bounded(g, src, INF)
+}
+
+/// Dijkstra that abandons vertices further than `limit` (their distance
+/// stays [`INF`]). Useful for the greedy spanner's pruned searches.
+pub fn dijkstra_bounded(g: &CsrGraph, src: VertexId, limit: Weight) -> SsspResult {
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+    dist[src as usize] = 0;
+    parent[src as usize] = src;
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] && nd <= limit {
+                dist[v as usize] = nd;
+                parent[v as usize] = u;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    SsspResult { dist, parent }
+}
+
+/// Exact `s`–`t` distance with early exit once `t` is settled.
+pub fn dijkstra_pair(g: &CsrGraph, s: VertexId, t: VertexId) -> Weight {
+    if s == t {
+        return 0;
+    }
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+    dist[s as usize] = 0;
+    heap.push(Reverse((0, s)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if u == t {
+            return d;
+        }
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    INF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Edge;
+    use crate::generators;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn weighted_sample() -> CsrGraph {
+        CsrGraph::from_edges(
+            5,
+            [
+                Edge::new(0, 1, 10),
+                Edge::new(0, 2, 3),
+                Edge::new(2, 1, 4),
+                Edge::new(1, 3, 2),
+                Edge::new(2, 3, 8),
+                Edge::new(3, 4, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_distances() {
+        let r = dijkstra(&weighted_sample(), 0);
+        assert_eq!(r.dist, vec![0, 7, 3, 9, 10]);
+    }
+
+    #[test]
+    fn parent_tree_is_consistent() {
+        let g = weighted_sample();
+        let r = dijkstra(&g, 0);
+        // following parents from 4: 4 -> 3 -> 1 -> 2 -> 0
+        assert_eq!(r.path_to(4).unwrap(), vec![0, 2, 1, 3, 4]);
+        // path distances telescope
+        for v in 0..5u32 {
+            if r.parent[v as usize] != u32::MAX && r.parent[v as usize] != v {
+                let p = r.parent[v as usize];
+                let w = g
+                    .neighbors(p)
+                    .find(|&(t, _)| t == v)
+                    .map(|(_, w)| w)
+                    .unwrap();
+                assert_eq!(r.dist[p as usize] + w, r.dist[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_dijkstra_prunes() {
+        let r = dijkstra_bounded(&weighted_sample(), 0, 7);
+        assert_eq!(r.dist, vec![0, 7, 3, INF, INF]);
+    }
+
+    #[test]
+    fn pair_query_matches_full_run() {
+        let g = weighted_sample();
+        for s in 0..5u32 {
+            let full = dijkstra(&g, s);
+            for t in 0..5u32 {
+                assert_eq!(dijkstra_pair(&g, s, t), full.dist[t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_pair_is_inf() {
+        let g = CsrGraph::from_unit_edges(3, [(0, 1)]);
+        assert_eq!(dijkstra_pair(&g, 0, 2), INF);
+    }
+
+    proptest! {
+        /// Dijkstra distances satisfy the exact triangle inequality on edges,
+        /// and are realized by some edge (tightness).
+        #[test]
+        fn prop_dijkstra_fixpoint(seed in 0u64..300) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = generators::connected_random(50, 80, &mut rng);
+            let g = generators::with_uniform_weights(&base, 1, 20, &mut rng);
+            let r = dijkstra(&g, 0);
+            for e in g.edges() {
+                let (du, dv) = (r.dist[e.u as usize], r.dist[e.v as usize]);
+                prop_assert!(du <= dv.saturating_add(e.w));
+                prop_assert!(dv <= du.saturating_add(e.w));
+            }
+            for v in 1..50u32 {
+                // some in-edge is tight
+                let dv = r.dist[v as usize];
+                prop_assert!(g.neighbors(v).any(|(u, w)| r.dist[u as usize] + w == dv),
+                    "no tight edge into {} at dist {}", v, dv);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Atomic operation counters for measuring *work* inside rayon parallel
+//! sections, where threading a `&mut Cost` through closures is impossible.
+//!
+//! The counter is intentionally minimal: a relaxed atomic add is ~1ns and
+//! does not perturb what we measure (we measure operation counts, not time).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shareable work counter. Clone-free: pass `&OpCounter` into parallel
+/// closures. Depth cannot be counted this way (it is a property of the
+/// round structure, not of the operations), so algorithms track rounds
+/// explicitly and only use `OpCounter` for work.
+#[derive(Debug, Default)]
+pub struct OpCounter {
+    ops: AtomicU64,
+}
+
+impl OpCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` operations. Relaxed ordering: counts are only read after
+    /// the parallel section joins, and rayon's join provides the necessary
+    /// happens-before edge.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a single operation.
+    #[inline]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Total operations recorded so far.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous total.
+    pub fn take(&self) -> u64 {
+        self.ops.swap(0, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let c = OpCounter::new();
+        c.add(3);
+        c.bump();
+        assert_eq!(c.get(), 4);
+    }
+
+    #[test]
+    fn take_resets() {
+        let c = OpCounter::new();
+        c.add(10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_not_lost() {
+        let c = OpCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

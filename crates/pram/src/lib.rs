@@ -1,0 +1,289 @@
+//! # psh-pram — a work/depth (PRAM) cost model
+//!
+//! The paper ("Improved Parallel Algorithms for Spanners and Hopsets",
+//! Miller–Peng–Vladu–Xu, SPAA 2015) states all of its results in the PRAM
+//! model: *work* is the total number of operations performed and *depth* is
+//! the longest chain of dependent operations. Its evaluation artifacts
+//! (Figures 1 and 2) are tables of work/depth bounds — there are no
+//! wall-clock numbers to match. This crate provides the measurement currency
+//! used throughout the reproduction: every instrumented routine returns a
+//! [`Cost`] describing the work it performed and the number of synchronous
+//! parallel rounds (depth) it needed.
+//!
+//! Costs compose the same way the analyses in the paper do:
+//!
+//! * sequential composition ([`Cost::then`]) adds both work and depth;
+//! * parallel composition ([`Cost::par`]) adds work and takes the maximum
+//!   depth — exactly how Theorem 4.4 charges the recursive `HopSet` calls
+//!   that execute "in parallel".
+//!
+//! The model constants the paper carries symbolically (the `O(log* n)`
+//! CRCW-emulation factor of [GMV91]) are *not* multiplied in: Appendix A of
+//! the paper notes that factor is model-dependent and `O(1)` in the
+//! OR-CRCW PRAM. We count raw rounds.
+//!
+//! ```
+//! use psh_pram::Cost;
+//!
+//! let bfs_round = Cost::new(100, 1); // scanned 100 edges in one round
+//! let two_rounds = bfs_round.then(Cost::new(50, 1));
+//! assert_eq!(two_rounds.work, 150);
+//! assert_eq!(two_rounds.depth, 2);
+//!
+//! // two independent BFS runs in parallel: depth is the max
+//! let par = two_rounds.par(Cost::new(9, 9));
+//! assert_eq!(par.work, 159);
+//! assert_eq!(par.depth, 9);
+//! ```
+
+pub mod counter;
+
+pub use counter::OpCounter;
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// A work/depth cost in the PRAM model.
+///
+/// `work` counts primitive operations (edge scans, relaxations, comparisons
+/// of claims, …); `depth` counts synchronous parallel rounds. Both are
+/// saturating so that composing enormous synthetic costs can never wrap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Cost {
+    /// Total number of primitive operations performed.
+    pub work: u64,
+    /// Longest chain of dependent rounds.
+    pub depth: u64,
+}
+
+impl Cost {
+    /// The identity cost: zero work, zero depth.
+    pub const ZERO: Cost = Cost { work: 0, depth: 0 };
+
+    /// A cost with the given work and depth.
+    #[inline]
+    pub const fn new(work: u64, depth: u64) -> Self {
+        Cost { work, depth }
+    }
+
+    /// A cost for `work` operations all executable in a single round.
+    #[inline]
+    pub const fn flat(work: u64) -> Self {
+        Cost { work, depth: 1 }
+    }
+
+    /// Sequential composition: `self` then `next`.
+    ///
+    /// Work adds, depth adds (the second computation waits for the first).
+    #[inline]
+    #[must_use]
+    pub fn then(self, next: Cost) -> Cost {
+        Cost {
+            work: self.work.saturating_add(next.work),
+            depth: self.depth.saturating_add(next.depth),
+        }
+    }
+
+    /// Parallel composition: `self` alongside `other`.
+    ///
+    /// Work adds (both computations happen), depth maxes (they overlap).
+    #[inline]
+    #[must_use]
+    pub fn par(self, other: Cost) -> Cost {
+        Cost {
+            work: self.work.saturating_add(other.work),
+            depth: self.depth.max(other.depth),
+        }
+    }
+
+    /// Parallel composition of many costs (e.g. the recursive calls of
+    /// `HopSet` on each small cluster, which the paper runs "in parallel").
+    #[must_use]
+    pub fn par_all<I: IntoIterator<Item = Cost>>(costs: I) -> Cost {
+        costs.into_iter().fold(Cost::ZERO, Cost::par)
+    }
+
+    /// Sequential composition of many costs (e.g. the `for i = 1 to s` loop
+    /// of `WellSeparatedSpanner`, whose iterations are dependent).
+    #[must_use]
+    pub fn then_all<I: IntoIterator<Item = Cost>>(costs: I) -> Cost {
+        costs.into_iter().fold(Cost::ZERO, Cost::then)
+    }
+
+    /// Add `work` operations without consuming an extra round.
+    #[inline]
+    #[must_use]
+    pub fn add_work(self, work: u64) -> Cost {
+        Cost {
+            work: self.work.saturating_add(work),
+            depth: self.depth,
+        }
+    }
+
+    /// Add `rounds` of depth without extra work.
+    #[inline]
+    #[must_use]
+    pub fn add_depth(self, rounds: u64) -> Cost {
+        Cost {
+            work: self.work,
+            depth: self.depth.saturating_add(rounds),
+        }
+    }
+
+    /// True if this cost is the identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Cost::ZERO
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    /// `+` is sequential composition — the conservative default.
+    fn add(self, rhs: Cost) -> Cost {
+        self.then(rhs)
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Cost::then)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "work={} depth={}", self.work, self.depth)
+    }
+}
+
+/// A value paired with the cost of computing it; convenience for the
+/// `(result, Cost)` convention used by every instrumented routine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Costed<T> {
+    pub value: T,
+    pub cost: Cost,
+}
+
+impl<T> Costed<T> {
+    pub fn new(value: T, cost: Cost) -> Self {
+        Costed { value, cost }
+    }
+
+    /// Map the value, keeping the cost.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Costed<U> {
+        Costed {
+            value: f(self.value),
+            cost: self.cost,
+        }
+    }
+
+    /// Split into parts.
+    pub fn into_parts(self) -> (T, Cost) {
+        (self.value, self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_is_identity_for_then() {
+        let c = Cost::new(7, 3);
+        assert_eq!(c.then(Cost::ZERO), c);
+        assert_eq!(Cost::ZERO.then(c), c);
+    }
+
+    #[test]
+    fn zero_is_identity_for_par() {
+        let c = Cost::new(7, 3);
+        assert_eq!(c.par(Cost::ZERO), c);
+        assert_eq!(Cost::ZERO.par(c), c);
+    }
+
+    #[test]
+    fn then_adds_both_components() {
+        let c = Cost::new(10, 2).then(Cost::new(5, 7));
+        assert_eq!(c, Cost::new(15, 9));
+    }
+
+    #[test]
+    fn par_adds_work_maxes_depth() {
+        let c = Cost::new(10, 2).par(Cost::new(5, 7));
+        assert_eq!(c, Cost::new(15, 7));
+    }
+
+    #[test]
+    fn flat_is_one_round() {
+        assert_eq!(Cost::flat(42), Cost::new(42, 1));
+    }
+
+    #[test]
+    fn par_all_over_empty_is_zero() {
+        assert_eq!(Cost::par_all(std::iter::empty()), Cost::ZERO);
+    }
+
+    #[test]
+    fn then_all_matches_sum() {
+        let xs = [Cost::new(1, 1), Cost::new(2, 2), Cost::new(3, 3)];
+        assert_eq!(Cost::then_all(xs), xs.iter().copied().sum());
+        assert_eq!(Cost::then_all(xs), Cost::new(6, 6));
+    }
+
+    #[test]
+    fn saturation_instead_of_overflow() {
+        let big = Cost::new(u64::MAX, u64::MAX);
+        let c = big.then(Cost::new(1, 1));
+        assert_eq!(c, big);
+        let p = big.par(Cost::new(1, 1));
+        assert_eq!(p.work, u64::MAX);
+        assert_eq!(p.depth, u64::MAX);
+    }
+
+    #[test]
+    fn add_work_and_depth() {
+        let c = Cost::new(1, 1).add_work(9).add_depth(4);
+        assert_eq!(c, Cost::new(10, 5));
+    }
+
+    #[test]
+    fn costed_map_preserves_cost() {
+        let c = Costed::new(21, Cost::new(3, 1)).map(|v| v * 2);
+        assert_eq!(c.value, 42);
+        assert_eq!(c.cost, Cost::new(3, 1));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Cost::new(5, 2).to_string(), "work=5 depth=2");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_then_is_associative(a in 0u64..1 << 40, b in 0u64..1 << 40, c in 0u64..1 << 40,
+                                    d in 0u64..20, e in 0u64..20, f in 0u64..20) {
+            let (x, y, z) = (Cost::new(a, d), Cost::new(b, e), Cost::new(c, f));
+            prop_assert_eq!(x.then(y).then(z), x.then(y.then(z)));
+        }
+
+        #[test]
+        fn prop_par_is_commutative_and_associative(
+            a in 0u64..1 << 40, b in 0u64..1 << 40, c in 0u64..1 << 40,
+            d in 0u64..20, e in 0u64..20, f in 0u64..20) {
+            let (x, y, z) = (Cost::new(a, d), Cost::new(b, e), Cost::new(c, f));
+            prop_assert_eq!(x.par(y), y.par(x));
+            prop_assert_eq!(x.par(y).par(z), x.par(y.par(z)));
+        }
+
+        #[test]
+        fn prop_par_depth_never_exceeds_then_depth(a in 0u64..1 << 40, b in 0u64..1 << 40,
+                                                   d in 0u64..1 << 20, e in 0u64..1 << 20) {
+            let (x, y) = (Cost::new(a, d), Cost::new(b, e));
+            prop_assert!(x.par(y).depth <= x.then(y).depth);
+            prop_assert_eq!(x.par(y).work, x.then(y).work);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 3 reproduction (E15): how an s–t path interacts with the
+//! decomposition and where the star/clique shortcuts land.
+//!
+//! The paper's Figure 3 shows a path crossing several clusters; the first
+//! and last *large* clusters it touches are bridged by two star edges and
+//! one clique edge (u → c1 → c2 → v). This example builds a long path
+//! graph, runs one level of the hopset decomposition by hand, and prints
+//! an ASCII rendering of the same picture plus the realized shortcut.
+//!
+//! Run with: `cargo run --release --example figure3_shortcut`
+
+use psh::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 120usize;
+    let g = generators::path(n);
+    let beta = 0.12;
+
+    // One clustering level, coarse enough for a handful of clusters; scan
+    // seeds until the draw has at least two above-average clusters so the
+    // picture shows a genuine clique jump (the decomposition is random —
+    // Figure 3 depicts the typical case, not every draw).
+    let clustering = (0..200u64)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(20150625 + seed);
+            est_cluster(&g, beta, &mut rng).0
+        })
+        .find(|c| {
+            let sizes = c.sizes();
+            let mean = n / c.num_clusters.max(1);
+            sizes.iter().filter(|&&s| s >= mean).count() >= 2
+        })
+        .expect("some draw has two large clusters");
+    println!(
+        "path of {n} vertices, {} clusters from ESTC(β = {beta})\n",
+        clustering.num_clusters
+    );
+
+    // Render the path: one symbol per vertex, letters = cluster ids.
+    let symbols: Vec<char> = (b'a'..=b'z').map(char::from).collect();
+    let line: String = (0..n)
+        .map(|v| symbols[clustering.cluster_id[v] as usize % symbols.len()])
+        .collect();
+    for chunk in line.as_bytes().chunks(60) {
+        println!("  {}", String::from_utf8_lossy(chunk));
+    }
+
+    // Declare clusters "large" above the mean size (the ρ-threshold of
+    // Algorithm 4, simplified for the illustration).
+    let sizes = clustering.sizes();
+    let mean = g.n() / clustering.num_clusters.max(1);
+    let large: Vec<usize> = (0..clustering.num_clusters)
+        .filter(|&c| sizes[c] >= mean)
+        .collect();
+    println!(
+        "\nlarge clusters (≥ mean size {mean}): {:?}",
+        large
+            .iter()
+            .map(|&c| symbols[c % symbols.len()])
+            .collect::<Vec<_>>()
+    );
+
+    // Walk the s-t path (the path graph itself) like Lemma 4.2's proof:
+    // find the first vertex u in a large cluster and the last vertex v in
+    // a large cluster, then shortcut u -> c(u) -> c(v) -> v.
+    let is_large = |v: usize| large.contains(&(clustering.cluster_id[v] as usize));
+    let u = (0..n).find(|&v| is_large(v));
+    // last path vertex in a large cluster *different* from u's, so the
+    // clique edge in the picture is a real inter-cluster jump
+    let v = u.and_then(|u| {
+        (0..n)
+            .rev()
+            .find(|&v| is_large(v) && clustering.cluster_id[v] != clustering.cluster_id[u])
+    });
+    match (u, v) {
+        (Some(u), Some(v)) if u < v => {
+            let cu = clustering.center[u] as usize;
+            let cv = clustering.center[v] as usize;
+            println!("\nFigure 3 realized on this instance:");
+            println!("  s = 0 … u = {u} ─(star {})→ c1 = {cu}", u.abs_diff(cu));
+            println!("            c1 ─(clique {})→ c2 = {cv}", cu.abs_diff(cv));
+            println!("            c2 ─(star {})→ v = {v} … t = {}", cv.abs_diff(v), n - 1);
+            let shortcut = u.abs_diff(cu) + cu.abs_diff(cv) + cv.abs_diff(v);
+            let replaced = v - u;
+            println!(
+                "\nreplaced a {replaced}-hop middle segment with 3 shortcut edges \
+                 of total weight {shortcut} (additive distortion {})",
+                shortcut as i64 - replaced as i64
+            );
+        }
+        _ => println!("\n(no two large clusters on this seed — rerun with another seed)"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build a graph, construct a spanner and a hopset, and answer
+//! approximate distance queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use psh::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- 1. A graph -------------------------------------------------------
+    // 2000-vertex connected random graph with 6000 extra edges.
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::connected_random(2_000, 6_000, &mut rng);
+    println!("graph: n = {}, m = {}", g.n(), g.m());
+
+    // --- 2. A spanner (Theorem 1.1) ---------------------------------------
+    // O(k)-stretch, expected O(n^{1+1/k}) edges. Here k = 3.
+    let (spanner, cost) = unweighted_spanner(&g, 3.0, &mut rng);
+    println!(
+        "spanner: {} edges ({}% of m), built with {}",
+        spanner.size(),
+        100 * spanner.size() / g.m(),
+        cost
+    );
+
+    // --- 3. A hopset + oracle (Theorem 1.2) --------------------------------
+    let params = HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    };
+    let (oracle, pre) = ApproxShortestPaths::build_unweighted(&g, &params, &mut rng);
+    println!(
+        "hopset: {} shortcut edges, preprocessing {}",
+        oracle.hopset_size(),
+        pre
+    );
+
+    // --- 4. Queries ---------------------------------------------------------
+    for (s, t) in [(0u32, 1999u32), (17, 1234), (42, 43)] {
+        let (answer, qcost) = oracle.query(s, t);
+        let exact = oracle.query_exact(s, t);
+        println!(
+            "dist({s:4}, {t:4}) ≈ {:6.1}   exact {exact:4}   query {}",
+            answer.distance, qcost
+        );
+        assert!(answer.distance >= exact as f64);
+    }
+    println!("all answers are sound upper bounds — done.");
+}

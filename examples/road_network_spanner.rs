@@ -1,0 +1,45 @@
+//! Weighted spanner on a synthetic road network (Theorem 3.3).
+//!
+//! Random geometric graphs have road-network-like locality: weights are
+//! Euclidean lengths, so the weight ratio U is moderate and distances are
+//! strongly metric. We build an O(k)-spanner, report the compression rate
+//! and the stretch distribution, and contrast with the Baswana–Sen
+//! baseline.
+//!
+//! Run with: `cargo run --release --example road_network_spanner`
+
+use psh::baselines::baswana_sen::baswana_sen_spanner;
+use psh::core::spanner::verify::stretch_sampled;
+use psh::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(20150625);
+    let g = generators::random_geometric(4_000, 0.035, &mut rng);
+    println!(
+        "road network: n = {}, m = {}, weight ratio U = {:.0}",
+        g.n(),
+        g.m(),
+        g.weight_ratio()
+    );
+
+    for k in [2.0f64, 4.0] {
+        let (ours, cost) = weighted_spanner(&g, k, &mut rng);
+        let (max_s, mean_s) = stretch_sampled(&g, &ours, 400, &mut rng);
+        println!("\nESTC spanner, k = {k}:");
+        println!(
+            "  {} edges kept ({:.1}% of m), {cost}",
+            ours.size(),
+            100.0 * ours.size() as f64 / g.m() as f64
+        );
+        println!("  sampled stretch: max {max_s:.2}, mean {mean_s:.2}");
+
+        let (bs, _) = baswana_sen_spanner(&g, k as usize, &mut rng);
+        let (bmax, bmean) = stretch_sampled(&g, &bs, 400, &mut rng);
+        println!(
+            "  baswana-sen:   {} edges, stretch max {bmax:.2} mean {bmean:.2}",
+            bs.size()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # psh — Parallel Spanners and Hopsets
+//!
+//! A full reproduction of *"Improved Parallel Algorithms for Spanners and
+//! Hopsets"* (Miller, Peng, Vladu, Xu — SPAA 2015) as a Rust workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`psh_graph`] | CSR graphs, generators, parallel BFS / bucketed SSSP / hop-limited Bellman–Ford, connectivity, quotient graphs |
+//! | [`psh_pram`] | the work/depth (PRAM) cost model every algorithm reports in |
+//! | [`psh_cluster`] | exponential start time clustering (Algorithm 1) |
+//! | [`psh_core`] | spanners (Theorem 1.1), hopsets (Theorem 1.2), the approximate-distance oracle, Appendices B–C |
+//! | [`psh_baselines`] | greedy spanner, Baswana–Sen, sampled-clique and sampled-hierarchy hopsets |
+//!
+//! This facade re-exports everything; `use psh::prelude::*` pulls in the
+//! common working set. See the `examples/` directory for runnable tours
+//! and `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use psh_baselines as baselines;
+pub use psh_cluster as cluster;
+pub use psh_core as core;
+pub use psh_graph as graph;
+pub use psh_pram as pram;
+
+/// The common working set: graph types, generators, the clustering, the
+/// spanner/hopset constructions, and the oracle.
+pub mod prelude {
+    pub use psh_cluster::{est_cluster, Clustering, ExponentialShifts};
+    pub use psh_core::hopset::{build_hopset, Hopset, HopsetParams, WeightClassDecomposition};
+    pub use psh_core::oracle::ApproxShortestPaths;
+    pub use psh_core::spanner::{unweighted_spanner, weighted_spanner, Spanner};
+    pub use psh_graph::{generators, CsrGraph, Edge, VertexId, Weight, INF};
+    pub use psh_pram::Cost;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports() {
+        use crate::prelude::*;
+        let g = generators::path(4);
+        assert_eq!(g.n(), 4);
+        let c = Cost::new(1, 1);
+        assert_eq!(c.work, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests: the work/depth claims of the theorems, measured by
+//! the cost model across scales — the quantitative backbone of Figures 1
+//! and 2.
+
+use psh::graph::traversal::bfs::parallel_bfs;
+use psh::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn spanner_work_scales_linearly_in_m() {
+    // Theorem 1.1: O(m) work. Measure work at two scales; the ratio must
+    // track m, not m·k or m·log.
+    let mk = |n: usize| {
+        let mut rng = StdRng::seed_from_u64(1);
+        generators::connected_random(n, 4 * n, &mut rng)
+    };
+    let g1 = mk(1_000);
+    let g2 = mk(4_000);
+    let (_, c1) = unweighted_spanner(&g1, 3.0, &mut StdRng::seed_from_u64(2));
+    let (_, c2) = unweighted_spanner(&g2, 3.0, &mut StdRng::seed_from_u64(2));
+    let ratio = c2.work as f64 / c1.work as f64;
+    let m_ratio = g2.m() as f64 / g1.m() as f64;
+    assert!(
+        ratio < 2.5 * m_ratio,
+        "work ratio {ratio} vs m ratio {m_ratio} — superlinear?"
+    );
+}
+
+#[test]
+fn spanner_depth_scales_with_k_not_n() {
+    // O(k log* n) depth: quadrupling n must not quadruple depth.
+    let mk = |n: usize| {
+        let mut rng = StdRng::seed_from_u64(3);
+        generators::connected_random(n, 4 * n, &mut rng)
+    };
+    let g1 = mk(1_000);
+    let g2 = mk(4_000);
+    let (_, c1) = unweighted_spanner(&g1, 3.0, &mut StdRng::seed_from_u64(4));
+    let (_, c2) = unweighted_spanner(&g2, 3.0, &mut StdRng::seed_from_u64(4));
+    assert!(
+        (c2.depth as f64) < 2.0 * c1.depth as f64,
+        "depth went {} -> {} on a 4x n increase",
+        c1.depth,
+        c2.depth
+    );
+}
+
+#[test]
+fn clustering_depth_tracks_inverse_beta() {
+    let g = generators::path(2_000);
+    let (_, c_fine) = est_cluster(&g, 0.4, &mut StdRng::seed_from_u64(5));
+    let (_, c_coarse) = est_cluster(&g, 0.05, &mut StdRng::seed_from_u64(5));
+    // β⁻¹ grew 8x; depth should grow severalfold but not explode past it
+    let ratio = c_coarse.depth as f64 / c_fine.depth as f64;
+    assert!(
+        ratio > 2.0 && ratio < 32.0,
+        "depth ratio {ratio} out of the β⁻¹ envelope"
+    );
+}
+
+#[test]
+fn bfs_depth_equals_eccentricity_plus_constant() {
+    let g = generators::grid(40, 40);
+    let (r, cost) = parallel_bfs(&g, 0);
+    let ecc = r.max_finite_dist();
+    assert!(cost.depth as u64 >= ecc);
+    assert!(cost.depth as u64 <= ecc + 3);
+}
+
+#[test]
+fn hopset_work_is_near_linear_in_m() {
+    // Theorem 4.4: O(m log^{1+δ} n · ε^{-δ}) work — near-linear. Compare
+    // two scales.
+    let p = HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    };
+    let mk = |n: usize| {
+        let mut rng = StdRng::seed_from_u64(6);
+        generators::connected_random(n, 3 * n, &mut rng)
+    };
+    let g1 = mk(1_000);
+    let g2 = mk(4_000);
+    let (_, c1) = build_hopset(&g1, &p, &mut StdRng::seed_from_u64(7));
+    let (_, c2) = build_hopset(&g2, &p, &mut StdRng::seed_from_u64(7));
+    let ratio = c2.work as f64 / c1.work as f64;
+    let m_ratio = g2.m() as f64 / g1.m() as f64;
+    assert!(
+        ratio < 6.0 * m_ratio,
+        "hopset work ratio {ratio} vs m ratio {m_ratio}"
+    );
+}
+
+#[test]
+fn hopset_construction_depth_grows_sublinearly() {
+    // Theorem 4.4 depth is O(n^{γ2} log² n) — sublinear in n. At these
+    // scales the polylog factors dominate the absolute value, so we test
+    // the *scaling shape*: quadrupling n must multiply depth by clearly
+    // less than 4 (with γ2 = 0.75 the prediction is ≈ 4^0.75 ≈ 2.8).
+    let p = HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    };
+    let (_, c1) = build_hopset(&generators::path(1_000), &p, &mut StdRng::seed_from_u64(8));
+    let (_, c2) = build_hopset(&generators::path(4_000), &p, &mut StdRng::seed_from_u64(8));
+    let ratio = c2.depth as f64 / c1.depth as f64;
+    assert!(
+        ratio < 3.6,
+        "depth ratio {ratio} for a 4x n increase — not sublinear (depths {} -> {})",
+        c1.depth,
+        c2.depth
+    );
+}

@@ -1,0 +1,103 @@
+//! Integration tests: every public construction is bit-deterministic
+//! given a seed — the property the probabilistic experiments and
+//! EXPERIMENTS.md's recorded numbers rely on.
+
+use psh::baselines::baswana_sen::baswana_sen_spanner;
+use psh::core::hopset::limited::low_depth_hopset;
+use psh::core::hopset::weighted::build_weighted_hopsets;
+use psh::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph() -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(99);
+    generators::connected_random(600, 1_800, &mut rng)
+}
+
+fn weighted_graph() -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(99);
+    let base = generators::connected_random(400, 1_000, &mut rng);
+    generators::with_log_uniform_weights(&base, 512.0, &mut rng)
+}
+
+#[test]
+fn clustering_deterministic() {
+    let g = graph();
+    let (a, ca) = est_cluster(&g, 0.2, &mut StdRng::seed_from_u64(5));
+    let (b, cb) = est_cluster(&g, 0.2, &mut StdRng::seed_from_u64(5));
+    assert_eq!(a, b);
+    assert_eq!(ca, cb, "costs must be deterministic too");
+}
+
+#[test]
+fn spanners_deterministic() {
+    let g = graph();
+    let (a, _) = unweighted_spanner(&g, 3.0, &mut StdRng::seed_from_u64(5));
+    let (b, _) = unweighted_spanner(&g, 3.0, &mut StdRng::seed_from_u64(5));
+    assert_eq!(a, b);
+    let wg = weighted_graph();
+    let (a, _) = weighted_spanner(&wg, 3.0, &mut StdRng::seed_from_u64(5));
+    let (b, _) = weighted_spanner(&wg, 3.0, &mut StdRng::seed_from_u64(5));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn hopsets_deterministic() {
+    let g = graph();
+    let p = HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    };
+    let (a, ca) = build_hopset(&g, &p, &mut StdRng::seed_from_u64(5));
+    let (b, cb) = build_hopset(&g, &p, &mut StdRng::seed_from_u64(5));
+    assert_eq!(a, b);
+    assert_eq!(ca, cb);
+}
+
+#[test]
+fn weighted_hopsets_deterministic() {
+    let g = weighted_graph();
+    let p = HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    };
+    let (a, _) = build_weighted_hopsets(&g, &p, 0.4, &mut StdRng::seed_from_u64(5));
+    let (b, _) = build_weighted_hopsets(&g, &p, 0.4, &mut StdRng::seed_from_u64(5));
+    assert_eq!(a.total_size(), b.total_size());
+    for (x, y) in a.bands.iter().zip(&b.bands) {
+        assert_eq!(x.hopset, y.hopset);
+        assert_eq!(x.h, y.h);
+    }
+}
+
+#[test]
+fn limited_hopsets_deterministic() {
+    let g = generators::path(300);
+    let (a, _) = low_depth_hopset(&g, 0.6, 0.5, &mut StdRng::seed_from_u64(5));
+    let (b, _) = low_depth_hopset(&g, 0.6, 0.5, &mut StdRng::seed_from_u64(5));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn baselines_deterministic() {
+    let g = graph();
+    let (a, _) = baswana_sen_spanner(&g, 3, &mut StdRng::seed_from_u64(5));
+    let (b, _) = baswana_sen_spanner(&g, 3, &mut StdRng::seed_from_u64(5));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    // sanity: the seed actually matters (we are not accidentally
+    // derandomized, which would invalidate the probabilistic analysis)
+    let g = graph();
+    let (a, _) = est_cluster(&g, 0.2, &mut StdRng::seed_from_u64(1));
+    let (b, _) = est_cluster(&g, 0.2, &mut StdRng::seed_from_u64(2));
+    assert_ne!(a.center, b.center);
+}

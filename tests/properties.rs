@@ -1,0 +1,98 @@
+//! Cross-crate property tests: the core guarantees on arbitrary random
+//! inputs (small sizes, many cases) — complementing the targeted
+//! integration tests with adversarial-shape coverage.
+
+use proptest::prelude::*;
+use psh::core::spanner::verify::max_stretch_exact;
+use psh::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u64..16), 0..max_m)
+            .prop_map(move |raw| {
+                CsrGraph::from_edges(n, raw.into_iter().map(|(u, v, w)| Edge::new(u, v, w)))
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Algorithm 2 output is always a subgraph, preserves connectivity,
+    /// and has bounded stretch — even on disconnected/degenerate inputs.
+    #[test]
+    fn prop_unweighted_spanner_valid(raw in proptest::collection::vec((0u32..30, 0u32..30), 0..120),
+                                     seed in 0u64..1000, k in 1u32..6) {
+        let g = CsrGraph::from_edges(30, raw.into_iter().map(|(u, v)| Edge::new(u, v, 1)));
+        let (s, _) = unweighted_spanner(&g, k as f64, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(s.is_subgraph_of(&g));
+        let stretch = max_stretch_exact(&g, &s);
+        // never infinite (connectivity preserved within components)
+        prop_assert!(stretch.is_finite() || g.m() == 0);
+        prop_assert!(stretch <= 8.0 * k as f64 + 2.0, "stretch {stretch} for k={k}");
+    }
+
+    /// Weighted spanner: same validity on arbitrary weighted soups.
+    #[test]
+    fn prop_weighted_spanner_valid(g in arbitrary_graph(25, 80), seed in 0u64..1000) {
+        let k = 2.0;
+        let (s, _) = weighted_spanner(&g, k, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(s.is_subgraph_of(&g));
+        let stretch = max_stretch_exact(&g, &s);
+        prop_assert!(stretch.is_finite() || g.m() == 0);
+        prop_assert!(stretch <= 16.0 * k + 4.0, "stretch {stretch}");
+    }
+
+    /// Hopset edges never undercut true distances and queries through
+    /// them are sound (≥ exact), on arbitrary weighted graphs.
+    #[test]
+    fn prop_hopset_sound(g in arbitrary_graph(40, 120), seed in 0u64..1000) {
+        let p = HopsetParams {
+            epsilon: 0.5,
+            delta: 1.5,
+            gamma1: 0.25,
+            gamma2: 0.75,
+            k_conf: 1.0,
+        };
+        let (h, _) = build_hopset(&g, &p, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(h.validate_no_shortcuts_below_distance(&g).is_ok());
+        prop_assert!(h.star_count <= g.n(), "Lemma 4.3 star bound");
+    }
+
+    /// Clustering is always a valid partition with a valid forest,
+    /// whatever the graph shape and β.
+    #[test]
+    fn prop_clustering_valid(g in arbitrary_graph(40, 120),
+                             seed in 0u64..1000,
+                             beta_milli in 10u64..2000) {
+        let beta = beta_milli as f64 / 1000.0;
+        let (c, cost) = est_cluster(&g, beta, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(c.validate(&g).is_ok());
+        prop_assert!(c.num_clusters >= 1);
+        prop_assert!(cost.work >= g.n() as u64);
+        // forest edge count check: n - #clusters tree edges
+        prop_assert_eq!(c.forest_edges().len(), g.n() - c.num_clusters);
+    }
+
+    /// Appendix B queries are sandwiched in [(1-ε)·d, d] on arbitrary
+    /// weight scales.
+    #[test]
+    fn prop_weight_decomposition_sandwich(
+        raw in proptest::collection::vec((0u32..20, 0u32..20, 1u64..1_000_000_000), 1..60),
+        s in 0u32..20, t in 0u32..20) {
+        let g = CsrGraph::from_edges(20, raw.into_iter().map(|(u, v, w)| Edge::new(u, v, w)));
+        let eps = 0.3;
+        let (dec, _) = WeightClassDecomposition::build(&g, eps);
+        let exact = psh::graph::traversal::dijkstra::dijkstra_pair(&g, s, t);
+        let approx = dec.query(s, t);
+        if exact == INF {
+            prop_assert_eq!(approx, INF);
+        } else {
+            prop_assert!(approx <= exact);
+            prop_assert!(approx as f64 >= (1.0 - eps) * exact as f64 - 1.0,
+                "approx {} vs exact {}", approx, exact);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration tests: the spanner pipelines against the baselines, across
+//! graph families — Theorem 1.1 end-to-end.
+
+use psh::baselines::baswana_sen::baswana_sen_spanner;
+use psh::baselines::greedy_spanner::greedy_spanner;
+use psh::core::spanner::verify::{max_stretch_exact, verify_stretch};
+use psh::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn families(n: usize, seed: u64) -> Vec<(&'static str, CsrGraph)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        ("random", generators::connected_random(n, 3 * n, &mut rng)),
+        ("grid", generators::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize)),
+        ("power-law", generators::preferential_attachment(n, 3, &mut rng)),
+    ]
+}
+
+#[test]
+fn unweighted_spanner_beats_baswana_sen_on_size_at_large_k() {
+    // The headline of Figure 1: our size has no k factor. At k = 8 on a
+    // dense graph, Baswana–Sen should be visibly larger.
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = generators::erdos_renyi(1_500, 30_000, &mut rng);
+    let (ours, _) = unweighted_spanner(&g, 8.0, &mut StdRng::seed_from_u64(2));
+    let (bs, _) = baswana_sen_spanner(&g, 8, &mut StdRng::seed_from_u64(2));
+    assert!(
+        ours.size() < bs.size(),
+        "ours {} should be smaller than baswana-sen {}",
+        ours.size(),
+        bs.size()
+    );
+}
+
+#[test]
+fn all_families_get_valid_bounded_stretch_spanners() {
+    for (name, g) in families(900, 3) {
+        let k = 3.0;
+        let (s, cost) = unweighted_spanner(&g, k, &mut StdRng::seed_from_u64(4));
+        verify_stretch(&g, &s, 8.0 * k + 2.0)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(cost.work > 0 && cost.depth > 0, "{name}: cost not recorded");
+    }
+}
+
+#[test]
+fn greedy_is_the_size_floor() {
+    // Greedy (2k-1) is essentially size-optimal; ours should be within a
+    // moderate constant of it on a dense instance.
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::erdos_renyi(300, 4_000, &mut rng);
+    let k = 3.0;
+    let (ours, _) = unweighted_spanner(&g, k, &mut StdRng::seed_from_u64(6));
+    let (greedy, _) = greedy_spanner(&g, 2.0 * k - 1.0);
+    assert!(ours.size() >= greedy.size(), "greedy is the floor");
+    assert!(
+        (ours.size() as f64) < 12.0 * greedy.size() as f64,
+        "ours {} too far above greedy {}",
+        ours.size(),
+        greedy.size()
+    );
+}
+
+#[test]
+fn weighted_pipeline_handles_mixed_scales_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let base = generators::connected_random(700, 2_000, &mut rng);
+    let g = generators::with_log_uniform_weights(&base, 16384.0, &mut rng);
+    let k = 3.0;
+    let (s, _) = weighted_spanner(&g, k, &mut StdRng::seed_from_u64(8));
+    assert!(s.is_subgraph_of(&g));
+    let stretch = max_stretch_exact(&g, &s);
+    assert!(
+        stretch.is_finite() && stretch <= 16.0 * k + 4.0,
+        "stretch {stretch}"
+    );
+    // size sanity: well below m, at most a polylog multiple of n
+    assert!(s.size() < g.m());
+    assert!((s.size() as f64) < 10.0 * (g.n() as f64) * (k as f64).log2().max(1.0));
+}
+
+#[test]
+fn spanner_of_a_spanner_composes_stretch() {
+    // building a spanner of a spanner multiplies stretch bounds — a
+    // downstream-usage pattern worth guarding
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = generators::connected_random(500, 2_500, &mut rng);
+    let (s1, _) = unweighted_spanner(&g, 2.0, &mut StdRng::seed_from_u64(10));
+    let h1 = s1.as_graph();
+    let (s2, _) = unweighted_spanner(&h1, 2.0, &mut StdRng::seed_from_u64(11));
+    let stretch = max_stretch_exact(&g, &Spanner::new(g.n(), s2.edges.clone()));
+    assert!(
+        stretch <= (8.0 * 2.0 + 2.0f64).powi(2),
+        "composed stretch {stretch}"
+    );
+}
