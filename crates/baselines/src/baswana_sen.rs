@@ -158,13 +158,7 @@ pub fn baswana_sen_spanner<R: Rng>(g: &CsrGraph, k: usize, rng: &mut R) -> (Span
 }
 
 /// Mark all of `v`'s edges whose other endpoint lies in cluster `c`.
-fn mark_edges_to_cluster(
-    g: &CsrGraph,
-    v: u32,
-    c: u32,
-    cluster: &[u32],
-    remove_mark: &mut [bool],
-) {
+fn mark_edges_to_cluster(g: &CsrGraph, v: u32, c: u32, cluster: &[u32], remove_mark: &mut [bool]) {
     for (t, _, eid) in g.neighbors_with_eid(v) {
         if cluster[t as usize] == c {
             remove_mark[eid as usize] = true;

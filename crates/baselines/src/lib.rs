@@ -14,7 +14,7 @@
 //!   by exact distances. `O(√n)`-ish hops, `O(n)` size, `O(m√n)` work.
 //!   Figure 2, row 1.
 //! * [`sampled_hierarchy`] — a multi-level sampling hopset standing in for
-//!   Cohen [Coh00] (see DESIGN.md §1 for the substitution rationale).
+//!   Cohen [Coh00] (the substitution rationale is documented in [`sampled_hierarchy`]).
 //!   Figure 2, rows 2–3.
 
 pub mod baswana_sen;

@@ -1,6 +1,8 @@
 //! A multi-level sampled hopset — the stand-in for Cohen's [Coh00]
-//! pairwise-cover construction in Figure 2 (substitution documented in
-//! DESIGN.md §1).
+//! pairwise-cover construction in Figure 2. The substitution: Cohen's
+//! full pairwise covers are replaced by per-level hop-radius-bounded
+//! sampling with the same size/accuracy shape, because the cover
+//! machinery is orthogonal to the comparison the figure makes.
 //!
 //! Level `ℓ` samples each vertex with probability `p^ℓ` and connects every
 //! sampled vertex to all level-`ℓ` samples within a hop radius that

@@ -1,6 +1,9 @@
 //! Criterion microbench: hopset construction — Algorithm 4 vs the
 //! sampled-clique [KS97] baseline and the sampled hierarchy.
 
+// TODO(pipeline): migrate the criterion benches to the builder API.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psh_baselines::ks_hopset::sampled_clique_hopset;
 use psh_baselines::sampled_hierarchy::{sampled_hierarchy_hopset, HierarchyConfig};
@@ -40,7 +43,11 @@ fn bench_hopset(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sampled_hierarchy", n), &g, |b, g| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(7);
-                black_box(sampled_hierarchy_hopset(g, &HierarchyConfig::default(), &mut rng))
+                black_box(sampled_hierarchy_hopset(
+                    g,
+                    &HierarchyConfig::default(),
+                    &mut rng,
+                ))
             })
         });
     }

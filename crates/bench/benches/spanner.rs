@@ -2,6 +2,9 @@
 //! Baswana–Sen. The greedy baseline is excluded here (quadratic; it only
 //! runs in the table binaries at small scale).
 
+// TODO(pipeline): migrate the criterion benches to the builder API.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psh_baselines::baswana_sen::baswana_sen_spanner;
 use psh_bench::workloads::Family;
@@ -34,16 +37,12 @@ fn bench_spanner(c: &mut Criterion) {
     group.sample_size(10);
     for u in [16.0f64, 4096.0] {
         let g = Family::Random.instantiate_weighted(2_000, u, 42);
-        group.bench_with_input(
-            BenchmarkId::new("estc_logk", u as u64),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(7);
-                    black_box(weighted_spanner(g, 3.0, &mut rng))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("estc_logk", u as u64), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(weighted_spanner(g, 3.0, &mut rng))
+            })
+        });
     }
     group.finish();
 }

@@ -8,6 +8,9 @@
 //!
 //! Usage: `cargo run --release -p psh-bench --bin ablation_beta`
 
+// TODO(pipeline): migrate the experiment binaries to the builder API.
+#![allow(deprecated)]
+
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
 use psh_cluster::est_cluster;

@@ -8,6 +8,9 @@
 //!
 //! Usage: `cargo run --release -p psh-bench --bin ablation_logk_grouping`
 
+// TODO(pipeline): migrate the experiment binaries to the builder API.
+#![allow(deprecated)]
+
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_core::spanner::buckets::bucket_edges;
 use psh_core::spanner::verify::max_stretch_exact;
@@ -49,11 +52,8 @@ fn main() {
     ]);
     for log_u in [4u32, 8, 12, 16] {
         let u = (1u64 << log_u) as f64;
-        let base = psh_graph::generators::connected_random(
-            n,
-            12 * n,
-            &mut StdRng::seed_from_u64(seed),
-        );
+        let base =
+            psh_graph::generators::connected_random(n, 12 * n, &mut StdRng::seed_from_u64(seed));
         let g = psh_graph::generators::with_log_uniform_weights(
             &base,
             u,

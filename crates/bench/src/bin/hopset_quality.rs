@@ -8,6 +8,9 @@
 //!
 //! Usage: `cargo run --release -p psh-bench --bin hopset_quality`
 
+// TODO(pipeline): migrate the experiment binaries to the builder API.
+#![allow(deprecated)]
+
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
 use psh_core::hopset::{build_hopset, HopsetParams};
@@ -22,8 +25,15 @@ fn main() {
     let n = 4_096usize;
     println!("# Lemma 4.2 — hops and distortion vs predicted\n");
     let mut t = Table::new([
-        "family", "δ", "γ2", "hopset size", "s-t dist", "(1+err)", "hops used",
-        "predicted h", "no-hopset hops",
+        "family",
+        "δ",
+        "γ2",
+        "hopset size",
+        "s-t dist",
+        "(1+err)",
+        "hops used",
+        "predicted h",
+        "no-hopset hops",
     ]);
     for family in [Family::PathGraph, Family::Grid] {
         let g = family.instantiate(n, seed);

@@ -6,6 +6,9 @@
 //!
 //! Usage: `cargo run --release -p psh-bench --bin hopset_size`
 
+// TODO(pipeline): migrate the experiment binaries to the builder API.
+#![allow(deprecated)]
+
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
 use psh_core::hopset::{build_hopset, HopsetParams};

@@ -8,6 +8,9 @@
 //!
 //! Usage: `cargo run --release -p psh-bench --bin lemma_ball_clusters`
 
+// TODO(pipeline): migrate the experiment binaries to the builder API.
+#![allow(deprecated)]
+
 use psh_bench::stats::Summary;
 use psh_bench::table::{fmt_f, Table};
 use psh_bench::workloads::Family;

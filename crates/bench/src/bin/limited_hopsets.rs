@@ -59,12 +59,7 @@ fn main() {
                 d = ((d as f64 * band).ceil() as u64).max(d + 1);
             }
             acc.extend(new_edges.iter().copied());
-            let merged: Vec<Edge> = working
-                .edges()
-                .iter()
-                .copied()
-                .chain(new_edges.into_iter())
-                .collect();
+            let merged: Vec<Edge> = working.edges().iter().copied().chain(new_edges).collect();
             working = CsrGraph::from_edges(n, merged);
             let (h, dist) = hops_for_pair(&g, &acc, s, t);
             t1.row([

@@ -8,6 +8,9 @@
 //!
 //! Usage: `cargo run --release -p psh-bench --bin spanner_size_scaling`
 
+// TODO(pipeline): migrate the experiment binaries to the builder API.
+#![allow(deprecated)]
+
 use psh_baselines::baswana_sen::baswana_sen_spanner;
 use psh_bench::stats::loglog_slope;
 use psh_bench::table::{fmt_f, fmt_u, Table};
@@ -22,7 +25,14 @@ fn main() {
     println!("# Lemma 3.2 — spanner size vs n^(1+1/k)\n");
     for k in [2usize, 4] {
         println!("## k = {k} (dense random graphs, m = 4n)\n");
-        let mut t = Table::new(["n", "m", "ours size", "ours/n^(1+1/k)", "BS size", "BS/n^(1+1/k)"]);
+        let mut t = Table::new([
+            "n",
+            "m",
+            "ours size",
+            "ours/n^(1+1/k)",
+            "BS size",
+            "BS/n^(1+1/k)",
+        ]);
         let mut pts_ours = Vec::new();
         let mut pts_bs = Vec::new();
         for &n in &sizes {

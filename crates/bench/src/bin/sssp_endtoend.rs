@@ -7,6 +7,9 @@
 //!
 //! Usage: `cargo run --release -p psh-bench --bin sssp_endtoend`
 
+// TODO(pipeline): migrate the experiment binaries to the builder API.
+#![allow(deprecated)]
+
 use psh_bench::stats::Summary;
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
@@ -85,12 +88,8 @@ fn main() {
     ]);
     for family in [Family::Grid, Family::Random] {
         let g = family.instantiate_weighted(1_000, 256.0, seed);
-        let (oracle, pre) = ApproxShortestPaths::build_weighted(
-            &g,
-            &params,
-            0.4,
-            &mut StdRng::seed_from_u64(seed),
-        );
+        let (oracle, pre) =
+            ApproxShortestPaths::build_weighted(&g, &params, 0.4, &mut StdRng::seed_from_u64(seed));
         let mut rng = StdRng::seed_from_u64(seed);
         let mut qdepth = Vec::new();
         let mut factor: f64 = 1.0;

@@ -12,6 +12,9 @@
 //!
 //! Usage: `cargo run --release -p psh-bench --bin table1_spanners`
 
+// TODO(pipeline): migrate the experiment binaries to the builder API.
+#![allow(deprecated)]
+
 use psh_baselines::baswana_sen::baswana_sen_spanner;
 use psh_baselines::greedy_spanner::greedy_spanner;
 use psh_bench::table::{fmt_f, fmt_u, Table};
@@ -32,7 +35,14 @@ fn main() {
     println!("            new     O(k) stretch,  O(n^{{1+1/k}}) size,  O(m) work\n");
     for k in [2usize, 3, 4, 6, 8] {
         let mut t = Table::new([
-            "k", "family", "algorithm", "size", "size/n^(1+1/k)", "max stretch", "work", "depth",
+            "k",
+            "family",
+            "algorithm",
+            "size",
+            "size/n^(1+1/k)",
+            "max stretch",
+            "work",
+            "depth",
         ]);
         for family in [Family::Random, Family::PowerLaw, Family::Grid] {
             let g = family.instantiate(n, seed);
@@ -79,15 +89,25 @@ fn main() {
     }
 
     println!("## Weighted block\n");
-    println!("paper rows: [BS07] 2k−1 stretch, O(k n^{{1+1/k}}) size, O(km) work, O(k log* n) depth");
+    println!(
+        "paper rows: [BS07] 2k−1 stretch, O(k n^{{1+1/k}}) size, O(km) work, O(k log* n) depth"
+    );
     println!("            new    O(k) stretch,  O(n^{{1+1/k}} log k),  O(m) work, O(k log* n log U) depth\n");
     println!("(dense random instances, m = 13n, so the size bound n^{{1+1/k}} binds)\n");
     let k = 4usize;
     let mut t = Table::new([
-        "U", "family", "algorithm", "size", "size/n^(1+1/k)", "max stretch", "work", "depth",
+        "U",
+        "family",
+        "algorithm",
+        "size",
+        "size/n^(1+1/k)",
+        "max stretch",
+        "work",
+        "depth",
     ]);
     for u in [16.0f64, 256.0, 4096.0, 65536.0] {
-        for family in ["random-dense"] {
+        {
+            let family = "random-dense";
             let base = psh_graph::generators::connected_random(
                 n,
                 12 * n,

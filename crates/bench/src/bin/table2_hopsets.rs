@@ -1,7 +1,8 @@
 //! E3 — regenerate **Figure 2**: hopset construction comparison.
 //!
 //! Rows: no hopset (baseline), sampled-clique [KS97/SS99], sampled
-//! hierarchy (Cohen proxy — substitution documented in DESIGN.md §1), and
+//! hierarchy (Cohen proxy — substitution documented in
+//! `psh_baselines::sampled_hierarchy`), and
 //! Algorithm 4 (new). Columns: hopset size, construction work and depth
 //! (cost model), and — the object of the exercise — the number of
 //! Bellman–Ford rounds needed for random s–t pairs to come within the
@@ -12,6 +13,9 @@
 //! size, near-linear work; "none" — hops equal to the path hop length.
 //!
 //! Usage: `cargo run --release -p psh-bench --bin table2_hopsets`
+
+// TODO(pipeline): migrate the experiment binaries to the builder API.
+#![allow(deprecated)]
 
 use psh_baselines::ks_hopset::sampled_clique_hopset;
 use psh_baselines::sampled_hierarchy::{sampled_hierarchy_hopset, HierarchyConfig};
@@ -29,12 +33,7 @@ use rand::{Rng, SeedableRng};
 /// factor 2, via doubling) at which `dist^h(s, t) ≤ (1+eps)·dist(s, t)`,
 /// maximized over reachable targets and a few sources. Also returns the
 /// worst relative error remaining at the full budget `h = n`.
-fn hops_to_accuracy(
-    g: &CsrGraph,
-    extra: Option<&ExtraEdges>,
-    eps: f64,
-    seed: u64,
-) -> (f64, f64) {
+fn hops_to_accuracy(g: &CsrGraph, extra: Option<&ExtraEdges>, eps: f64, seed: u64) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = g.n();
     let mut worst_h: u64 = 0;
@@ -59,8 +58,7 @@ fn hops_to_accuracy(
             if ex == 0 || ex == psh_graph::INF {
                 continue;
             }
-            let final_err =
-                runs.last().unwrap().dist[t] as f64 / ex as f64 - 1.0;
+            let final_err = runs.last().unwrap().dist[t] as f64 / ex as f64 - 1.0;
             worst_err = worst_err.max(final_err);
             for (&h, q) in budgets.iter().zip(&runs) {
                 if (q.dist[t] as f64) <= (1.0 + eps) * ex as f64 {
@@ -110,11 +108,19 @@ fn main() {
     println!("# Figure 2 reproduction — hopset constructions\n");
     println!("paper rows: [KS97,SS99] O(n^0.5) hops / O(n) size / O(m n^0.5) work, exact");
     println!("            [Coh00]     polylog hops / n^(1+α) polylog size / Õ(m n^α) work");
-    println!("            new         O(n^((4+α)/(4+2α))) hops / O(n) size / O(m log^(3+α) n) work\n");
+    println!(
+        "            new         O(n^((4+α)/(4+2α))) hops / O(n) size / O(m log^(3+α) n) work\n"
+    );
     println!("measured: hops = smallest (doubled) budget h with dist^h ≤ (1+{eps})·dist, worst over pairs\n");
 
     let mut t = Table::new([
-        "family", "algorithm", "size", "work", "depth", "hops", "worst err",
+        "family",
+        "algorithm",
+        "size",
+        "work",
+        "depth",
+        "hops",
+        "worst err",
     ]);
     for family in [Family::PathGraph, Family::Grid, Family::Random] {
         let g = family.instantiate(n, seed);
@@ -128,16 +134,40 @@ fn main() {
             eps,
         );
         let (ks, c) = sampled_clique_hopset(&g, &mut StdRng::seed_from_u64(seed));
-        row_for(&mut t, family.name(), "sampled-clique [KS97]", &g, &ks, c, eps);
+        row_for(
+            &mut t,
+            family.name(),
+            "sampled-clique [KS97]",
+            &g,
+            &ks,
+            c,
+            eps,
+        );
         let (sh, c) = sampled_hierarchy_hopset(
             &g,
             &HierarchyConfig::default(),
             &mut StdRng::seed_from_u64(seed),
         );
-        row_for(&mut t, family.name(), "sampled-hier [Coh00*]", &g, &sh, c, eps);
+        row_for(
+            &mut t,
+            family.name(),
+            "sampled-hier [Coh00*]",
+            &g,
+            &sh,
+            c,
+            eps,
+        );
         let (ours, c) = build_hopset(&g, &params, &mut StdRng::seed_from_u64(seed));
-        row_for(&mut t, family.name(), "estc recursive (new)", &g, &ours, c, eps);
+        row_for(
+            &mut t,
+            family.name(),
+            "estc recursive (new)",
+            &g,
+            &ours,
+            c,
+            eps,
+        );
     }
     t.print();
-    println!("\n[Coh00*]: sampled-hierarchy proxy, see DESIGN.md §1.");
+    println!("\n[Coh00*]: sampled-hierarchy proxy, see psh_baselines::sampled_hierarchy.");
 }

@@ -2,8 +2,8 @@
 //!
 //! Shared infrastructure for the table-generator binaries (`src/bin/`)
 //! that regenerate every table and figure of the paper, and for the
-//! Criterion micro-benchmarks (`benches/`). See DESIGN.md §3 for the
-//! experiment index and EXPERIMENTS.md for recorded results.
+//! Criterion micro-benchmarks (`benches/`). The workspace README lists
+//! the experiment index; each binary prints its own table.
 
 pub mod stats;
 pub mod table;

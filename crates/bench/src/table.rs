@@ -87,7 +87,7 @@ pub fn fmt_u(x: u64) -> String {
     let s = x.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -118,7 +118,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f(0.0), "0");
-        assert_eq!(fmt_f(3.14159), "3.14");
+        assert_eq!(fmt_f(6.54321), "6.54");
         assert_eq!(fmt_f(42.123), "42.1");
         assert_eq!(fmt_f(123456.0), "123456");
         assert_eq!(fmt_f(f64::INFINITY), "∞");

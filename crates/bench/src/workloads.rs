@@ -1,8 +1,9 @@
 //! The workload registry shared by all experiment binaries.
 //!
 //! Each workload is a named, seeded graph family at a size chosen by the
-//! experiment; the names appear verbatim in EXPERIMENTS.md so every
-//! recorded number is reproducible by `cargo run -p psh-bench --bin …`.
+//! experiment; the names appear verbatim in every table the binaries
+//! print, so every number is reproducible by
+//! `cargo run -p psh-bench --bin …` with the seed shown.
 
 use psh_graph::{generators, CsrGraph};
 use rand::rngs::StdRng;
@@ -79,12 +80,7 @@ mod tests {
     fn families_instantiate_at_requested_scale() {
         for f in Family::ALL {
             let g = f.instantiate(100, 1);
-            assert!(
-                g.n() >= 90 && g.n() <= 110,
-                "{}: n = {}",
-                f.name(),
-                g.n()
-            );
+            assert!(g.n() >= 90 && g.n() <= 110, "{}: n = {}", f.name(), g.n());
             assert!(g.m() > 0);
         }
     }

@@ -1,0 +1,255 @@
+//! The builder API for clustering, and the shared `Seed` / `Run` vocabulary
+//! the whole workspace's pipeline layer is built from.
+//!
+//! Every user-facing construction in the workspace follows the same
+//! contract, anchored here:
+//!
+//! * inputs are a borrowed [`CsrGraph`] plus a [`Seed`] newtype — never a
+//!   caller-threaded `&mut R`;
+//! * outputs are a [`Run`] carrying the artifact, its
+//!   [`psh_pram::Cost`], and the seed that produced it, so any run can be
+//!   reproduced or cached by `(input, parameters, seed)`;
+//! * invalid parameters are reported as typed errors, never panics.
+//!
+//! ```
+//! use psh_cluster::api::{ClusterBuilder, Seed};
+//! use psh_graph::generators;
+//!
+//! let g = generators::grid(8, 8);
+//! let run = ClusterBuilder::new(0.5).seed(Seed(42)).build(&g).unwrap();
+//! assert_eq!(run.artifact.n(), 64);
+//! assert_eq!(run.seed, Seed(42));
+//! assert!(run.cost.work > 0);
+//! ```
+
+use crate::error::ClusterError;
+use crate::{engine, Clustering, ExponentialShifts};
+use psh_graph::CsrGraph;
+use psh_pram::Cost;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named RNG seed: the reproducibility handle of every construction.
+///
+/// Two runs of the same builder on the same graph with the same `Seed`
+/// produce byte-identical artifacts (the seed-equivalence integration
+/// tests enforce this against the legacy free functions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Seed(pub u64);
+
+impl Seed {
+    /// The deterministic generator this seed denotes.
+    pub fn rng(self) -> StdRng {
+        StdRng::seed_from_u64(self.0)
+    }
+
+    /// Derive a distinct, deterministic child seed (for constructions
+    /// that fan out into independently seeded sub-runs).
+    pub fn child(self, index: u64) -> Seed {
+        // SplitMix64-style mix so child streams are unrelated.
+        let mut z = self.0 ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Seed(z ^ (z >> 31))
+    }
+}
+
+impl From<u64> for Seed {
+    fn from(v: u64) -> Self {
+        Seed(v)
+    }
+}
+
+impl std::fmt::Display for Seed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed:{}", self.0)
+    }
+}
+
+/// One completed construction: the artifact plus the evidence needed to
+/// reproduce it (`seed`) and to account for it in the paper's currency
+/// (`cost`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Run<A> {
+    /// What was built.
+    pub artifact: A,
+    /// Work/depth spent building it (the PRAM model of §2).
+    pub cost: Cost,
+    /// The seed that produced it; re-running with this seed rebuilds the
+    /// identical artifact.
+    pub seed: Seed,
+}
+
+impl<A> Run<A> {
+    /// Discard the provenance, keeping the artifact.
+    pub fn into_artifact(self) -> A {
+        self.artifact
+    }
+
+    /// Transform the artifact, keeping cost and seed.
+    pub fn map<B>(self, f: impl FnOnce(A) -> B) -> Run<B> {
+        Run {
+            artifact: f(self.artifact),
+            cost: self.cost,
+            seed: self.seed,
+        }
+    }
+
+    /// Split into `(artifact, cost)` — the legacy tuple convention.
+    pub fn into_parts(self) -> (A, Cost) {
+        (self.artifact, self.cost)
+    }
+}
+
+/// Builder for exponential start time clustering (Algorithm 1).
+///
+/// `β` controls the granularity: large `β` (tiny shifts) gives many small
+/// clusters; small `β` gives few large ones. See the crate docs for the
+/// guarantees (Lemmas 2.1–2.3).
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    beta: f64,
+    seed: Seed,
+}
+
+impl ClusterBuilder {
+    /// Start a clustering with parameter `beta` (validated at `build`).
+    pub fn new(beta: f64) -> Self {
+        ClusterBuilder {
+            beta,
+            seed: Seed::default(),
+        }
+    }
+
+    /// Set the RNG seed (default: `Seed(0)`).
+    pub fn seed(mut self, seed: impl Into<Seed>) -> Self {
+        self.seed = seed.into();
+        self
+    }
+
+    /// Check parameters without building.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        if !(self.beta > 0.0 && self.beta.is_finite()) {
+            return Err(ClusterError::InvalidBeta { beta: self.beta });
+        }
+        Ok(())
+    }
+
+    /// Run the clustering. Empty graphs yield an empty clustering rather
+    /// than a panic.
+    pub fn build(&self, g: &CsrGraph) -> Result<Run<Clustering>, ClusterError> {
+        let mut rng = self.seed.rng();
+        let (artifact, cost) = self.build_with_rng(g, &mut rng)?;
+        Ok(Run {
+            artifact,
+            cost,
+            seed: self.seed,
+        })
+    }
+
+    /// Run the clustering against a caller-supplied generator. This is the
+    /// compatibility spine the deprecated [`crate::est_cluster`] free
+    /// function delegates to; prefer [`ClusterBuilder::build`], which
+    /// records the seed in the returned [`Run`].
+    pub fn build_with_rng<R: Rng>(
+        &self,
+        g: &CsrGraph,
+        rng: &mut R,
+    ) -> Result<(Clustering, Cost), ClusterError> {
+        self.validate()?;
+        if g.n() == 0 {
+            return Ok((empty_clustering(), Cost::ZERO));
+        }
+        let shifts = ExponentialShifts::sample(g.n(), self.beta, rng);
+        Ok(engine::shifted_cluster(g, &shifts))
+    }
+
+    /// Run with pre-sampled shifts (experiments replaying a recorded shift
+    /// vector). The shift count must match the vertex count.
+    ///
+    /// Returns a bare `(Clustering, Cost)` rather than a [`Run`]: the
+    /// artifact comes from the caller's shifts, not from any seed, so
+    /// there is no seed that could honestly claim provenance.
+    pub fn build_with_shifts(
+        &self,
+        g: &CsrGraph,
+        shifts: &ExponentialShifts,
+    ) -> Result<(Clustering, Cost), ClusterError> {
+        self.validate()?;
+        if shifts.delta.len() != g.n() {
+            return Err(ClusterError::ShiftCountMismatch {
+                shifts: shifts.delta.len(),
+                vertices: g.n(),
+            });
+        }
+        Ok(engine::shifted_cluster(g, shifts))
+    }
+}
+
+fn empty_clustering() -> Clustering {
+    Clustering {
+        center: Vec::new(),
+        parent: Vec::new(),
+        dist_to_center: Vec::new(),
+        cluster_id: Vec::new(),
+        centers: Vec::new(),
+        num_clusters: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psh_graph::{generators, CsrGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_matches_legacy_free_function_for_same_seed() {
+        let g = generators::grid(10, 10);
+        let run = ClusterBuilder::new(0.4).seed(Seed(9)).build(&g).unwrap();
+        #[allow(deprecated)]
+        let (legacy, legacy_cost) = crate::est_cluster(&g, 0.4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(run.artifact, legacy);
+        assert_eq!(run.cost, legacy_cost);
+        assert_eq!(run.seed, Seed(9));
+    }
+
+    #[test]
+    fn invalid_beta_is_an_error_not_a_panic() {
+        let g = generators::path(4);
+        for beta in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ClusterBuilder::new(beta).build(&g).unwrap_err();
+            assert!(
+                matches!(err, ClusterError::InvalidBeta { .. }),
+                "beta={beta}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_clustering() {
+        let g = CsrGraph::from_edges(0, std::iter::empty());
+        let run = ClusterBuilder::new(0.5).build(&g).unwrap();
+        assert_eq!(run.artifact.n(), 0);
+        assert_eq!(run.artifact.num_clusters, 0);
+    }
+
+    #[test]
+    fn shift_replay_requires_matching_length() {
+        let g = generators::path(8);
+        let shifts = ExponentialShifts::sample(4, 0.5, &mut Seed(1).rng());
+        let err = ClusterBuilder::new(0.5)
+            .build_with_shifts(&g, &shifts)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::ShiftCountMismatch { .. }));
+    }
+
+    #[test]
+    fn child_seeds_are_distinct_and_deterministic() {
+        let s = Seed(7);
+        assert_eq!(s.child(0), s.child(0));
+        assert_ne!(s.child(0), s.child(1));
+        assert_ne!(s.child(1), s.child(2));
+    }
+}

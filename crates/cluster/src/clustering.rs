@@ -159,6 +159,7 @@ impl Clustering {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy free-function tests; migrated incrementally
 mod tests {
     use super::*;
     use crate::est_cluster;

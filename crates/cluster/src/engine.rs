@@ -84,8 +84,7 @@ pub fn shifted_cluster(g: &CsrGraph, shifts: &ExponentialShifts) -> (Clustering,
         for c in &winners {
             center[c.target as usize] = c.center;
             parent[c.target as usize] = c.parent;
-            dist_to_center[c.target as usize] =
-                round - shifts.start_int[c.center as usize];
+            dist_to_center[c.target as usize] = round - shifts.start_int[c.center as usize];
         }
         // Expansion: each newly assigned vertex claims its unassigned
         // neighbors at the arrival round `round + w`.

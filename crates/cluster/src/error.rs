@@ -1,0 +1,38 @@
+//! Typed errors for clustering construction.
+//!
+//! The builder API ([`crate::api::ClusterBuilder`]) validates its inputs
+//! up front and reports violations as values instead of panicking —
+//! the contract every user-facing construction path in the workspace
+//! follows (higher layers wrap this type in `psh_core::error::PshError`).
+
+use std::fmt;
+
+/// Why a clustering could not be built.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterError {
+    /// `β` must be positive and finite: shifts are drawn from `Exp(β)`.
+    InvalidBeta { beta: f64 },
+    /// The shift vector handed to a replay run has the wrong length.
+    ShiftCountMismatch { shifts: usize, vertices: usize },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidBeta { beta } => {
+                write!(
+                    f,
+                    "clustering parameter beta must be positive and finite, got {beta}"
+                )
+            }
+            ClusterError::ShiftCountMismatch { shifts, vertices } => {
+                write!(
+                    f,
+                    "shift vector covers {shifts} vertices, graph has {vertices}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

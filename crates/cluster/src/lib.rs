@@ -30,11 +30,15 @@
 //! [`psh_pram::Cost`].
 
 pub mod analysis;
+pub mod api;
 pub mod clustering;
 pub mod engine;
+pub mod error;
 pub mod shifts;
 
+pub use api::{ClusterBuilder, Run, Seed};
 pub use clustering::Clustering;
+pub use error::ClusterError;
 pub use shifts::ExponentialShifts;
 
 use psh_graph::CsrGraph;
@@ -46,9 +50,15 @@ use rand::Rng;
 ///
 /// Returns the clustering and its work/depth cost. Deterministic given the
 /// RNG state.
+///
+/// Panics on invalid `beta` (empty graphs yield an empty clustering);
+/// prefer [`ClusterBuilder`], which reports invalid parameters as
+/// [`ClusterError`] values and records the seed.
+#[deprecated(since = "0.1.0", note = "use psh_cluster::ClusterBuilder")]
 pub fn est_cluster<R: Rng>(g: &CsrGraph, beta: f64, rng: &mut R) -> (Clustering, Cost) {
-    let shifts = ExponentialShifts::sample(g.n(), beta, rng);
-    est_cluster_with_shifts(g, &shifts)
+    ClusterBuilder::new(beta)
+        .build_with_rng(g, rng)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Run ESTC with pre-sampled shifts (useful for experiments that need to
@@ -68,8 +78,11 @@ mod tests {
     fn huge_beta_gives_singletons() {
         // β = 50: all δ_u ≈ 0, so every vertex wins itself at round 0.
         let g = generators::grid(8, 8);
-        let mut rng = StdRng::seed_from_u64(1);
-        let (c, _) = est_cluster(&g, 50.0, &mut rng);
+        let c = ClusterBuilder::new(50.0)
+            .seed(Seed(1))
+            .build(&g)
+            .unwrap()
+            .artifact;
         assert_eq!(c.num_clusters, 64);
         for v in 0..64u32 {
             assert_eq!(c.center[v as usize], v);
@@ -81,8 +94,11 @@ mod tests {
         // β = 0.01 on a 100-vertex path: shifts spread over ~hundreds of
         // units, so a handful of early starters swallow everything.
         let g = generators::path(100);
-        let mut rng = StdRng::seed_from_u64(2);
-        let (c, _) = est_cluster(&g, 0.01, &mut rng);
+        let c = ClusterBuilder::new(0.01)
+            .seed(Seed(2))
+            .build(&g)
+            .unwrap()
+            .artifact;
         assert!(
             c.num_clusters <= 5,
             "expected few clusters, got {}",
@@ -93,8 +109,9 @@ mod tests {
     #[test]
     fn clustering_is_deterministic_given_seed() {
         let g = generators::connected_random(200, 300, &mut StdRng::seed_from_u64(7));
-        let (a, _) = est_cluster(&g, 0.3, &mut StdRng::seed_from_u64(99));
-        let (b, _) = est_cluster(&g, 0.3, &mut StdRng::seed_from_u64(99));
+        let builder = ClusterBuilder::new(0.3).seed(Seed(99));
+        let a = builder.build(&g).unwrap().artifact;
+        let b = builder.build(&g).unwrap().artifact;
         assert_eq!(a.center, b.center);
         assert_eq!(a.parent, b.parent);
         assert_eq!(a.dist_to_center, b.dist_to_center);
@@ -104,8 +121,11 @@ mod tests {
     fn every_graph_vertex_is_assigned() {
         // even on a disconnected graph
         let g = psh_graph::CsrGraph::from_unit_edges(6, [(0, 1), (2, 3)]);
-        let mut rng = StdRng::seed_from_u64(3);
-        let (c, _) = est_cluster(&g, 0.5, &mut rng);
+        let c = ClusterBuilder::new(0.5)
+            .seed(Seed(3))
+            .build(&g)
+            .unwrap()
+            .artifact;
         c.validate(&g).unwrap();
         assert!(c.num_clusters >= 2, "isolated pieces cannot share clusters");
     }
@@ -113,8 +133,16 @@ mod tests {
     #[test]
     fn depth_scales_inversely_with_beta() {
         let g = generators::path(400);
-        let (_, cost_fine) = est_cluster(&g, 1.0, &mut StdRng::seed_from_u64(4));
-        let (_, cost_coarse) = est_cluster(&g, 0.02, &mut StdRng::seed_from_u64(4));
+        let cost_fine = ClusterBuilder::new(1.0)
+            .seed(Seed(4))
+            .build(&g)
+            .unwrap()
+            .cost;
+        let cost_coarse = ClusterBuilder::new(0.02)
+            .seed(Seed(4))
+            .build(&g)
+            .unwrap()
+            .cost;
         assert!(
             cost_coarse.depth > cost_fine.depth,
             "smaller β explores longer: {} vs {}",

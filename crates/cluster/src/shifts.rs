@@ -10,7 +10,7 @@
 //! fall through to the center id, keeping everything deterministic).
 //!
 //! `Exp(β)` is sampled by inverse CDF: `δ = −ln(1−U)/β` with `U` uniform in
-//! `[0,1)`; this avoids a dependency on `rand_distr` (DESIGN.md §4).
+//! `[0,1)`; this avoids a dependency on `rand_distr`.
 
 use rand::Rng;
 

@@ -60,8 +60,7 @@ impl DecompositionTree {
         if s == t {
             return Some(0);
         }
-        let shared =
-            |lvl: usize| self.node_of[lvl][s as usize] == self.node_of[lvl][t as usize];
+        let shared = |lvl: usize| self.node_of[lvl][s as usize] == self.node_of[lvl][t as usize];
         if !shared(self.levels) {
             return None;
         }

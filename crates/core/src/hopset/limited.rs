@@ -66,6 +66,17 @@ pub fn low_depth_hopset<R: Rng>(
     rng: &mut R,
 ) -> (Hopset, Cost) {
     assert!(alpha > 0.0 && alpha < 1.0, "need 0 < α < 1");
+    low_depth_hopset_impl(g, alpha, epsilon, rng)
+}
+
+/// Theorem C.2's body — `alpha` validation happens in the builder
+/// ([`crate::api::HopsetBuilder::limited`]) or the wrapper above.
+pub(crate) fn low_depth_hopset_impl<R: Rng>(
+    g: &CsrGraph,
+    alpha: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> (Hopset, Cost) {
     let eta = (alpha / 2.0).clamp(1e-3, 0.49);
     let iterations = (1.0 / eta).ceil() as usize;
     let n = g.n().max(2) as f64;
@@ -82,13 +93,8 @@ pub fn low_depth_hopset<R: Rng>(
         let mut d: u64 = 1;
         while d <= d_max {
             let seed: u64 = rng.random();
-            let (edges, c) = limited_hopset(
-                &working,
-                d,
-                eta,
-                epsilon,
-                &mut StdRng::seed_from_u64(seed),
-            );
+            let (edges, c) =
+                limited_hopset(&working, d, eta, epsilon, &mut StdRng::seed_from_u64(seed));
             new_edges.extend(edges);
             iter_cost = iter_cost.par(c);
             let next = (d as f64 * band).ceil() as u64;

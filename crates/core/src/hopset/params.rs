@@ -120,17 +120,25 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        let mut p = HopsetParams::default();
-        p.delta = 1.0;
+        let p = HopsetParams {
+            delta: 1.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = HopsetParams::default();
-        p.gamma1 = 0.99;
+        let p = HopsetParams {
+            gamma1: 0.99,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = HopsetParams::default();
-        p.epsilon = 0.0;
+        let p = HopsetParams {
+            epsilon: 0.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = HopsetParams::default();
-        p.k_conf = 0.5;
+        let p = HopsetParams {
+            k_conf: 0.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 

@@ -28,7 +28,8 @@
 //! supplies rounded integer weights (Lemma 5.2) before calling in here.
 
 use super::{Hopset, HopsetParams};
-use psh_cluster::est_cluster;
+use crate::api::HopsetBuilder;
+use psh_cluster::ClusterBuilder;
 use psh_graph::subgraph::split_by_labels;
 use psh_graph::traversal::dial::dial_sssp;
 use psh_graph::{CsrGraph, Edge, VertexId, INF};
@@ -38,9 +39,17 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 /// Build a hopset for `g` with top-level parameter `β₀ = params.beta0(n)`.
+///
+/// Panics on invalid parameters; prefer [`crate::api::HopsetBuilder`],
+/// which reports them as [`crate::error::PshError`] values and records
+/// the seed.
+#[deprecated(since = "0.1.0", note = "use psh_core::api::HopsetBuilder::unweighted")]
 pub fn build_hopset<R: Rng>(g: &CsrGraph, params: &HopsetParams, rng: &mut R) -> (Hopset, Cost) {
-    let beta0 = params.beta0(g.n());
-    build_hopset_with_beta0(g, params, beta0, rng)
+    let (artifact, cost) = HopsetBuilder::unweighted()
+        .params(*params)
+        .build_with_rng(g, rng)
+        .unwrap_or_else(|e| panic!("{e}"));
+    (artifact.into_single(), cost)
 }
 
 /// Build a hopset with an explicit top-level β₀ (§5 and Appendix C call
@@ -104,8 +113,11 @@ fn recurse(
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let beta = beta.min(BETA_CAP);
-    let (clustering, cluster_cost) = est_cluster(sub, beta, &mut rng);
-    let (pieces, split_cost) = split_by_labels(sub, &clustering.cluster_id, clustering.num_clusters);
+    let (clustering, cluster_cost) = ClusterBuilder::new(beta)
+        .build_with_rng(sub, &mut rng)
+        .expect("recursion betas are positive and finite");
+    let (pieces, split_cost) =
+        split_by_labels(sub, &clustering.cluster_id, clustering.num_clusters);
     let mut cost = cluster_cost.then(split_cost);
 
     let mut edges: Vec<Edge> = Vec::new();
@@ -218,6 +230,7 @@ fn recurse(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated wrappers (which delegate to the builders)
 mod tests {
     use super::*;
     use psh_graph::generators;
@@ -318,7 +331,7 @@ mod tests {
     }
 
     #[test]
-    fn size_stays_linearish(){
+    fn size_stays_linearish() {
         let mut rng = StdRng::seed_from_u64(8);
         let g = generators::erdos_renyi(800, 3000, &mut rng);
         let p = test_params();

@@ -112,10 +112,7 @@ impl WeightClassDecomposition {
             let mut touched: Vec<u32> = Vec::new();
             for &eid in &cat_eids {
                 let e = g.edge(eid);
-                let (a, b) = (
-                    contract_labels[e.u as usize],
-                    contract_labels[e.v as usize],
-                );
+                let (a, b) = (contract_labels[e.u as usize], contract_labels[e.v as usize]);
                 if a != b {
                     qedges.push((a, b, e.w));
                     touched.push(a);
@@ -172,8 +169,7 @@ impl WeightClassDecomposition {
     /// levels, enabling `O(log levels)` LCA-level queries (the structure
     /// the paper obtains by parallel tree contraction).
     pub fn decomposition_tree(&self) -> super::decomposition_tree::DecompositionTree {
-        let level_labels: Vec<Vec<u32>> =
-            self.levels.iter().map(|l| l.labels.clone()).collect();
+        let level_labels: Vec<Vec<u32>> = self.levels.iter().map(|l| l.labels.clone()).collect();
         super::decomposition_tree::DecompositionTree::from_level_labels(self.n, &level_labels)
     }
 
@@ -200,10 +196,8 @@ impl WeightClassDecomposition {
             // connected by contracted (negligible) edges only
             return 0;
         }
-        let (Some(&ls), Some(&lt)) = (
-            level.comp_to_local.get(&cs),
-            level.comp_to_local.get(&ct),
-        ) else {
+        let (Some(&ls), Some(&lt)) = (level.comp_to_local.get(&cs), level.comp_to_local.get(&ct))
+        else {
             return INF;
         };
         dijkstra_pair(&level.query_graph, ls, lt)

@@ -83,6 +83,10 @@ impl WeightedHopsets {
 }
 
 /// Build the §5 weighted hopsets with band exponent `eta ∈ (0, 1)`.
+///
+/// Panics on invalid parameters; prefer
+/// [`crate::api::HopsetBuilder::weighted`], which reports them as
+/// [`crate::error::PshError`] values.
 pub fn build_weighted_hopsets<R: Rng>(
     g: &CsrGraph,
     params: &HopsetParams,
@@ -91,12 +95,23 @@ pub fn build_weighted_hopsets<R: Rng>(
 ) -> (WeightedHopsets, Cost) {
     params.validate().expect("invalid hopset parameters");
     assert!(eta > 0.0 && eta < 1.0, "eta must be in (0,1), got {eta}");
+    build_weighted_hopsets_impl(g, params, eta, params.beta0_weighted(g.n()), rng)
+}
+
+/// §5's construction body with an explicit `β₀` — parameter validation
+/// happens in the builder (or the wrapper above) before this runs.
+pub(crate) fn build_weighted_hopsets_impl<R: Rng>(
+    g: &CsrGraph,
+    params: &HopsetParams,
+    eta: f64,
+    beta0: f64,
+    rng: &mut R,
+) -> (WeightedHopsets, Cost) {
     let n = g.n();
     let zeta = params.epsilon / 2.0;
     // band multiplier c = n^η, floored at 2 so the loop advances
     let c = (n.max(2) as f64).powf(eta).max(2.0);
     let d_max: u64 = (n as u64).saturating_mul(g.max_weight().unwrap_or(1));
-    let beta0 = params.beta0_weighted(n);
 
     let mut bands = Vec::new();
     let mut cost = Cost::ZERO;

@@ -20,10 +20,17 @@
 //! Everything is instrumented with the [`psh_pram::Cost`] work/depth model
 //! and is deterministic given an RNG seed.
 
+pub mod api;
+pub mod error;
 pub mod hopset;
 pub mod oracle;
 pub mod spanner;
 
+pub use api::{
+    HopsetArtifact, HopsetBuilder, HopsetKind, OracleBuilder, OracleMode, Run, Seed,
+    SpannerBuilder, SpannerKind,
+};
+pub use error::PshError;
 pub use hopset::{Hopset, HopsetParams};
 pub use oracle::ApproxShortestPaths;
 pub use spanner::Spanner;

@@ -9,8 +9,10 @@
 //! **Query** (`O(m/ε)` work, `O(h)`-round depth): h-hop-limited parallel
 //! Bellman–Ford over `E ∪ E'` — [KS97]'s procedure.
 
+use crate::api::{OracleBuilder, OracleMode};
+use crate::hopset::unweighted::build_hopset_with_beta0;
 use crate::hopset::weighted::{build_weighted_hopsets, WeightedHopsets};
-use crate::hopset::{build_hopset, Hopset, HopsetParams};
+use crate::hopset::{Hopset, HopsetParams};
 use psh_graph::traversal::bellman_ford::{hop_limited_pair, ExtraEdges};
 use psh_graph::traversal::dijkstra::dijkstra_pair;
 use psh_graph::{CsrGraph, VertexId, Weight, INF};
@@ -21,6 +23,17 @@ use rand::Rng;
 pub struct ApproxShortestPaths {
     graph: CsrGraph,
     mode: Mode,
+}
+
+impl std::fmt::Debug for ApproxShortestPaths {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApproxShortestPaths")
+            .field("n", &self.graph.n())
+            .field("m", &self.graph.m())
+            .field("hopset_size", &self.hopset_size())
+            .field("hop_budget", &self.hop_budget())
+            .finish()
+    }
 }
 
 enum Mode {
@@ -47,15 +60,56 @@ pub struct QueryResult {
 
 impl ApproxShortestPaths {
     /// Preprocess an **unweighted** graph (Corollary 4.5's setting).
+    ///
+    /// Panics on weighted input or invalid parameters; prefer
+    /// [`crate::api::OracleBuilder`], which reports both as
+    /// [`crate::error::PshError`] values and records the seed.
+    #[deprecated(since = "0.1.0", note = "use psh_core::api::OracleBuilder")]
     pub fn build_unweighted<R: Rng>(
         g: &CsrGraph,
         params: &HopsetParams,
         rng: &mut R,
     ) -> (Self, Cost) {
-        assert!(g.is_unit_weight(), "use build_weighted for weighted graphs");
-        let (hopset, cost) = build_hopset(g, params, rng);
+        OracleBuilder::new()
+            .params(*params)
+            .mode(OracleMode::Unweighted)
+            .build_with_rng(g, rng)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Preprocess a **weighted** graph with polynomially bounded weights
+    /// (Corollary 5.4's setting; apply Appendix B first otherwise).
+    ///
+    /// Panics on invalid parameters; prefer
+    /// [`crate::api::OracleBuilder`], which also checks the weight-range
+    /// precondition this constructor silently assumes.
+    #[deprecated(since = "0.1.0", note = "use psh_core::api::OracleBuilder")]
+    pub fn build_weighted<R: Rng>(
+        g: &CsrGraph,
+        params: &HopsetParams,
+        eta: f64,
+        rng: &mut R,
+    ) -> (Self, Cost) {
+        OracleBuilder::new()
+            .params(*params)
+            .eta(eta)
+            .mode(OracleMode::Weighted)
+            .allow_large_weights(true)
+            .build_with_rng(g, rng)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Corollary 4.5's preprocessing body — preconditions are validated by
+    /// [`OracleBuilder`] before this runs.
+    pub(crate) fn build_unweighted_impl<R: Rng>(
+        g: &CsrGraph,
+        params: &HopsetParams,
+        rng: &mut R,
+    ) -> (Self, Cost) {
+        let beta0 = params.beta0(g.n());
+        let (hopset, cost) = build_hopset_with_beta0(g, params, beta0, rng);
         let extra = hopset.to_extra_edges();
-        let h_max = params.hop_bound(g.n(), params.beta0(g.n()), g.n() as u64);
+        let h_max = params.hop_bound(g.n(), beta0, g.n() as u64);
         (
             ApproxShortestPaths {
                 graph: g.clone(),
@@ -69,9 +123,9 @@ impl ApproxShortestPaths {
         )
     }
 
-    /// Preprocess a **weighted** graph with polynomially bounded weights
-    /// (Corollary 5.4's setting; apply Appendix B first otherwise).
-    pub fn build_weighted<R: Rng>(
+    /// Corollary 5.4's preprocessing body — preconditions are validated by
+    /// [`OracleBuilder`] before this runs.
+    pub(crate) fn build_weighted_impl<R: Rng>(
         g: &CsrGraph,
         params: &HopsetParams,
         eta: f64,
@@ -150,6 +204,7 @@ impl ApproxShortestPaths {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated wrappers (which delegate to the builders)
 mod tests {
     use super::*;
     use psh_graph::generators;
@@ -188,8 +243,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let base = generators::grid(10, 10);
         let g = generators::with_uniform_weights(&base, 1, 20, &mut rng);
-        let (oracle, _) =
-            ApproxShortestPaths::build_weighted(&g, &test_params(), 0.4, &mut rng);
+        let (oracle, _) = ApproxShortestPaths::build_weighted(&g, &test_params(), 0.4, &mut rng);
         for (s, t) in [(0u32, 99u32), (5, 60), (42, 43)] {
             let (r, _) = oracle.query(s, t);
             let exact = oracle.query_exact(s, t) as f64;

@@ -36,10 +36,7 @@ pub fn bucket_edges(g: &CsrGraph) -> Vec<(u32, Vec<u32>)> {
 /// Deal buckets into `stride` groups: group `j` gets buckets with index
 /// `≡ j (mod stride)`, kept in ascending weight order. Empty groups are
 /// dropped.
-pub fn split_into_groups(
-    buckets: Vec<(u32, Vec<u32>)>,
-    stride: u32,
-) -> Vec<Vec<(u32, Vec<u32>)>> {
+pub fn split_into_groups(buckets: Vec<(u32, Vec<u32>)>, stride: u32) -> Vec<Vec<(u32, Vec<u32>)>> {
     let mut groups: Vec<Vec<(u32, Vec<u32>)>> = vec![Vec::new(); stride as usize];
     for (b, eids) in buckets {
         groups[(b % stride) as usize].push((b, eids));
@@ -99,7 +96,10 @@ mod tests {
         assert_eq!(groups.len(), 4);
         for g in &groups {
             for pair in g.windows(2) {
-                assert!(pair[1].0 - pair[0].0 >= stride, "buckets too close in a group");
+                assert!(
+                    pair[1].0 - pair[0].0 >= stride,
+                    "buckets too close in a group"
+                );
             }
         }
     }

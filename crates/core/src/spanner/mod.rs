@@ -21,7 +21,9 @@ pub mod verify;
 pub mod weighted;
 pub mod well_separated;
 
+#[allow(deprecated)] // compatibility re-export; migrate to SpannerBuilder
 pub use unweighted::unweighted_spanner;
+#[allow(deprecated)] // compatibility re-export; migrate to SpannerBuilder
 pub use weighted::weighted_spanner;
 pub use well_separated::well_separated_spanner;
 

@@ -18,7 +18,8 @@
 //! edges per vertex by `n^{1/k}`.
 
 use super::Spanner;
-use psh_cluster::{est_cluster, Clustering};
+use crate::api::SpannerBuilder;
+use psh_cluster::Clustering;
 use psh_graph::{CsrGraph, Edge};
 use psh_pram::Cost;
 use rand::Rng;
@@ -28,20 +29,18 @@ use rayon::prelude::*;
 ///
 /// `k >= 1` is the stretch parameter; the expected size is
 /// `O(n^{1+1/k})` plus the `n − #clusters` forest edges.
+///
+/// Panics on invalid `k` or weighted input; prefer
+/// [`crate::api::SpannerBuilder`], which reports both as
+/// [`crate::error::PshError`] values and records the seed.
+#[deprecated(
+    since = "0.1.0",
+    note = "use psh_core::api::SpannerBuilder::unweighted"
+)]
 pub fn unweighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
-    assert!(k >= 1.0, "stretch parameter k must be >= 1, got {k}");
-    assert!(
-        g.is_unit_weight(),
-        "unweighted_spanner requires unit weights; use weighted_spanner"
-    );
-    let n = g.n();
-    if n <= 1 || g.m() == 0 {
-        return (Spanner::new(n, Vec::new()), Cost::ZERO);
-    }
-    let beta = beta_for(n, k);
-    let (clustering, c_cost) = est_cluster(g, beta, rng);
-    let (spanner, s_cost) = spanner_from_clustering(g, &clustering);
-    (spanner, c_cost.then(s_cost))
+    SpannerBuilder::unweighted(k)
+        .build_with_rng(g, rng)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The paper's choice `β = ln n / 2k`.
@@ -108,6 +107,7 @@ pub fn spanner_from_clustering(g: &CsrGraph, c: &Clustering) -> (Spanner, Cost) 
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated wrappers (which delegate to the builders)
 mod tests {
     use super::*;
     use crate::spanner::verify::max_stretch_exact;

@@ -13,14 +13,26 @@
 use super::buckets::{bucket_edges, group_stride, split_into_groups};
 use super::well_separated::well_separated_spanner;
 use super::Spanner;
+use crate::api::SpannerBuilder;
 use psh_graph::{CsrGraph, Edge};
 use psh_pram::Cost;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Build an `O(k)`-spanner of a (positively) weighted graph.
+///
+/// Panics on invalid `k`; prefer [`crate::api::SpannerBuilder`], which
+/// reports it as a [`crate::error::PshError`] and records the seed.
+#[deprecated(since = "0.1.0", note = "use psh_core::api::SpannerBuilder::weighted")]
 pub fn weighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
-    assert!(k >= 1.0, "stretch parameter k must be >= 1, got {k}");
+    SpannerBuilder::weighted(k)
+        .build_with_rng(g, rng)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Theorem 3.3's pipeline body — parameter validation happens in the
+/// builder ([`SpannerBuilder::weighted`]) before this runs.
+pub(crate) fn weighted_spanner_impl<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
     let n = g.n();
     if n <= 1 || g.m() == 0 {
         return (Spanner::new(n, Vec::new()), Cost::ZERO);
@@ -47,6 +59,7 @@ pub fn weighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, 
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated wrappers (which delegate to the builders)
 mod tests {
     use super::*;
     use crate::spanner::verify::max_stretch_exact;

@@ -25,7 +25,7 @@
 //! the quotient graph's provenance.
 
 use super::unweighted::{beta_for, select_spanner_eids};
-use psh_cluster::est_cluster;
+use psh_cluster::ClusterBuilder;
 use psh_graph::union_find::UnionFind;
 use psh_graph::{CsrGraph, Edge};
 use psh_pram::Cost;
@@ -71,10 +71,7 @@ pub fn well_separated_spanner<R: Rng>(
             continue;
         }
         // Compact the touched component ids into 0..t.
-        let mut comps: Vec<u32> = level_edges
-            .iter()
-            .flat_map(|&(a, b, _)| [a, b])
-            .collect();
+        let mut comps: Vec<u32> = level_edges.iter().flat_map(|&(a, b, _)| [a, b]).collect();
         comps.sort_unstable();
         comps.dedup();
         let local_of = |c: u32| comps.binary_search(&c).unwrap() as u32;
@@ -94,7 +91,9 @@ pub fn well_separated_spanner<R: Rng>(
         debug_assert_eq!(local_graph.m(), provenance.len());
 
         // --- Cluster Γ_i and select spanner edges ------------------------
-        let (clustering, c_cost) = est_cluster(&local_graph, beta, rng);
+        let (clustering, c_cost) = ClusterBuilder::new(beta)
+            .build_with_rng(&local_graph, rng)
+            .expect("beta_for yields positive finite betas");
         let (local_eids, s_cost) = select_spanner_eids(&local_graph, &clustering);
         selected.extend(
             local_eids

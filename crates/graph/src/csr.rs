@@ -1,7 +1,7 @@
 //! Compressed-sparse-row undirected graphs with integer weights and edge
 //! provenance.
 //!
-//! Design decisions (see DESIGN.md §4):
+//! Design decisions:
 //!
 //! * **Vertices are `u32`**, weights and distances are `u64` with
 //!   [`INF`] = `u64::MAX` as the unreachable sentinel. The paper assumes
@@ -317,7 +317,10 @@ mod tests {
 
     #[test]
     fn slot_edge_ids_point_back_to_canonical_edges() {
-        let g = CsrGraph::from_edges(4, [Edge::new(0, 1, 2), Edge::new(1, 2, 3), Edge::new(2, 3, 4)]);
+        let g = CsrGraph::from_edges(
+            4,
+            [Edge::new(0, 1, 2), Edge::new(1, 2, 3), Edge::new(2, 3, 4)],
+        );
         for v in 0..4u32 {
             for ((t, w, eid), slot) in g.neighbors_with_eid(v).zip(g.slot_range(v)) {
                 let e = g.edge(eid);

@@ -114,10 +114,7 @@ pub fn connected_random<R: Rng>(n: usize, extra: usize, rng: &mut R) -> CsrGraph
         let parent = rng.random_range(0..v);
         edges.push((parent, v));
     }
-    let mut seen: HashSet<(u32, u32)> = edges
-        .iter()
-        .map(|&(u, v)| (u.min(v), u.max(v)))
-        .collect();
+    let mut seen: HashSet<(u32, u32)> = edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
     let mut added = 0;
     let max_extra = n * (n - 1) / 2 - (n - 1);
     let budget = extra.min(max_extra);
@@ -226,7 +223,9 @@ pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> CsrGraph 
 /// Random recursive tree on `n` vertices (each vertex attaches to a uniform
 /// earlier vertex).
 pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> CsrGraph {
-    let edges = (1..n as u32).map(|v| (rng.random_range(0..v), v)).collect::<Vec<_>>();
+    let edges = (1..n as u32)
+        .map(|v| (rng.random_range(0..v), v))
+        .collect::<Vec<_>>();
     CsrGraph::from_unit_edges(n, edges)
 }
 
@@ -417,7 +416,11 @@ mod tests {
         let g = with_log_uniform_weights(&complete(40), 1024.0, &mut rng);
         assert!(g.min_weight().unwrap() >= 1);
         assert!(g.max_weight().unwrap() <= 1024);
-        assert!(g.weight_ratio() > 16.0, "weights should spread, U={}", g.weight_ratio());
+        assert!(
+            g.weight_ratio() > 16.0,
+            "weights should spread, U={}",
+            g.weight_ratio()
+        );
     }
 
     #[test]

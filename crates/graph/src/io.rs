@@ -75,7 +75,10 @@ pub fn read_graph<R: BufRead>(input: R) -> io::Result<CsrGraph> {
                 edges.push(Edge::new(u as u32, v as u32, w));
             }
             Some(other) => {
-                return Err(bad(format!("line {}: unknown record '{other}'", lineno + 1)))
+                return Err(bad(format!(
+                    "line {}: unknown record '{other}'",
+                    lineno + 1
+                )))
             }
             None => {}
         }
@@ -119,7 +122,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(read_graph("e 0 1 5\n".as_bytes()).is_err(), "edge before header");
+        assert!(
+            read_graph("e 0 1 5\n".as_bytes()).is_err(),
+            "edge before header"
+        );
         assert!(read_graph("p 2\n".as_bytes()).is_err(), "short p line");
         assert!(read_graph("p 2 1\ne 0 5 1\n".as_bytes()).is_err(), "range");
         assert!(read_graph("p 2 1\ne 0 1 0\n".as_bytes()).is_err(), "zero w");

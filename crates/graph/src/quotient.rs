@@ -101,9 +101,19 @@ mod tests {
         let (q, _) = quotient(&g, &labels, 3);
         assert_eq!(q.graph.n(), 3);
         assert_eq!(q.graph.m(), 2); // {0,1} and {1,2}
-        let e01 = q.graph.edges().iter().find(|e| e.u == 0 && e.v == 1).unwrap();
+        let e01 = q
+            .graph
+            .edges()
+            .iter()
+            .find(|e| e.u == 0 && e.v == 1)
+            .unwrap();
         assert_eq!(e01.w, 3); // min(7, 3)
-        let e12 = q.graph.edges().iter().find(|e| e.u == 1 && e.v == 2).unwrap();
+        let e12 = q
+            .graph
+            .edges()
+            .iter()
+            .find(|e| e.u == 1 && e.v == 2)
+            .unwrap();
         assert_eq!(e12.w, 2); // min(2, 9)
     }
 

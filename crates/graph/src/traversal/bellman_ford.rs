@@ -127,9 +127,7 @@ pub fn hop_limited_sssp(
             .par_iter()
             .flat_map_iter(|&u| {
                 let du = dist[u as usize];
-                let base = g
-                    .neighbors(u)
-                    .map(move |(v, w)| (v, du.saturating_add(w)));
+                let base = g.neighbors(u).map(move |(v, w)| (v, du.saturating_add(w)));
                 let ext = extra
                     .into_iter()
                     .flat_map(move |e| e.neighbors(u))

@@ -9,7 +9,8 @@
 //! (including re-scans of already-visited targets — that is what a PRAM
 //! implementation pays too); depth = one round per BFS level, matching the
 //! `O(diameter)` depth of the paper's parallel BFS (the `log* n` CRCW
-//! factor is a model constant we do not multiply in — see DESIGN.md §1).
+//! factor is a model constant we do not multiply in — see the
+//! `psh_pram` crate docs).
 
 use crate::csr::{CsrGraph, VertexId, INF};
 use crate::traversal::SsspResult;

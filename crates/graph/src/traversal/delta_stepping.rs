@@ -173,7 +173,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = generators::with_uniform_weights(&generators::cycle(30), 10, 10, &mut rng);
         assert_eq!(default_delta(&g), 10);
-        assert_eq!(default_delta(&CsrGraph::from_edges(3, std::iter::empty())), 1);
+        assert_eq!(
+            default_delta(&CsrGraph::from_edges(3, std::iter::empty())),
+            1
+        );
     }
 
     #[test]

@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn offsets_shift_sources() {
         let g = generators::path(5); // 0-1-2-3-4 unit
-        // source 0 at offset 3, source 4 at offset 0
+                                     // source 0 at offset 3, source 4 at offset 0
         let (r, _) = dial_sssp_offsets(&g, &[(0, 3), (4, 0)]);
         assert_eq!(r.dist, vec![3, 3, 2, 1, 0]);
         // vertex 1: via 0 costs 4, via 4 costs 3

@@ -65,7 +65,12 @@ impl SsspResult {
 
     /// Eccentricity from the source set: the maximum finite distance.
     pub fn max_finite_dist(&self) -> Weight {
-        self.dist.iter().copied().filter(|&d| d != INF).max().unwrap_or(0)
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != INF)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -10,8 +10,6 @@
 //! Run with: `cargo run --release --example figure3_shortcut`
 
 use psh::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let n = 120usize;
@@ -22,10 +20,15 @@ fn main() {
     // seeds until the draw has at least two above-average clusters so the
     // picture shows a genuine clique jump (the decomposition is random —
     // Figure 3 depicts the typical case, not every draw).
+    let builder = ClusterBuilder::new(beta);
     let clustering = (0..200u64)
         .map(|seed| {
-            let mut rng = StdRng::seed_from_u64(20150625 + seed);
-            est_cluster(&g, beta, &mut rng).0
+            builder
+                .clone()
+                .seed(Seed(20150625 + seed))
+                .build(&g)
+                .expect("valid beta")
+                .artifact
         })
         .find(|c| {
             let sizes = c.sizes();
@@ -81,7 +84,11 @@ fn main() {
             println!("\nFigure 3 realized on this instance:");
             println!("  s = 0 … u = {u} ─(star {})→ c1 = {cu}", u.abs_diff(cu));
             println!("            c1 ─(clique {})→ c2 = {cv}", cu.abs_diff(cv));
-            println!("            c2 ─(star {})→ v = {v} … t = {}", cv.abs_diff(v), n - 1);
+            println!(
+                "            c2 ─(star {})→ v = {v} … t = {}",
+                cv.abs_diff(v),
+                n - 1
+            );
             let shortcut = u.abs_diff(cu) + cu.abs_diff(cv) + cv.abs_diff(v);
             let replaced = v - u;
             println!(

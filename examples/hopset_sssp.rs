@@ -23,16 +23,21 @@ fn main() {
         rows + cols - 2
     );
 
-    let params = HopsetParams {
-        epsilon: 0.5,
-        delta: 1.5,
-        gamma1: 0.25,
-        gamma2: 0.75,
-        k_conf: 1.0,
-    };
-    let mut rng = StdRng::seed_from_u64(20150625);
-    let (hopset, pre) = build_hopset(&g, &params, &mut rng);
+    let run = HopsetBuilder::unweighted()
+        .params(HopsetParams {
+            epsilon: 0.5,
+            delta: 1.5,
+            gamma1: 0.25,
+            gamma2: 0.75,
+            k_conf: 1.0,
+        })
+        .seed(Seed(20150625))
+        .build(&g)
+        .expect("valid parameters");
+    let (artifact, pre) = (run.artifact, run.cost);
+    let hopset = artifact.into_single();
     let extra = hopset.to_extra_edges();
+    let mut rng = StdRng::seed_from_u64(20150625);
     println!(
         "hopset: {} edges ({} star, {} clique, {} levels), preprocessing {pre}",
         hopset.size(),
@@ -41,7 +46,10 @@ fn main() {
         hopset.levels
     );
 
-    println!("\n{:>6} {:>6} {:>8} {:>10} {:>10} {:>8}", "s", "t", "exact", "approx", "err", "rounds");
+    println!(
+        "\n{:>6} {:>6} {:>8} {:>10} {:>10} {:>8}",
+        "s", "t", "exact", "approx", "err", "rounds"
+    );
     let mut worst = 1.0f64;
     for _ in 0..8 {
         let s = rng.random_range(0..n as u32);
@@ -50,9 +58,7 @@ fn main() {
         let (with_h, rounds, _) = hop_limited_pair(&g, Some(&extra), s, t, n);
         let err = with_h as f64 / exact.max(1) as f64;
         worst = worst.max(err);
-        println!(
-            "{s:>6} {t:>6} {exact:>8} {with_h:>10} {err:>10.3} {rounds:>8}"
-        );
+        println!("{s:>6} {t:>6} {exact:>8} {with_h:>10} {err:>10.3} {rounds:>8}");
     }
     println!("\nworst observed factor: {worst:.3} (Lemma 4.2 budget: 1 + ε·log_ρ n)");
 }

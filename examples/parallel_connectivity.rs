@@ -40,9 +40,14 @@ fn main() {
     let mut labels: Vec<u32> = (0..g.n() as u32).collect();
     let mut round = 0;
     let mut total = Cost::ZERO;
+    let root_seed = Seed(20150625);
     while current.m() > 0 {
         round += 1;
-        let (c, cost) = est_cluster(&current, 0.25, &mut rng);
+        let run = ClusterBuilder::new(0.25)
+            .seed(root_seed.child(round))
+            .build(&current)
+            .expect("valid beta");
+        let (c, cost) = (run.artifact, run.cost);
         let (q, qcost) = quotient(&current, &c.cluster_id, c.num_clusters);
         // compose: each original vertex follows its current-graph vertex
         // into the cluster that vertex joined (quotient vertices = dense
@@ -63,5 +68,8 @@ fn main() {
 
     let (reference, _) = components_union_find(&g);
     assert_eq!(current.n(), reference.count, "must match union-find");
-    println!("matches union-find reference ({} components) ✓", reference.count);
+    println!(
+        "matches union-find reference ({} components) ✓",
+        reference.count
+    );
 }

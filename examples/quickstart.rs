@@ -1,5 +1,5 @@
-//! Quickstart: build a graph, construct a spanner and a hopset, and answer
-//! approximate distance queries.
+//! Quickstart: build a graph, construct a spanner and a distance oracle
+//! through the pipeline builders, and answer approximate queries.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -7,7 +7,7 @@ use psh::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), PshError> {
     // --- 1. A graph -------------------------------------------------------
     // 2000-vertex connected random graph with 6000 extra edges.
     let mut rng = StdRng::seed_from_u64(7);
@@ -15,39 +15,49 @@ fn main() {
     println!("graph: n = {}, m = {}", g.n(), g.m());
 
     // --- 2. A spanner (Theorem 1.1) ---------------------------------------
-    // O(k)-stretch, expected O(n^{1+1/k}) edges. Here k = 3.
-    let (spanner, cost) = unweighted_spanner(&g, 3.0, &mut rng);
+    // O(k)-stretch, expected O(n^{1+1/k}) edges. Here k = 3. The returned
+    // Run carries the artifact, its work/depth cost, and the seed — the
+    // same seed always rebuilds the identical spanner.
+    let spanner = SpannerBuilder::unweighted(3.0).seed(Seed(11)).build(&g)?;
     println!(
-        "spanner: {} edges ({}% of m), built with {}",
-        spanner.size(),
-        100 * spanner.size() / g.m(),
-        cost
+        "spanner: {} edges ({}% of m), built with {} [{}]",
+        spanner.artifact.size(),
+        100 * spanner.artifact.size() / g.m(),
+        spanner.cost,
+        spanner.seed,
     );
 
-    // --- 3. A hopset + oracle (Theorem 1.2) --------------------------------
-    let params = HopsetParams {
-        epsilon: 0.5,
-        delta: 1.5,
-        gamma1: 0.25,
-        gamma2: 0.75,
-        k_conf: 1.0,
-    };
-    let (oracle, pre) = ApproxShortestPaths::build_unweighted(&g, &params, &mut rng);
+    // --- 3. A hopset-backed oracle (Theorem 1.2) ---------------------------
+    let oracle = OracleBuilder::new()
+        .params(HopsetParams {
+            epsilon: 0.5,
+            delta: 1.5,
+            gamma1: 0.25,
+            gamma2: 0.75,
+            k_conf: 1.0,
+        })
+        .seed(Seed(12))
+        .build(&g)?;
     println!(
         "hopset: {} shortcut edges, preprocessing {}",
-        oracle.hopset_size(),
-        pre
+        oracle.artifact.hopset_size(),
+        oracle.cost
     );
 
     // --- 4. Queries ---------------------------------------------------------
     for (s, t) in [(0u32, 1999u32), (17, 1234), (42, 43)] {
-        let (answer, qcost) = oracle.query(s, t);
-        let exact = oracle.query_exact(s, t);
+        let (answer, qcost) = oracle.artifact.query(s, t);
+        let exact = oracle.artifact.query_exact(s, t);
         println!(
             "dist({s:4}, {t:4}) ≈ {:6.1}   exact {exact:4}   query {}",
             answer.distance, qcost
         );
         assert!(answer.distance >= exact as f64);
     }
+
+    // --- 5. Errors are values, not panics -----------------------------------
+    let err = SpannerBuilder::unweighted(0.5).build(&g).unwrap_err();
+    println!("k = 0.5 is rejected up front: {err}");
     println!("all answers are sound upper bounds — done.");
+    Ok(())
 }

@@ -25,7 +25,11 @@ fn main() {
     );
 
     for k in [2.0f64, 4.0] {
-        let (ours, cost) = weighted_spanner(&g, k, &mut rng);
+        let run = SpannerBuilder::weighted(k)
+            .seed(Seed(k as u64))
+            .build(&g)
+            .expect("valid parameters");
+        let (ours, cost) = (run.artifact, run.cost);
         let (max_s, mean_s) = stretch_sampled(&g, &ours, 400, &mut rng);
         println!("\nESTC spanner, k = {k}:");
         println!(

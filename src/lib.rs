@@ -11,9 +11,27 @@
 //! | [`psh_core`] | spanners (Theorem 1.1), hopsets (Theorem 1.2), the approximate-distance oracle, Appendices B–C |
 //! | [`psh_baselines`] | greedy spanner, Baswana–Sen, sampled-clique and sampled-hierarchy hopsets |
 //!
+//! ## The pipeline API
+//!
+//! Constructions are driven through the typed builders of [`pipeline`]:
+//! each consumes a [`CsrGraph`](psh_graph::CsrGraph) plus a
+//! [`pipeline::Seed`] and returns a [`pipeline::Run`] — artifact, cost,
+//! and the seed that produced it — or a typed
+//! [`pipeline::PshError`] instead of panicking:
+//!
+//! ```
+//! use psh::prelude::*;
+//!
+//! let g = generators::grid(10, 10);
+//! let run = SpannerBuilder::unweighted(2.0).seed(Seed(42)).build(&g).unwrap();
+//! println!("spanner: {} edges, {}", run.artifact.size(), run.cost);
+//! assert!(run.artifact.is_subgraph_of(&g));
+//! ```
+//!
 //! This facade re-exports everything; `use psh::prelude::*` pulls in the
 //! common working set. See the `examples/` directory for runnable tours
-//! and `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+//! and the README for a quickstart; the experiment binaries live in
+//! `crates/bench/src/bin/`.
 
 pub use psh_baselines as baselines;
 pub use psh_cluster as cluster;
@@ -21,13 +39,20 @@ pub use psh_core as core;
 pub use psh_graph as graph;
 pub use psh_pram as pram;
 
-/// The common working set: graph types, generators, the clustering, the
-/// spanner/hopset constructions, and the oracle.
+pub mod pipeline;
+
+/// The common working set: graph types and generators, the pipeline
+/// builders with their `Seed`/`Run`/error vocabulary, the artifact types
+/// they produce, and the cost model.
 pub mod prelude {
-    pub use psh_cluster::{est_cluster, Clustering, ExponentialShifts};
-    pub use psh_core::hopset::{build_hopset, Hopset, HopsetParams, WeightClassDecomposition};
+    pub use crate::pipeline::{
+        ClusterBuilder, ClusterError, HopsetArtifact, HopsetBuilder, HopsetKind, OracleBuilder,
+        OracleMode, PshError, Run, Seed, SpannerBuilder, SpannerKind,
+    };
+    pub use psh_cluster::{Clustering, ExponentialShifts};
+    pub use psh_core::hopset::{Hopset, HopsetParams, WeightClassDecomposition};
     pub use psh_core::oracle::ApproxShortestPaths;
-    pub use psh_core::spanner::{unweighted_spanner, weighted_spanner, Spanner};
+    pub use psh_core::spanner::Spanner;
     pub use psh_graph::{generators, CsrGraph, Edge, VertexId, Weight, INF};
     pub use psh_pram::Cost;
 }
@@ -41,5 +66,10 @@ mod tests {
         assert_eq!(g.n(), 4);
         let c = Cost::new(1, 1);
         assert_eq!(c.work, 1);
+        let run = SpannerBuilder::unweighted(2.0)
+            .seed(Seed(1))
+            .build(&g)
+            .unwrap();
+        assert_eq!(run.artifact.size(), 3, "a path is its own spanner");
     }
 }

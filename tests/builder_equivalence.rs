@@ -1,0 +1,184 @@
+//! Builder ↔ legacy equivalence: driving the pipeline builders with
+//! `Seed(s)` produces byte-identical artifacts and costs to the deprecated
+//! free functions driven by `StdRng::seed_from_u64(s)` — the guarantee
+//! that makes incremental migration safe and lets recorded experiment
+//! numbers survive the API change. Plus: invalid parameters come back as
+//! typed [`PshError`]/[`ClusterError`] values where the legacy functions
+//! panicked.
+
+#![allow(deprecated)] // the whole point of this file is to compare against the legacy API
+
+use psh::core::hopset::build_hopset;
+use psh::core::spanner::{unweighted_spanner, weighted_spanner};
+use psh::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn unit_graph() -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(77);
+    generators::connected_random(500, 1_500, &mut rng)
+}
+
+fn weighted_graph() -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(78);
+    let base = generators::connected_random(300, 900, &mut rng);
+    generators::with_log_uniform_weights(&base, 1024.0, &mut rng)
+}
+
+fn params() -> HopsetParams {
+    HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    }
+}
+
+#[test]
+fn cluster_builder_matches_est_cluster() {
+    let g = unit_graph();
+    for seed in [0u64, 1, 42, 20150625] {
+        let run = ClusterBuilder::new(0.3).seed(Seed(seed)).build(&g).unwrap();
+        let (legacy, legacy_cost) =
+            psh::cluster::est_cluster(&g, 0.3, &mut StdRng::seed_from_u64(seed));
+        assert_eq!(run.artifact, legacy, "seed {seed}");
+        assert_eq!(run.cost, legacy_cost, "seed {seed}");
+    }
+}
+
+#[test]
+fn spanner_builder_matches_unweighted_spanner() {
+    let g = unit_graph();
+    for seed in [0u64, 7, 99] {
+        let run = SpannerBuilder::unweighted(3.0)
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap();
+        let (legacy, legacy_cost) = unweighted_spanner(&g, 3.0, &mut StdRng::seed_from_u64(seed));
+        assert_eq!(run.artifact, legacy, "seed {seed}");
+        assert_eq!(run.cost, legacy_cost, "seed {seed}");
+    }
+}
+
+#[test]
+fn spanner_builder_matches_weighted_spanner() {
+    let g = weighted_graph();
+    for seed in [0u64, 5, 123] {
+        let run = SpannerBuilder::weighted(2.0)
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap();
+        let (legacy, legacy_cost) = weighted_spanner(&g, 2.0, &mut StdRng::seed_from_u64(seed));
+        assert_eq!(run.artifact, legacy, "seed {seed}");
+        assert_eq!(run.cost, legacy_cost, "seed {seed}");
+    }
+}
+
+#[test]
+fn hopset_builder_matches_build_hopset() {
+    let g = unit_graph();
+    for seed in [0u64, 3, 888] {
+        let run = HopsetBuilder::unweighted()
+            .params(params())
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap();
+        let (legacy, legacy_cost) = build_hopset(&g, &params(), &mut StdRng::seed_from_u64(seed));
+        assert_eq!(run.artifact.into_single(), legacy, "seed {seed}");
+        assert_eq!(run.cost, legacy_cost, "seed {seed}");
+    }
+}
+
+#[test]
+fn oracle_builder_matches_legacy_constructors() {
+    let g = generators::grid(12, 12);
+    let run = OracleBuilder::new()
+        .params(params())
+        .seed(Seed(4))
+        .build(&g)
+        .unwrap();
+    let (legacy, legacy_cost) =
+        ApproxShortestPaths::build_unweighted(&g, &params(), &mut StdRng::seed_from_u64(4));
+    assert_eq!(run.cost, legacy_cost);
+    assert_eq!(run.artifact.hopset_size(), legacy.hopset_size());
+    assert_eq!(run.artifact.hop_budget(), legacy.hop_budget());
+    for (s, t) in [(0u32, 143u32), (10, 100), (7, 7)] {
+        assert_eq!(run.artifact.query(s, t), legacy.query(s, t));
+    }
+
+    let mut wrng = StdRng::seed_from_u64(5);
+    let wg = generators::with_uniform_weights(&g, 1, 30, &mut wrng);
+    let wrun = OracleBuilder::new()
+        .params(params())
+        .eta(0.4)
+        .seed(Seed(6))
+        .build(&wg)
+        .unwrap();
+    let (wlegacy, wlegacy_cost) =
+        ApproxShortestPaths::build_weighted(&wg, &params(), 0.4, &mut StdRng::seed_from_u64(6));
+    assert_eq!(wrun.cost, wlegacy_cost);
+    assert_eq!(wrun.artifact.hopset_size(), wlegacy.hopset_size());
+    for (s, t) in [(0u32, 143u32), (31, 97)] {
+        assert_eq!(wrun.artifact.query(s, t), wlegacy.query(s, t));
+    }
+}
+
+#[test]
+fn invalid_params_error_where_legacy_panicked() {
+    let g = unit_graph();
+    // stretch below 1
+    assert!(matches!(
+        SpannerBuilder::unweighted(0.0).build(&g),
+        Err(PshError::InvalidStretch { .. })
+    ));
+    assert!(matches!(
+        SpannerBuilder::weighted(0.9).build(&g),
+        Err(PshError::InvalidStretch { .. })
+    ));
+    // epsilon outside (0, 1)
+    assert!(matches!(
+        HopsetBuilder::unweighted().epsilon(0.0).build(&g),
+        Err(PshError::InvalidHopsetParams { .. })
+    ));
+    assert!(matches!(
+        HopsetBuilder::unweighted().epsilon(1.5).build(&g),
+        Err(PshError::InvalidHopsetParams { .. })
+    ));
+    // band / hop-target exponents outside (0, 1)
+    assert!(matches!(
+        HopsetBuilder::weighted(1.0).build(&g),
+        Err(PshError::InvalidEta { eta }) if eta == 1.0
+    ));
+    assert!(matches!(
+        HopsetBuilder::limited(0.0).build(&g),
+        Err(PshError::InvalidAlpha { .. })
+    ));
+    // invalid clustering beta
+    assert!(matches!(
+        ClusterBuilder::new(f64::NAN).build(&g),
+        Err(ClusterError::InvalidBeta { .. })
+    ));
+    // weighted input into the unit-weight algorithm
+    let wg = weighted_graph();
+    assert!(matches!(
+        SpannerBuilder::unweighted(2.0).build(&wg),
+        Err(PshError::RequiresUnitWeights { .. })
+    ));
+}
+
+#[test]
+fn run_seed_replays_artifact() {
+    // the provenance contract: rebuilding from run.seed reproduces the run
+    let g = unit_graph();
+    let first = SpannerBuilder::unweighted(4.0)
+        .seed(Seed(31337))
+        .build(&g)
+        .unwrap();
+    let replay = SpannerBuilder::unweighted(4.0)
+        .seed(first.seed)
+        .build(&g)
+        .unwrap();
+    assert_eq!(first.artifact, replay.artifact);
+    assert_eq!(first.cost, replay.cost);
+}

@@ -1,10 +1,8 @@
 //! Integration tests: every public construction is bit-deterministic
-//! given a seed — the property the probabilistic experiments and
-//! EXPERIMENTS.md's recorded numbers rely on.
+//! given a [`Seed`] — the property the probabilistic experiments and the
+//! `Run`-caching plans rely on.
 
 use psh::baselines::baswana_sen::baswana_sen_spanner;
-use psh::core::hopset::limited::low_depth_hopset;
-use psh::core::hopset::weighted::build_weighted_hopsets;
 use psh::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,55 +18,61 @@ fn weighted_graph() -> CsrGraph {
     generators::with_log_uniform_weights(&base, 512.0, &mut rng)
 }
 
+fn params() -> HopsetParams {
+    HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    }
+}
+
 #[test]
 fn clustering_deterministic() {
     let g = graph();
-    let (a, ca) = est_cluster(&g, 0.2, &mut StdRng::seed_from_u64(5));
-    let (b, cb) = est_cluster(&g, 0.2, &mut StdRng::seed_from_u64(5));
-    assert_eq!(a, b);
-    assert_eq!(ca, cb, "costs must be deterministic too");
+    let builder = ClusterBuilder::new(0.2).seed(Seed(5));
+    let a = builder.build(&g).unwrap();
+    let b = builder.build(&g).unwrap();
+    assert_eq!(a.artifact, b.artifact);
+    assert_eq!(a.cost, b.cost, "costs must be deterministic too");
+    assert_eq!(a.seed, b.seed);
 }
 
 #[test]
 fn spanners_deterministic() {
     let g = graph();
-    let (a, _) = unweighted_spanner(&g, 3.0, &mut StdRng::seed_from_u64(5));
-    let (b, _) = unweighted_spanner(&g, 3.0, &mut StdRng::seed_from_u64(5));
-    assert_eq!(a, b);
+    let builder = SpannerBuilder::unweighted(3.0).seed(Seed(5));
+    let a = builder.build(&g).unwrap();
+    let b = builder.build(&g).unwrap();
+    assert_eq!(a.artifact, b.artifact);
     let wg = weighted_graph();
-    let (a, _) = weighted_spanner(&wg, 3.0, &mut StdRng::seed_from_u64(5));
-    let (b, _) = weighted_spanner(&wg, 3.0, &mut StdRng::seed_from_u64(5));
-    assert_eq!(a, b);
+    let wbuilder = SpannerBuilder::weighted(3.0).seed(Seed(5));
+    let a = wbuilder.build(&wg).unwrap();
+    let b = wbuilder.build(&wg).unwrap();
+    assert_eq!(a.artifact, b.artifact);
 }
 
 #[test]
 fn hopsets_deterministic() {
     let g = graph();
-    let p = HopsetParams {
-        epsilon: 0.5,
-        delta: 1.5,
-        gamma1: 0.25,
-        gamma2: 0.75,
-        k_conf: 1.0,
-    };
-    let (a, ca) = build_hopset(&g, &p, &mut StdRng::seed_from_u64(5));
-    let (b, cb) = build_hopset(&g, &p, &mut StdRng::seed_from_u64(5));
-    assert_eq!(a, b);
-    assert_eq!(ca, cb);
+    let builder = HopsetBuilder::unweighted().params(params()).seed(Seed(5));
+    let a = builder.build(&g).unwrap();
+    let b = builder.build(&g).unwrap();
+    assert_eq!(a.artifact.as_single(), b.artifact.as_single());
+    assert_eq!(a.cost, b.cost);
 }
 
 #[test]
 fn weighted_hopsets_deterministic() {
     let g = weighted_graph();
-    let p = HopsetParams {
-        epsilon: 0.5,
-        delta: 1.5,
-        gamma1: 0.25,
-        gamma2: 0.75,
-        k_conf: 1.0,
-    };
-    let (a, _) = build_weighted_hopsets(&g, &p, 0.4, &mut StdRng::seed_from_u64(5));
-    let (b, _) = build_weighted_hopsets(&g, &p, 0.4, &mut StdRng::seed_from_u64(5));
+    let builder = HopsetBuilder::weighted(0.4).params(params()).seed(Seed(5));
+    let a = builder.build(&g).unwrap().artifact;
+    let b = builder.build(&g).unwrap().artifact;
+    let (a, b) = (
+        a.as_banded().unwrap().clone(),
+        b.as_banded().unwrap().clone(),
+    );
     assert_eq!(a.total_size(), b.total_size());
     for (x, y) in a.bands.iter().zip(&b.bands) {
         assert_eq!(x.hopset, y.hopset);
@@ -79,9 +83,23 @@ fn weighted_hopsets_deterministic() {
 #[test]
 fn limited_hopsets_deterministic() {
     let g = generators::path(300);
-    let (a, _) = low_depth_hopset(&g, 0.6, 0.5, &mut StdRng::seed_from_u64(5));
-    let (b, _) = low_depth_hopset(&g, 0.6, 0.5, &mut StdRng::seed_from_u64(5));
+    let builder = HopsetBuilder::limited(0.6).epsilon(0.5).seed(Seed(5));
+    let a = builder.build(&g).unwrap().artifact.into_single();
+    let b = builder.build(&g).unwrap().artifact.into_single();
     assert_eq!(a, b);
+}
+
+#[test]
+fn oracle_deterministic() {
+    let g = graph();
+    let builder = OracleBuilder::new().params(params()).seed(Seed(5));
+    let a = builder.build(&g).unwrap();
+    let b = builder.build(&g).unwrap();
+    assert_eq!(a.artifact.hopset_size(), b.artifact.hopset_size());
+    assert_eq!(a.cost, b.cost);
+    for (s, t) in [(0u32, 599u32), (7, 311)] {
+        assert_eq!(a.artifact.query(s, t).0, b.artifact.query(s, t).0);
+    }
 }
 
 #[test]
@@ -97,7 +115,15 @@ fn different_seeds_differ() {
     // sanity: the seed actually matters (we are not accidentally
     // derandomized, which would invalidate the probabilistic analysis)
     let g = graph();
-    let (a, _) = est_cluster(&g, 0.2, &mut StdRng::seed_from_u64(1));
-    let (b, _) = est_cluster(&g, 0.2, &mut StdRng::seed_from_u64(2));
+    let a = ClusterBuilder::new(0.2)
+        .seed(Seed(1))
+        .build(&g)
+        .unwrap()
+        .artifact;
+    let b = ClusterBuilder::new(0.2)
+        .seed(Seed(2))
+        .build(&g)
+        .unwrap()
+        .artifact;
     assert_ne!(a.center, b.center);
 }

@@ -20,9 +20,13 @@ fn params() -> HopsetParams {
 
 #[test]
 fn oracle_sound_and_accurate_on_many_random_pairs() {
-    let mut rng = StdRng::seed_from_u64(1);
     let g = generators::grid(30, 30);
-    let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &params(), &mut rng);
+    let oracle = OracleBuilder::new()
+        .params(params())
+        .seed(Seed(1))
+        .build(&g)
+        .unwrap()
+        .artifact;
     let mut qrng = StdRng::seed_from_u64(2);
     for _ in 0..40 {
         let s = qrng.random_range(0..g.n() as u32);
@@ -47,7 +51,13 @@ fn hopset_query_depth_beats_plain_bfs_on_high_diameter() {
     // the whole point of Theorem 1.2: depth ≪ diameter
     let n = 3_000usize;
     let g = generators::path(n);
-    let (h, _) = build_hopset(&g, &params(), &mut StdRng::seed_from_u64(3));
+    let h = HopsetBuilder::unweighted()
+        .params(params())
+        .seed(Seed(3))
+        .build(&g)
+        .unwrap()
+        .artifact
+        .into_single();
     let extra = h.to_extra_edges();
     let (d, hops, _) = hop_limited_pair(&g, Some(&extra), 0, (n - 1) as u32, n);
     assert!(d != INF);
@@ -65,16 +75,24 @@ fn ours_vs_sampled_clique_tradeoff() {
     // work at bounded distortion. Check both sides of the trade.
     let mut rng = StdRng::seed_from_u64(4);
     let g = generators::connected_random(1_200, 3_600, &mut rng);
-    let (ours, ours_cost) = build_hopset(&g, &params(), &mut StdRng::seed_from_u64(5));
+    let ours_run = HopsetBuilder::unweighted()
+        .params(params())
+        .seed(Seed(5))
+        .build(&g)
+        .unwrap();
     let (ks, ks_cost) = sampled_clique_hopset(&g, &mut StdRng::seed_from_u64(5));
     assert!(
-        ours_cost.work < ks_cost.work,
+        ours_run.cost.work < ks_cost.work,
         "ours {} work should undercut sampled-clique {}",
-        ours_cost.work,
+        ours_run.cost.work,
         ks_cost.work
     );
     // and both hopsets are structurally valid
-    ours.validate_no_shortcuts_below_distance(&g).unwrap();
+    ours_run
+        .artifact
+        .into_single()
+        .validate_no_shortcuts_below_distance(&g)
+        .unwrap();
     ks.validate_no_shortcuts_below_distance(&g).unwrap();
 }
 
@@ -83,7 +101,13 @@ fn weighted_oracle_end_to_end() {
     let mut rng = StdRng::seed_from_u64(6);
     let base = generators::grid(14, 14);
     let g = generators::with_uniform_weights(&base, 1, 100, &mut rng);
-    let (oracle, _) = ApproxShortestPaths::build_weighted(&g, &params(), 0.4, &mut rng);
+    let oracle = OracleBuilder::new()
+        .params(params())
+        .eta(0.4)
+        .seed(Seed(6))
+        .build(&g)
+        .unwrap()
+        .artifact;
     let mut qrng = StdRng::seed_from_u64(7);
     for _ in 0..25 {
         let s = qrng.random_range(0..g.n() as u32);
@@ -104,11 +128,17 @@ fn weighted_oracle_end_to_end() {
 
 #[test]
 fn appendix_b_plus_dijkstra_handles_astronomical_weight_ratios() {
-    // weights spanning 1e15 ≫ n³: the decomposition routes queries to
+    // weights spanning 1e15 ≫ n³: the oracle builder refuses such inputs
+    // up front, and the Appendix B decomposition routes queries to
     // poly-bounded quotient graphs
     let mut rng = StdRng::seed_from_u64(8);
     let base = generators::connected_random(300, 700, &mut rng);
     let g = generators::with_log_uniform_weights(&base, 1e15, &mut rng);
+    let err = OracleBuilder::new().params(params()).build(&g).unwrap_err();
+    assert!(
+        matches!(err, PshError::WeightRangeTooLarge { .. }),
+        "expected the weight-range precondition to fire, got {err}"
+    );
     let (dec, _) = WeightClassDecomposition::build(&g, 0.2);
     assert!(dec.max_query_weight_ratio() <= dec.base.powi(3));
     let mut qrng = StdRng::seed_from_u64(9);
@@ -143,8 +173,15 @@ fn definition_2_4_probability_clause() {
     let eps_total = 1.0; // ε·log_ρ n budget with these test params
     let mut successes = 0;
     let trials = 10;
+    let builder = HopsetBuilder::unweighted().params(p);
     for seed in 0..trials {
-        let (h, _) = build_hopset(&g, &p, &mut StdRng::seed_from_u64(seed));
+        let h = builder
+            .clone()
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap()
+            .artifact
+            .into_single();
         let extra = h.to_extra_edges();
         let budget = p.hop_bound(n, p.beta0(n), exact);
         let (d, _, _) = hop_limited_pair(&g, Some(&extra), s, t, budget);
@@ -164,9 +201,19 @@ fn hopset_plus_spanner_compose() {
     // then shortcut) — both guarantees must survive composition
     let mut rng = StdRng::seed_from_u64(10);
     let g = generators::erdos_renyi(800, 8_000, &mut rng);
-    let (s, _) = unweighted_spanner(&g, 2.0, &mut StdRng::seed_from_u64(11));
+    let s = SpannerBuilder::unweighted(2.0)
+        .seed(Seed(11))
+        .build(&g)
+        .unwrap()
+        .artifact;
     let h_graph = s.as_graph();
-    let (hopset, _) = build_hopset(&h_graph, &params(), &mut StdRng::seed_from_u64(12));
+    let hopset = HopsetBuilder::unweighted()
+        .params(params())
+        .seed(Seed(12))
+        .build(&h_graph)
+        .unwrap()
+        .artifact
+        .into_single();
     hopset
         .validate_no_shortcuts_below_distance(&h_graph)
         .unwrap();

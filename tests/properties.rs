@@ -1,19 +1,17 @@
 //! Cross-crate property tests: the core guarantees on arbitrary random
 //! inputs (small sizes, many cases) — complementing the targeted
-//! integration tests with adversarial-shape coverage.
+//! integration tests with adversarial-shape coverage. All constructions
+//! run through the pipeline builders.
 
 use proptest::prelude::*;
 use psh::core::spanner::verify::max_stretch_exact;
 use psh::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn arbitrary_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
     (2usize..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 1u64..16), 0..max_m)
-            .prop_map(move |raw| {
-                CsrGraph::from_edges(n, raw.into_iter().map(|(u, v, w)| Edge::new(u, v, w)))
-            })
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u64..16), 0..max_m).prop_map(
+            move |raw| CsrGraph::from_edges(n, raw.into_iter().map(|(u, v, w)| Edge::new(u, v, w))),
+        )
     })
 }
 
@@ -26,7 +24,7 @@ proptest! {
     fn prop_unweighted_spanner_valid(raw in proptest::collection::vec((0u32..30, 0u32..30), 0..120),
                                      seed in 0u64..1000, k in 1u32..6) {
         let g = CsrGraph::from_edges(30, raw.into_iter().map(|(u, v)| Edge::new(u, v, 1)));
-        let (s, _) = unweighted_spanner(&g, k as f64, &mut StdRng::seed_from_u64(seed));
+        let s = SpannerBuilder::unweighted(k as f64).seed(Seed(seed)).build(&g).unwrap().artifact;
         prop_assert!(s.is_subgraph_of(&g));
         let stretch = max_stretch_exact(&g, &s);
         // never infinite (connectivity preserved within components)
@@ -38,7 +36,7 @@ proptest! {
     #[test]
     fn prop_weighted_spanner_valid(g in arbitrary_graph(25, 80), seed in 0u64..1000) {
         let k = 2.0;
-        let (s, _) = weighted_spanner(&g, k, &mut StdRng::seed_from_u64(seed));
+        let s = SpannerBuilder::weighted(k).seed(Seed(seed)).build(&g).unwrap().artifact;
         prop_assert!(s.is_subgraph_of(&g));
         let stretch = max_stretch_exact(&g, &s);
         prop_assert!(stretch.is_finite() || g.m() == 0);
@@ -49,14 +47,15 @@ proptest! {
     /// them are sound (≥ exact), on arbitrary weighted graphs.
     #[test]
     fn prop_hopset_sound(g in arbitrary_graph(40, 120), seed in 0u64..1000) {
-        let p = HopsetParams {
-            epsilon: 0.5,
-            delta: 1.5,
-            gamma1: 0.25,
-            gamma2: 0.75,
-            k_conf: 1.0,
-        };
-        let (h, _) = build_hopset(&g, &p, &mut StdRng::seed_from_u64(seed));
+        let run = HopsetBuilder::unweighted()
+            .epsilon(0.5)
+            .delta(1.5)
+            .gamma1(0.25)
+            .gamma2(0.75)
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap();
+        let h = run.artifact.into_single();
         prop_assert!(h.validate_no_shortcuts_below_distance(&g).is_ok());
         prop_assert!(h.star_count <= g.n(), "Lemma 4.3 star bound");
     }
@@ -68,12 +67,29 @@ proptest! {
                              seed in 0u64..1000,
                              beta_milli in 10u64..2000) {
         let beta = beta_milli as f64 / 1000.0;
-        let (c, cost) = est_cluster(&g, beta, &mut StdRng::seed_from_u64(seed));
+        let run = ClusterBuilder::new(beta).seed(Seed(seed)).build(&g).unwrap();
+        let (c, cost) = (run.artifact, run.cost);
         prop_assert!(c.validate(&g).is_ok());
         prop_assert!(c.num_clusters >= 1);
         prop_assert!(cost.work >= g.n() as u64);
         // forest edge count check: n - #clusters tree edges
         prop_assert_eq!(c.forest_edges().len(), g.n() - c.num_clusters);
+    }
+
+    /// Builders never panic on hostile parameters: any (k, ε, β) soup
+    /// either builds or reports a typed error.
+    #[test]
+    fn prop_builders_never_panic(g in arbitrary_graph(20, 40),
+                                 k_milli in 0u64..4000,
+                                 eps_milli in 0u64..1500,
+                                 beta_milli in 0u64..3000,
+                                 seed in 0u64..100) {
+        let k = k_milli as f64 / 1000.0;
+        let eps = eps_milli as f64 / 1000.0;
+        let beta = beta_milli as f64 / 1000.0;
+        let _ = SpannerBuilder::weighted(k).seed(Seed(seed)).build(&g);
+        let _ = ClusterBuilder::new(beta).seed(Seed(seed)).build(&g);
+        let _ = HopsetBuilder::weighted(eps).epsilon(eps).seed(Seed(seed)).build(&g);
     }
 
     /// Appendix B queries are sandwiched in [(1-ε)·d, d] on arbitrary

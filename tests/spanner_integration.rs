@@ -12,8 +12,14 @@ fn families(n: usize, seed: u64) -> Vec<(&'static str, CsrGraph)> {
     let mut rng = StdRng::seed_from_u64(seed);
     vec![
         ("random", generators::connected_random(n, 3 * n, &mut rng)),
-        ("grid", generators::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize)),
-        ("power-law", generators::preferential_attachment(n, 3, &mut rng)),
+        (
+            "grid",
+            generators::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize),
+        ),
+        (
+            "power-law",
+            generators::preferential_attachment(n, 3, &mut rng),
+        ),
     ]
 }
 
@@ -23,7 +29,11 @@ fn unweighted_spanner_beats_baswana_sen_on_size_at_large_k() {
     // dense graph, Baswana–Sen should be visibly larger.
     let mut rng = StdRng::seed_from_u64(1);
     let g = generators::erdos_renyi(1_500, 30_000, &mut rng);
-    let (ours, _) = unweighted_spanner(&g, 8.0, &mut StdRng::seed_from_u64(2));
+    let ours = SpannerBuilder::unweighted(8.0)
+        .seed(Seed(2))
+        .build(&g)
+        .unwrap()
+        .artifact;
     let (bs, _) = baswana_sen_spanner(&g, 8, &mut StdRng::seed_from_u64(2));
     assert!(
         ours.size() < bs.size(),
@@ -37,23 +47,42 @@ fn unweighted_spanner_beats_baswana_sen_on_size_at_large_k() {
 fn all_families_get_valid_bounded_stretch_spanners() {
     for (name, g) in families(900, 3) {
         let k = 3.0;
-        let (s, cost) = unweighted_spanner(&g, k, &mut StdRng::seed_from_u64(4));
-        verify_stretch(&g, &s, 8.0 * k + 2.0)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(cost.work > 0 && cost.depth > 0, "{name}: cost not recorded");
+        let run = SpannerBuilder::unweighted(k)
+            .seed(Seed(4))
+            .build(&g)
+            .unwrap();
+        verify_stretch(&g, &run.artifact, 8.0 * k + 2.0).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            run.cost.work > 0 && run.cost.depth > 0,
+            "{name}: cost not recorded"
+        );
     }
 }
 
 #[test]
-fn greedy_is_the_size_floor() {
-    // Greedy (2k-1) is essentially size-optimal; ours should be within a
-    // moderate constant of it on a dense instance.
+fn size_within_constant_of_greedy_and_above_tree_floor() {
+    // Greedy (2k-1) is the classical size yardstick. Ours targets the
+    // looser O(k) stretch class (measured stretch up to 8k+2), so it may
+    // legitimately dip *below* greedy's 2k-1 budget — down to the hard
+    // floor of any connected spanner, the spanning tree. What we pin down:
+    // the size never leaves [n - #components, 12 × greedy].
     let mut rng = StdRng::seed_from_u64(5);
     let g = generators::erdos_renyi(300, 4_000, &mut rng);
     let k = 3.0;
-    let (ours, _) = unweighted_spanner(&g, k, &mut StdRng::seed_from_u64(6));
+    let ours = SpannerBuilder::unweighted(k)
+        .seed(Seed(6))
+        .build(&g)
+        .unwrap()
+        .artifact;
     let (greedy, _) = greedy_spanner(&g, 2.0 * k - 1.0);
-    assert!(ours.size() >= greedy.size(), "greedy is the floor");
+    let stretch = max_stretch_exact(&g, &ours);
+    assert!(stretch <= 8.0 * k + 2.0, "stretch {stretch} out of class");
+    assert!(
+        ours.size() >= g.n() - 1,
+        "{} edges cannot connect a connected {}-vertex graph",
+        ours.size(),
+        g.n()
+    );
     assert!(
         (ours.size() as f64) < 12.0 * greedy.size() as f64,
         "ours {} too far above greedy {}",
@@ -68,7 +97,11 @@ fn weighted_pipeline_handles_mixed_scales_end_to_end() {
     let base = generators::connected_random(700, 2_000, &mut rng);
     let g = generators::with_log_uniform_weights(&base, 16384.0, &mut rng);
     let k = 3.0;
-    let (s, _) = weighted_spanner(&g, k, &mut StdRng::seed_from_u64(8));
+    let s = SpannerBuilder::weighted(k)
+        .seed(Seed(8))
+        .build(&g)
+        .unwrap()
+        .artifact;
     assert!(s.is_subgraph_of(&g));
     let stretch = max_stretch_exact(&g, &s);
     assert!(
@@ -77,7 +110,7 @@ fn weighted_pipeline_handles_mixed_scales_end_to_end() {
     );
     // size sanity: well below m, at most a polylog multiple of n
     assert!(s.size() < g.m());
-    assert!((s.size() as f64) < 10.0 * (g.n() as f64) * (k as f64).log2().max(1.0));
+    assert!((s.size() as f64) < 10.0 * (g.n() as f64) * k.log2().max(1.0));
 }
 
 #[test]
@@ -86,9 +119,17 @@ fn spanner_of_a_spanner_composes_stretch() {
     // downstream-usage pattern worth guarding
     let mut rng = StdRng::seed_from_u64(9);
     let g = generators::connected_random(500, 2_500, &mut rng);
-    let (s1, _) = unweighted_spanner(&g, 2.0, &mut StdRng::seed_from_u64(10));
+    let s1 = SpannerBuilder::unweighted(2.0)
+        .seed(Seed(10))
+        .build(&g)
+        .unwrap()
+        .artifact;
     let h1 = s1.as_graph();
-    let (s2, _) = unweighted_spanner(&h1, 2.0, &mut StdRng::seed_from_u64(11));
+    let s2 = SpannerBuilder::unweighted(2.0)
+        .seed(Seed(11))
+        .build(&h1)
+        .unwrap()
+        .artifact;
     let stretch = max_stretch_exact(&g, &Spanner::new(g.n(), s2.edges.clone()));
     assert!(
         stretch <= (8.0 * 2.0 + 2.0f64).powi(2),

@@ -1,0 +1,176 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset of the criterion 0.5 API the workspace's benches
+//! use (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `sample_size`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`).
+//! Each benchmark runs a short warm-up plus `sample_size` timed
+//! iterations and prints the mean — enough to compare alternatives
+//! locally; swap the real criterion back in for publishable statistics.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which the benches already use).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (criterion's minimum is
+    /// 10; we honour whatever is set).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+            timed_iters: 0,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.label);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+            timed_iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &label);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    iterations: usize,
+    elapsed: Duration,
+    timed_iters: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // one warm-up iteration, untimed
+        std_black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std_black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.timed_iters += self.iterations;
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        if self.timed_iters == 0 {
+            eprintln!("  {group}/{label}: no iterations run");
+            return;
+        }
+        let mean = self.elapsed / self.timed_iters as u32;
+        eprintln!(
+            "  {group}/{label}: mean {mean:?} over {} iterations",
+            self.timed_iters
+        );
+    }
+}
+
+/// Collects benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("inc", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x + 1
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 timed
+        assert_eq!(runs, 4);
+    }
+}

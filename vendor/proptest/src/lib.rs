@@ -1,0 +1,220 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest the workspace uses: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` inner
+//! attribute), range and tuple strategies, [`collection::vec`],
+//! [`Strategy::prop_map`] / [`Strategy::prop_flat_map`], and the
+//! `prop_assert!` family.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message) but is not minimized.
+//! * **Deterministic seeding.** Case `i` of every test derives its RNG
+//!   from a fixed seed and `i`, so failures reproduce exactly across
+//!   runs — there is no persistence file.
+//!
+//! Swapping the real proptest back in is a one-line `Cargo.toml` change;
+//! the macro and strategy syntax used by the tests is identical.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{TestCaseError, TestRunner};
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runner configuration: only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Run one property: sample `cases` inputs, run `f` on each.
+///
+/// Used by the expansion of [`proptest!`]; not part of the public
+/// proptest API but public so the macro can reach it.
+pub fn run_cases<V: Debug, S: Strategy<Value = V>>(
+    config: &ProptestConfig,
+    test_name: &str,
+    strategy: &S,
+    mut f: impl FnMut(V) -> Result<(), TestCaseError>,
+) {
+    // Different tests get different streams; the same test gets the same
+    // stream every run.
+    let base = test_name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(base.wrapping_add(case as u64));
+        let value = strategy.generate(&mut rng);
+        let described = format!("{value:?}");
+        if let Err(e) = f(value) {
+            panic!(
+                "proptest case {case}/{} failed for `{test_name}`:\n  input: {described}\n  {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// `0..n` over `usize` — handy default size range (mirrors proptest's
+/// `SizeRange` conversions used by [`collection::vec`]).
+pub type SizeRange = Range<usize>;
+
+/// The property-test macro. Supports the forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(40))]
+///     #[test]
+///     fn name(a in strat_a, b in strat_b) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::run_cases(&config, stringify!($name), &strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fallible assertion: reports the failing inputs instead of panicking
+/// deep inside the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tuple_and_range_strategies(a in 0u32..10, b in 1u64..1 << 40, c in 0usize..5) {
+            prop_assert!(a < 10);
+            prop_assert!(b >= 1);
+            prop_assert!(c < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_form_parses(x in 0i32..3) {
+            prop_assert!((0..3).contains(&x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_and_map_strategies(
+            v in crate::collection::vec((0u32..8, 0u32..8), 0..20),
+            n in (2usize..30).prop_map(|n| n * 2)
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert_eq!(n % 2, 0);
+            for (a, b) in v {
+                prop_assert!(a < 8 && b < 8);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_strategy(
+            pair in (1usize..10).prop_flat_map(|n| (crate::strategy::Just(n), 0usize..n))
+        ) {
+            let (n, i) = pair;
+            prop_assert!(i < n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_reports_input() {
+        crate::run_cases(
+            &ProptestConfig::with_cases(5),
+            "always_fails",
+            &(0u32..10),
+            |_| Err(TestCaseError::fail("nope".to_string())),
+        );
+    }
+}

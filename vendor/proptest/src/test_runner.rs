@@ -1,0 +1,39 @@
+//! Case execution plumbing: the error type `prop_assert!` produces and a
+//! minimal named runner (kept for API familiarity; [`crate::run_cases`]
+//! is what the macro actually drives).
+
+use std::fmt;
+
+/// A failed property case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message (proptest's `fail`).
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Minimal stand-in for proptest's `TestRunner`.
+pub struct TestRunner {
+    pub cases: u32,
+}
+
+impl TestRunner {
+    pub fn new(cases: u32) -> Self {
+        TestRunner { cases }
+    }
+}

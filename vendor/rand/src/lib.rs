@@ -1,0 +1,131 @@
+//! Offline stand-in for [`rand` 0.9](https://docs.rs/rand/0.9).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides exactly the API surface the workspace uses — `Rng`
+//! (`random`, `random_range`), `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, and `seq::SliceRandom::shuffle` — with the same
+//! generic signatures, so swapping in the real crate is a one-line
+//! `Cargo.toml` change and a rebuild.
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 (the seeding
+//! scheme recommended by the xoshiro authors). It is deterministic given
+//! a seed, statistically solid for the experiment suite, and fast. It is
+//! **not** the same stream as the real `StdRng` (ChaCha12), so recorded
+//! experiment numbers change if the real crate is restored — seeds, not
+//! streams, are the reproducibility contract in this workspace.
+
+pub mod rngs;
+pub mod seq;
+
+mod distr;
+
+pub use distr::{SampleRange, StandardSample};
+
+/// The subset of `rand::Rng` this workspace uses.
+///
+/// All provided methods derive from `next_u64`, so implementing a new
+/// generator takes one method.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T` (`f64` is uniform in `[0, 1)`).
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    ///
+    /// Panics if the range is empty, matching the real crate.
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The subset of `rand::SeedableRng` this workspace uses.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_not_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.random::<f64>()).collect();
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u64 = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+            let z: usize = rng.random_range(0..3);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn range_values_cover_domain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use crate::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying in place is ~impossible");
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for [`rayon`](https://docs.rs/rayon).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! supplies the `rayon::prelude` surface the workspace uses —
+//! `par_iter`, `par_iter_mut`, `into_par_iter`, `par_chunks`,
+//! `par_chunks_mut`, `par_sort_unstable`, and `flat_map_iter` — as thin
+//! wrappers over **sequential** std iterators.
+//!
+//! Semantics are identical (the codebase already uses the deterministic
+//! two-phase patterns that make parallel and sequential execution agree);
+//! only wall-clock parallelism is lost. The paper's claims are measured
+//! in the `psh_pram::Cost` work/depth model, which is unaffected.
+//! Swapping the real rayon back in is a one-line `Cargo.toml` change.
+
+pub mod prelude {
+    pub use crate::{
+        FlatMapIterExt, IntoParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`, blanket
+/// implemented for everything iterable: `into_par_iter` is `into_iter`.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// Sequential stand-in for rayon's shared-slice methods.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Sequential stand-in for rayon's mutable-slice methods.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+
+    #[inline]
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    #[inline]
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// `ParallelIterator::flat_map_iter` has no std equivalent by that name;
+/// provide it for every iterator as plain `flat_map`.
+pub trait FlatMapIterExt: Iterator + Sized {
+    #[inline]
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+}
+
+impl<I: Iterator> FlatMapIterExt for I {}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u64, 2, 3, 4];
+        let s: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_vecs() {
+        let doubled: Vec<u32> = (0..5u32).into_par_iter().map(|x| 2 * x).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+        let kept: Vec<i32> = vec![1, -2, 3]
+            .into_par_iter()
+            .filter(|&x| x > 0)
+            .collect();
+        assert_eq!(kept, vec![1, 3]);
+    }
+
+    #[test]
+    fn chunk_zip_pipeline() {
+        let xs = [1usize, 2, 3, 4, 5, 6];
+        let mut out = [0usize; 6];
+        out.par_chunks_mut(2)
+            .zip(xs.par_chunks(2))
+            .for_each(|(o, i)| o.copy_from_slice(i));
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn flat_map_iter_and_sort() {
+        let mut v: Vec<u32> = [3u32, 1, 2]
+            .par_iter()
+            .flat_map_iter(|&x| [x, x + 10])
+            .collect();
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 11, 12, 13]);
+    }
+}
