@@ -2,14 +2,9 @@
 //! across graph families and β values (single-core wall-clock; the
 //! reproduction currency is the cost model — see the `psh_pram` docs).
 
-// TODO(pipeline): migrate the criterion benches to the builder API.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psh_bench::workloads::Family;
-use psh_cluster::est_cluster;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use psh_cluster::{ClusterBuilder, Seed};
 use std::hint::black_box;
 
 fn bench_cluster(c: &mut Criterion) {
@@ -19,10 +14,7 @@ fn bench_cluster(c: &mut Criterion) {
         for n in [1_000usize, 4_000] {
             let g = family.instantiate(n, 42);
             group.bench_with_input(BenchmarkId::new(family.name(), n), &g, |b, g| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(7);
-                    black_box(est_cluster(g, 0.2, &mut rng))
-                })
+                b.iter(|| black_box(ClusterBuilder::new(0.2).seed(Seed(7)).build(g).unwrap()))
             });
         }
     }
@@ -33,10 +25,7 @@ fn bench_cluster(c: &mut Criterion) {
     let g = Family::Random.instantiate(2_000, 42);
     for beta in [0.05f64, 0.2, 0.8] {
         group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(7);
-                black_box(est_cluster(&g, beta, &mut rng))
-            })
+            b.iter(|| black_box(ClusterBuilder::new(beta).seed(Seed(7)).build(&g).unwrap()))
         });
     }
     group.finish();

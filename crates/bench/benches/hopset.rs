@@ -1,14 +1,12 @@
 //! Criterion microbench: hopset construction — Algorithm 4 vs the
 //! sampled-clique [KS97] baseline and the sampled hierarchy.
 
-// TODO(pipeline): migrate the criterion benches to the builder API.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psh_baselines::ks_hopset::sampled_clique_hopset;
 use psh_baselines::sampled_hierarchy::{sampled_hierarchy_hopset, HierarchyConfig};
 use psh_bench::workloads::Family;
-use psh_core::hopset::{build_hopset, HopsetParams};
+use psh_core::api::{HopsetBuilder, Seed};
+use psh_core::hopset::HopsetParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -30,8 +28,13 @@ fn bench_hopset(c: &mut Criterion) {
         let g = Family::Random.instantiate(n, 42);
         group.bench_with_input(BenchmarkId::new("estc_recursive", n), &g, |b, g| {
             b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(7);
-                black_box(build_hopset(g, &experiment_params(), &mut rng))
+                black_box(
+                    HopsetBuilder::unweighted()
+                        .params(experiment_params())
+                        .seed(Seed(7))
+                        .build(g)
+                        .unwrap(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("sampled_clique", n), &g, |b, g| {

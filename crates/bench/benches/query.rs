@@ -1,16 +1,12 @@
 //! Criterion microbench: s–t distance queries — hopset-backed h-hop
 //! Bellman–Ford vs plain Bellman–Ford vs exact Dijkstra.
 
-// TODO(pipeline): migrate the criterion benches to the builder API.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psh_bench::workloads::Family;
-use psh_core::hopset::{build_hopset, HopsetParams};
+use psh_core::api::{HopsetBuilder, Seed};
+use psh_core::hopset::HopsetParams;
 use psh_graph::traversal::bellman_ford::hop_limited_pair;
 use psh_graph::traversal::dijkstra::dijkstra_pair;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_query(c: &mut Criterion) {
@@ -27,7 +23,13 @@ fn bench_query(c: &mut Criterion) {
         let n = 4_000usize;
         let g = family.instantiate(n, 42);
         let nn = g.n();
-        let (hopset, _) = build_hopset(&g, &params, &mut StdRng::seed_from_u64(7));
+        let hopset = HopsetBuilder::unweighted()
+            .params(params)
+            .seed(Seed(7))
+            .build(&g)
+            .unwrap()
+            .artifact
+            .into_single();
         let extra = hopset.to_extra_edges();
         let (s, t) = (0u32, (nn - 1) as u32);
         group.bench_with_input(BenchmarkId::new("hopset_bf", family.name()), &g, |b, g| {

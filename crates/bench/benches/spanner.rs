@@ -2,13 +2,10 @@
 //! Baswana–Sen. The greedy baseline is excluded here (quadratic; it only
 //! runs in the table binaries at small scale).
 
-// TODO(pipeline): migrate the criterion benches to the builder API.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psh_baselines::baswana_sen::baswana_sen_spanner;
 use psh_bench::workloads::Family;
-use psh_core::spanner::{unweighted_spanner, weighted_spanner};
+use psh_core::api::{Seed, SpannerBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -20,8 +17,12 @@ fn bench_spanner(c: &mut Criterion) {
         let g = Family::Random.instantiate(n, 42);
         group.bench_with_input(BenchmarkId::new("estc", n), &g, |b, g| {
             b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(7);
-                black_box(unweighted_spanner(g, 3.0, &mut rng))
+                black_box(
+                    SpannerBuilder::unweighted(3.0)
+                        .seed(Seed(7))
+                        .build(g)
+                        .unwrap(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("baswana_sen", n), &g, |b, g| {
@@ -39,8 +40,12 @@ fn bench_spanner(c: &mut Criterion) {
         let g = Family::Random.instantiate_weighted(2_000, u, 42);
         group.bench_with_input(BenchmarkId::new("estc_logk", u as u64), &g, |b, g| {
             b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(7);
-                black_box(weighted_spanner(g, 3.0, &mut rng))
+                black_box(
+                    SpannerBuilder::weighted(3.0)
+                        .seed(Seed(7))
+                        .build(g)
+                        .unwrap(),
+                )
             })
         });
     }

@@ -6,23 +6,21 @@
 //! stretch). We sweep multipliers around the prescribed value and print
 //! size and stretch.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin ablation_beta`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin ablation_beta [--json PATH]`
 
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
-use psh_cluster::est_cluster;
+use psh_bench::Report;
+use psh_cluster::{ClusterBuilder, Seed};
 use psh_core::spanner::unweighted::{beta_for, spanner_from_clustering};
 use psh_core::spanner::verify::max_stretch_exact;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let seed = 20150625u64;
     let n = 2_000usize;
     let k = 3.0;
+    let mut report = Report::from_args("ablation_beta");
+    report.meta("n", n).meta("seed", seed).meta("k", k);
     println!("# Ablation — β around the prescribed ln n/2k (k = {k})\n");
     let g = Family::Random.instantiate(n, seed);
     let beta_star = beta_for(g.n(), k);
@@ -36,7 +34,11 @@ fn main() {
     ]);
     for mult in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
         let beta = beta_star * mult;
-        let (c, _) = est_cluster(&g, beta, &mut StdRng::seed_from_u64(seed));
+        let (c, _) = ClusterBuilder::new(beta)
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap()
+            .into_parts();
         let (s, _) = spanner_from_clustering(&g, &c);
         t.row([
             fmt_f(mult),
@@ -48,5 +50,7 @@ fn main() {
         ]);
     }
     t.print();
+    report.push_table("beta_sweep", &t);
+    report.finish();
     println!("\nexpect: stretch degrades as β shrinks (bigger clusters), size grows as β grows.");
 }

@@ -6,16 +6,15 @@
 //! grouping + hierarchical contraction brings it down to `log k`. We
 //! measure both on the same graphs while sweeping `U`.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin ablation_logk_grouping`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin ablation_logk_grouping [--json PATH]`
 
 use psh_bench::table::{fmt_f, fmt_u, Table};
+use psh_bench::Report;
+use psh_core::api::{Seed, SpannerBuilder};
 use psh_core::spanner::buckets::bucket_edges;
 use psh_core::spanner::verify::max_stretch_exact;
 use psh_core::spanner::well_separated::well_separated_spanner;
-use psh_core::spanner::{weighted_spanner, Spanner};
+use psh_core::spanner::Spanner;
 use psh_graph::CsrGraph;
 use psh_pram::Cost;
 use rand::rngs::StdRng;
@@ -40,6 +39,8 @@ fn main() {
     let seed = 20150625u64;
     let n = 2_000usize;
     let k = 4.0f64;
+    let mut report = Report::from_args("ablation_logk_grouping");
+    report.meta("n", n).meta("seed", seed).meta("k", k);
     println!("# Ablation — log k grouping vs naive per-bucket spanners (k = {k})\n");
     println!("(dense random instances, m = 13n, so the size bound binds)\n");
     let mut t = Table::new([
@@ -59,7 +60,11 @@ fn main() {
             u,
             &mut StdRng::seed_from_u64(seed + 1),
         );
-        let (ours, _) = weighted_spanner(&g, k, &mut StdRng::seed_from_u64(seed));
+        let (ours, _) = SpannerBuilder::weighted(k)
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap()
+            .into_parts();
         let (naive, _) = naive_per_bucket(&g, k, seed);
         t.row([
             format!("2^{log_u}"),
@@ -71,5 +76,7 @@ fn main() {
         ]);
     }
     t.print();
+    report.push_table("grouping_vs_naive", &t);
+    report.finish();
     println!("\nexpect: the naive/grouped ratio grows with log U while stretch stays comparable.");
 }

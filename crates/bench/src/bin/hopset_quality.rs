@@ -6,23 +6,22 @@
 //! so we measure on long paths and grids, sweeping the parameters that the
 //! bound says matter (δ via ρ, γ₂ via β₀).
 //!
-//! Usage: `cargo run --release -p psh-bench --bin hopset_quality`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin hopset_quality [--json PATH]`
 
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
-use psh_core::hopset::{build_hopset, HopsetParams};
+use psh_bench::Report;
+use psh_core::api::{HopsetBuilder, Seed};
+use psh_core::hopset::HopsetParams;
 use psh_graph::traversal::bellman_ford::hop_limited_pair;
 use psh_graph::traversal::dijkstra::dijkstra_pair;
 use psh_graph::INF;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let seed = 20150625u64;
     let n = 4_096usize;
+    let mut report = Report::from_args("hopset_quality");
+    report.meta("n", n).meta("seed", seed);
     println!("# Lemma 4.2 — hops and distortion vs predicted\n");
     let mut t = Table::new([
         "family",
@@ -48,7 +47,13 @@ fn main() {
                 gamma2,
                 k_conf: 1.0,
             };
-            let (h, _) = build_hopset(&g, &params, &mut StdRng::seed_from_u64(seed));
+            let h = HopsetBuilder::unweighted()
+                .params(params)
+                .seed(Seed(seed))
+                .build(&g)
+                .unwrap()
+                .artifact
+                .into_single();
             let extra = h.to_extra_edges();
             let (d, hops, _) = hop_limited_pair(&g, Some(&extra), s, tt, nn);
             let predicted = params.hop_bound(nn, params.beta0(nn), exact);
@@ -70,5 +75,7 @@ fn main() {
         }
     }
     t.print();
+    report.push_table("hops_and_distortion", &t);
+    report.finish();
     println!("\nexpect: hops used ≪ no-hopset hops; distortion within the ε·log_ρ n budget.");
 }

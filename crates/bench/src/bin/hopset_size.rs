@@ -4,16 +4,13 @@
 //! once) and at most `(n/n_final)·ρ²` clique edges. We sweep n and report
 //! both counts against their bounds.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin hopset_size`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin hopset_size [--json PATH]`
 
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
-use psh_core::hopset::{build_hopset, HopsetParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use psh_bench::Report;
+use psh_core::api::{HopsetBuilder, Seed};
+use psh_core::hopset::HopsetParams;
 
 fn main() {
     let seed = 20150625u64;
@@ -24,6 +21,13 @@ fn main() {
         gamma2: 0.75,
         k_conf: 1.0,
     };
+    let mut report = Report::from_args("hopset_size");
+    report
+        .meta("seed", seed)
+        .meta("epsilon", params.epsilon)
+        .meta("delta", params.delta)
+        .meta("gamma1", params.gamma1)
+        .meta("gamma2", params.gamma2);
     println!("# Lemma 4.3 — hopset size bounds\n");
     println!(
         "params: ε={} δ={} γ1={} γ2={}\n",
@@ -42,7 +46,13 @@ fn main() {
     for family in [Family::Random, Family::Grid, Family::PathGraph] {
         for n in [1_000usize, 2_000, 4_000, 8_000] {
             let g = family.instantiate(n, seed);
-            let (h, _) = build_hopset(&g, &params, &mut StdRng::seed_from_u64(seed));
+            let h = HopsetBuilder::unweighted()
+                .params(params)
+                .seed(Seed(seed))
+                .build(&g)
+                .unwrap()
+                .artifact
+                .into_single();
             let clique_bound =
                 (g.n() as f64 / params.n_final(g.n()) as f64) * params.rho(g.n()).powi(2);
             t.row([
@@ -58,5 +68,7 @@ fn main() {
         }
     }
     t.print();
+    report.push_table("size_bounds", &t);
+    report.finish();
     println!("\nexpect: stars ≤ n and cliques far below the worst-case bound.");
 }

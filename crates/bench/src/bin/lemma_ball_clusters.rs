@@ -6,16 +6,14 @@
 //! `E[#clusters meeting B(v, 1)]` by sampling vertices over independent
 //! clusterings, sweeping k.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin lemma_ball_clusters`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin lemma_ball_clusters [--json PATH]`
 
 use psh_bench::stats::Summary;
 use psh_bench::table::{fmt_f, Table};
 use psh_bench::workloads::Family;
+use psh_bench::Report;
 use psh_cluster::analysis::ball_cluster_counts;
-use psh_cluster::est_cluster;
+use psh_cluster::{ClusterBuilder, Seed};
 use psh_core::spanner::unweighted::beta_for;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,6 +23,11 @@ fn main() {
     let n = 3_000usize;
     let trials = 12u64;
     let samples_per_trial = 60;
+    let mut report = Report::from_args("lemma_ball_clusters");
+    report
+        .meta("n", n)
+        .meta("seed", seed)
+        .meta("trials", trials);
     println!("# Corollary 3.1 — E[#clusters meeting B(v,1)] ≤ n^(1/k)\n");
     let mut t = Table::new([
         "family",
@@ -40,7 +43,11 @@ fn main() {
             let beta = beta_for(g.n(), k);
             let mut all: Vec<f64> = Vec::new();
             for tr in 0..trials {
-                let (c, _) = est_cluster(&g, beta, &mut StdRng::seed_from_u64(seed + tr));
+                let (c, _) = ClusterBuilder::new(beta)
+                    .seed(Seed(seed + tr))
+                    .build(&g)
+                    .unwrap()
+                    .into_parts();
                 let mut rng = StdRng::seed_from_u64(tr);
                 let centers: Vec<u32> = (0..samples_per_trial)
                     .map(|_| rng.random_range(0..g.n() as u32))
@@ -63,5 +70,7 @@ fn main() {
         }
     }
     t.print();
+    report.push_table("ball_clusters", &t);
+    report.finish();
     println!("\nexpect: the mean column under the bound column in every row.");
 }

@@ -5,23 +5,24 @@
 //! We sweep β over several graph families and report the max and mean
 //! observed radius against the k = 1 and k = 2 bounds.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin lemma_cluster_diameter`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin lemma_cluster_diameter [--json PATH]`
 
 use psh_bench::stats::Summary;
 use psh_bench::table::{fmt_f, Table};
 use psh_bench::workloads::Family;
+use psh_bench::Report;
 use psh_cluster::analysis::radius_summary;
-use psh_cluster::est_cluster;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use psh_cluster::{ClusterBuilder, Seed};
 
 fn main() {
     let seed = 20150625u64;
     let n = 4_000usize;
     let trials = 15u64;
+    let mut report = Report::from_args("lemma_cluster_diameter");
+    report
+        .meta("n", n)
+        .meta("seed", seed)
+        .meta("trials", trials);
     println!("# Lemma 2.1 — cluster radius ≤ k·ln n/β w.h.p.\n");
     let mut t = Table::new([
         "family",
@@ -40,7 +41,11 @@ fn main() {
             let mut means = Vec::new();
             let mut depths = Vec::new();
             for tr in 0..trials {
-                let (c, cost) = est_cluster(&g, beta, &mut StdRng::seed_from_u64(seed + tr));
+                let (c, cost) = ClusterBuilder::new(beta)
+                    .seed(Seed(seed + tr))
+                    .build(&g)
+                    .unwrap()
+                    .into_parts();
                 let (mx, mean) = radius_summary(&c);
                 maxes.push(mx as f64);
                 means.push(mean);
@@ -58,5 +63,7 @@ fn main() {
         }
     }
     t.print();
+    report.push_table("cluster_radius", &t);
+    report.finish();
     println!("\nexpect: max radius under the k=2 bound in every row; depth tracks ln n/β.");
 }

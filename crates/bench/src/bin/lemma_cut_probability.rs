@@ -10,15 +10,13 @@
 //! `γ = 1 − exp(−2rβ)`. We sample balls and print the tail against the
 //! bound.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin lemma_cut_probability`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin lemma_cut_probability [--json PATH]`
 
 use psh_bench::table::{fmt_f, Table};
 use psh_bench::workloads::Family;
+use psh_bench::Report;
 use psh_cluster::analysis::{ball_cluster_count, cut_by_weight};
-use psh_cluster::est_cluster;
+use psh_cluster::{ClusterBuilder, Seed};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -26,6 +24,8 @@ use std::collections::BTreeMap;
 fn main() {
     let seed = 20150625u64;
     let trials = 60;
+    let mut report = Report::from_args("lemma_cut_probability");
+    report.meta("seed", seed).meta("trials", trials);
 
     println!("# Corollary 2.3 — P(edge cut) vs β·w\n");
     let base = Family::Grid.instantiate(1_600, seed);
@@ -34,7 +34,11 @@ fn main() {
     let beta = 0.08f64;
     let mut cut_per_w: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
     for t in 0..trials {
-        let (c, _) = est_cluster(&g, beta, &mut StdRng::seed_from_u64(seed + t));
+        let (c, _) = ClusterBuilder::new(beta)
+            .seed(Seed(seed + t))
+            .build(&g)
+            .unwrap()
+            .into_parts();
         for (w, cut) in cut_by_weight(&g, &c) {
             let e = cut_per_w.entry(w).or_insert((0, 0));
             e.1 += 1;
@@ -55,6 +59,7 @@ fn main() {
         ]);
     }
     t1.print();
+    report.push_table("edge_cut_probability", &t1);
 
     println!("\n# Lemma 2.2 — P(ball hits ≥ j clusters) vs γ^(j-1)\n");
     let g = Family::Torus.instantiate(1_600, seed);
@@ -63,7 +68,11 @@ fn main() {
     let gamma = 1.0 - (-2.0 * r as f64 * beta).exp();
     let mut counts: Vec<usize> = Vec::new();
     for t in 0..trials {
-        let (c, _) = est_cluster(&g, beta, &mut StdRng::seed_from_u64(seed + 1000 + t));
+        let (c, _) = ClusterBuilder::new(beta)
+            .seed(Seed(seed + 1000 + t))
+            .build(&g)
+            .unwrap()
+            .into_parts();
         let mut rng = StdRng::seed_from_u64(t);
         for _ in 0..20 {
             let v = rng.random_range(0..g.n() as u32);
@@ -77,5 +86,7 @@ fn main() {
         t2.row([j.to_string(), fmt_f(emp), fmt_f(gamma.powi(j as i32 - 1))]);
     }
     t2.print();
+    report.push_table("ball_tail", &t2);
+    report.finish();
     println!("\nγ = {} (r = {r}, β = {beta})", fmt_f(gamma));
 }

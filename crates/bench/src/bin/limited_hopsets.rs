@@ -5,9 +5,10 @@
 //! long paths by roughly `n^η`. We run the loop on long paths, measuring
 //! after each iteration the hops needed for the end-to-end pair.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin limited_hopsets`
+//! Usage: `cargo run --release -p psh-bench --bin limited_hopsets [--json PATH]`
 
 use psh_bench::table::{fmt_f, fmt_u, Table};
+use psh_bench::Report;
 use psh_core::hopset::limited::{limited_hopset, low_depth_hopset};
 use psh_graph::traversal::bellman_ford::{hop_limited_pair, ExtraEdges};
 use psh_graph::traversal::dijkstra::dijkstra_pair;
@@ -32,6 +33,8 @@ fn main() {
     let n = 2_048usize;
     let g = generators::path(n);
     let (s, t) = (0u32, (n - 1) as u32);
+    let mut report = Report::from_args("limited_hopsets");
+    report.meta("n", n).meta("seed", seed);
 
     println!("# Appendix C — iterated limited hopsets on a {n}-vertex path\n");
     println!("## Per-iteration hop reduction (Theorem C.2 loop, α = 0.6)\n");
@@ -71,6 +74,7 @@ fn main() {
         }
     }
     t1.print();
+    report.push_table("per_iteration", &t1);
 
     println!("\n## One-shot driver (low_depth_hopset, α sweep)\n");
     let mut t2 = Table::new(["α", "hopset size", "s-t hops", "distortion"]);
@@ -85,5 +89,7 @@ fn main() {
         ]);
     }
     t2.print();
+    report.push_table("alpha_sweep", &t2);
+    report.finish();
     println!("\nexpect: hops drop sharply in early iterations; distortion stays bounded.");
 }

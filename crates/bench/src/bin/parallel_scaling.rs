@@ -1,0 +1,143 @@
+//! E17 — the execution layer: wall-clock scaling of the frontier engine.
+//!
+//! Runs the same seeded constructions under `ExecutionPolicy::Sequential`
+//! and `Parallel { threads }` for a sweep of thread counts, and reports
+//! wall-clock, speedup, and — the contract of `psh-exec` — that every
+//! policy produced a **byte-identical artifact** with the identical
+//! work/depth cost. Speedups are hardware-dependent (on a single-core
+//! container every policy degenerates to ≈ 1×); determinism is not, and
+//! this binary exits non-zero if any policy disagrees with sequential.
+//!
+//! Workloads: ESTC clustering on a generated graph with `n ≥ 100k`
+//! (Algorithm 1 — the acceptance workload), multi-source BFS, and Dial
+//! SSSP on the same graph.
+//!
+//! Usage: `cargo run --release -p psh-bench --bin parallel_scaling \
+//!             [--n N] [--threads 2,4,8] [--json PATH]`
+
+use psh_bench::json::{parse_flag, JsonValue};
+use psh_bench::table::{fmt_f, fmt_u, Table};
+use psh_bench::Report;
+use psh_cluster::{ClusterBuilder, Clustering, Seed};
+use psh_exec::{ExecutionPolicy, Executor};
+use psh_graph::traversal::bfs::parallel_bfs_with;
+use psh_graph::traversal::dial::dial_sssp_with;
+use psh_graph::{generators, CsrGraph};
+use std::time::Instant;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn cluster_run(g: &CsrGraph, policy: ExecutionPolicy) -> Clustering {
+    ClusterBuilder::new(0.3)
+        .seed(Seed(20150625))
+        .execution(policy)
+        .build(g)
+        .unwrap()
+        .artifact
+}
+
+fn main() {
+    let n: usize = parse_flag("--n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000);
+    let threads: Vec<usize> = parse_flag("--threads")
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![2, 4]);
+    let mut report = Report::from_args("parallel_scaling");
+
+    let mut rng = Seed(20150625).rng();
+    let g = generators::connected_random(n, 4 * n, &mut rng);
+    report
+        .meta("n", g.n())
+        .meta("m", g.m())
+        .meta("beta", 0.3)
+        .meta(
+            "swept_threads",
+            JsonValue::Array(threads.iter().map(|&k| JsonValue::U64(k as u64)).collect()),
+        );
+    println!(
+        "# psh-exec scaling — seq vs parallel on n={} m={}\n",
+        g.n(),
+        g.m()
+    );
+
+    let mut mismatches = 0usize;
+
+    // --- ESTC clustering (the acceptance workload) ----------------------
+    let (seq_cluster, seq_t) = time(|| cluster_run(&g, ExecutionPolicy::Sequential));
+    let mut t = Table::new(["policy", "wall-clock (s)", "speedup", "identical artifact"]);
+    t.row([
+        "sequential".to_string(),
+        fmt_f(seq_t),
+        "1.00".into(),
+        "—".into(),
+    ]);
+    for &k in &threads {
+        let policy = ExecutionPolicy::Parallel { threads: k };
+        let (c, par_t) = time(|| cluster_run(&g, policy));
+        let same = c == seq_cluster;
+        mismatches += usize::from(!same);
+        t.row([
+            policy.to_string(),
+            fmt_f(par_t),
+            fmt_f(seq_t / par_t),
+            if same { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    println!("## shifted_cluster (β = 0.3)\n");
+    t.print();
+    report.push_table("cluster", &t);
+
+    // --- BFS + Dial on the frontier engine ------------------------------
+    for (name, runner) in [
+        (
+            "parallel_bfs",
+            Box::new(|exec: &Executor| parallel_bfs_with(exec, &g, 0).0)
+                as Box<dyn Fn(&Executor) -> psh_graph::traversal::SsspResult>,
+        ),
+        (
+            "dial_sssp",
+            Box::new(|exec: &Executor| dial_sssp_with(exec, &g, 0).0),
+        ),
+    ] {
+        let (seq_r, seq_t) = time(|| runner(&Executor::sequential()));
+        let mut t = Table::new(["policy", "wall-clock (s)", "speedup", "identical artifact"]);
+        t.row([
+            "sequential".to_string(),
+            fmt_f(seq_t),
+            "1.00".into(),
+            "—".into(),
+        ]);
+        for &k in &threads {
+            let exec = Executor::new(ExecutionPolicy::Parallel { threads: k });
+            let (r, par_t) = time(|| runner(&exec));
+            let same = r == seq_r;
+            mismatches += usize::from(!same);
+            t.row([
+                format!("parallel({k})"),
+                fmt_f(par_t),
+                fmt_f(seq_t / par_t),
+                if same { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+        println!("\n## {name}\n");
+        t.print();
+        report.push_table(name, &t);
+    }
+
+    println!(
+        "\nclusters: {} | artifact mismatches: {mismatches}",
+        fmt_u(seq_cluster.num_clusters as u64)
+    );
+    report.meta("mismatches", mismatches);
+    report.finish();
+    if mismatches > 0 {
+        eprintln!("FAIL: some policy produced a different artifact");
+        std::process::exit(1);
+    }
+    println!("all policies byte-identical ✓ (speedup is hardware-dependent)");
+}

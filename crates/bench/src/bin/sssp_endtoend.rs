@@ -5,16 +5,14 @@
 //! Bellman–Ford. We compare query work and depth against exact engines
 //! (BFS levels / Dijkstra) and report the observed approximation factor.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin sssp_endtoend`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin sssp_endtoend [--json PATH]`
 
 use psh_bench::stats::Summary;
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
+use psh_bench::Report;
+use psh_core::api::{OracleBuilder, OracleMode, Seed};
 use psh_core::hopset::HopsetParams;
-use psh_core::oracle::ApproxShortestPaths;
 use psh_graph::traversal::bfs::parallel_bfs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +28,12 @@ fn main() {
         k_conf: 1.0,
     };
     let queries = 30;
+    let mut report = Report::from_args("sssp_endtoend");
+    report
+        .meta("n", n)
+        .meta("seed", seed)
+        .meta("queries", queries as u64)
+        .meta("epsilon", params.epsilon);
 
     println!("# Theorem 1.2 — end-to-end approximate SSSP\n");
     println!("## Unweighted (Corollary 4.5)\n");
@@ -45,8 +49,13 @@ fn main() {
     ]);
     for family in [Family::PathGraph, Family::Grid, Family::Random] {
         let g = family.instantiate(n, seed);
-        let (oracle, pre) =
-            ApproxShortestPaths::build_unweighted(&g, &params, &mut StdRng::seed_from_u64(seed));
+        let (oracle, pre) = OracleBuilder::new()
+            .params(params)
+            .mode(OracleMode::Unweighted)
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap()
+            .into_parts();
         let (_, bfs_cost) = parallel_bfs(&g, 0);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut qwork = Vec::new();
@@ -75,6 +84,7 @@ fn main() {
         ]);
     }
     t.print();
+    report.push_table("unweighted", &t);
 
     println!("\n## Weighted (Corollary 5.4)\n");
     let mut t = Table::new([
@@ -88,8 +98,15 @@ fn main() {
     ]);
     for family in [Family::Grid, Family::Random] {
         let g = family.instantiate_weighted(1_000, 256.0, seed);
-        let (oracle, pre) =
-            ApproxShortestPaths::build_weighted(&g, &params, 0.4, &mut StdRng::seed_from_u64(seed));
+        let (oracle, pre) = OracleBuilder::new()
+            .params(params)
+            .eta(0.4)
+            .mode(OracleMode::Weighted)
+            .allow_large_weights(true)
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap()
+            .into_parts();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut qdepth = Vec::new();
         let mut factor: f64 = 1.0;
@@ -114,5 +131,7 @@ fn main() {
         ]);
     }
     t.print();
+    report.push_table("weighted", &t);
+    report.finish();
     println!("\nexpect: query depth ≪ exact BFS depth on high-diameter families; factor ≤ 1+ε'.");
 }

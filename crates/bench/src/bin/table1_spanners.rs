@@ -10,23 +10,23 @@
 //!   constant;
 //! * work: ours and BS linear-ish; greedy quadratic (only run small).
 //!
-//! Usage: `cargo run --release -p psh-bench --bin table1_spanners`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin table1_spanners [--json PATH]`
 
 use psh_baselines::baswana_sen::baswana_sen_spanner;
 use psh_baselines::greedy_spanner::greedy_spanner;
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
+use psh_bench::Report;
+use psh_core::api::{Seed, SpannerBuilder};
 use psh_core::spanner::verify::max_stretch_exact;
-use psh_core::spanner::{unweighted_spanner, weighted_spanner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let n = 2_000usize;
-    let seed = 20150625; // the paper's revision date, for luck
+    let seed: u64 = 20150625; // the paper's revision date, for luck
+    let mut report = Report::from_args("table1_spanners");
+    report.meta("n", n).meta("seed", seed);
     println!("# Figure 1 reproduction — spanner constructions\n");
     println!("workloads: random/power-law/grid at n≈{n}; greedy runs at n=300 (quadratic)\n");
 
@@ -48,7 +48,11 @@ fn main() {
             let g = family.instantiate(n, seed);
             let small = family.instantiate(300, seed);
 
-            let (ours, c1) = unweighted_spanner(&g, k as f64, &mut StdRng::seed_from_u64(seed));
+            let (ours, c1) = SpannerBuilder::unweighted(k as f64)
+                .seed(Seed(seed))
+                .build(&g)
+                .unwrap()
+                .into_parts();
             t.row([
                 k.to_string(),
                 family.name().into(),
@@ -85,6 +89,7 @@ fn main() {
             ]);
         }
         t.print();
+        report.push_table(&format!("unweighted_k{k}"), &t);
         println!();
     }
 
@@ -118,7 +123,11 @@ fn main() {
                 u,
                 &mut StdRng::seed_from_u64(seed + 1),
             );
-            let (ours, c1) = weighted_spanner(&g, k as f64, &mut StdRng::seed_from_u64(seed));
+            let (ours, c1) = SpannerBuilder::weighted(k as f64)
+                .seed(Seed(seed))
+                .build(&g)
+                .unwrap()
+                .into_parts();
             t.row([
                 format!("2^{}", (u.log2()) as u32),
                 family.into(),
@@ -143,5 +152,7 @@ fn main() {
         }
     }
     t.print();
+    report.push_table("weighted_k4", &t);
+    report.finish();
     println!("\ndone.");
 }

@@ -12,16 +12,15 @@
 //! polylog-ish hops at superlinear size; Algorithm 4 — few hops, O(n)
 //! size, near-linear work; "none" — hops equal to the path hop length.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin table2_hopsets`
-
-// TODO(pipeline): migrate the experiment binaries to the builder API.
-#![allow(deprecated)]
+//! Usage: `cargo run --release -p psh-bench --bin table2_hopsets [--json PATH]`
 
 use psh_baselines::ks_hopset::sampled_clique_hopset;
 use psh_baselines::sampled_hierarchy::{sampled_hierarchy_hopset, HierarchyConfig};
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
-use psh_core::hopset::{build_hopset, Hopset, HopsetParams};
+use psh_bench::Report;
+use psh_core::api::{HopsetBuilder, Seed};
+use psh_core::hopset::{Hopset, HopsetParams};
 use psh_graph::traversal::bellman_ford::{hop_limited_sssp, ExtraEdges};
 use psh_graph::traversal::dijkstra::dijkstra;
 use psh_graph::CsrGraph;
@@ -96,8 +95,10 @@ fn row_for(
 
 fn main() {
     let n = 2_000usize;
-    let seed = 20150625;
+    let seed: u64 = 20150625;
     let eps = 0.25;
+    let mut report = Report::from_args("table2_hopsets");
+    report.meta("n", n).meta("seed", seed).meta("eps", eps);
     let params = HopsetParams {
         epsilon: 0.5,
         delta: 1.5,
@@ -157,7 +158,15 @@ fn main() {
             c,
             eps,
         );
-        let (ours, c) = build_hopset(&g, &params, &mut StdRng::seed_from_u64(seed));
+        let (ours, c) = {
+            let run = HopsetBuilder::unweighted()
+                .params(params)
+                .seed(Seed(seed))
+                .build(&g)
+                .unwrap();
+            let cost = run.cost;
+            (run.artifact.into_single(), cost)
+        };
         row_for(
             &mut t,
             family.name(),
@@ -169,5 +178,7 @@ fn main() {
         );
     }
     t.print();
+    report.push_table("hopset_comparison", &t);
+    report.finish();
     println!("\n[Coh00*]: sampled-hierarchy proxy, see psh_baselines::sampled_hierarchy.");
 }

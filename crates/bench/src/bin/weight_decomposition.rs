@@ -5,11 +5,12 @@
 //! the total collection near-linear in m, and (c) answer queries within
 //! `[(1−ε)·dist, dist]`.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin weight_decomposition`
+//! Usage: `cargo run --release -p psh-bench --bin weight_decomposition [--json PATH]`
 
 use psh_bench::stats::Summary;
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
+use psh_bench::Report;
 use psh_core::hopset::weight_classes::WeightClassDecomposition;
 use psh_graph::traversal::dijkstra::dijkstra;
 use rand::rngs::StdRng;
@@ -18,6 +19,8 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let seed = 20150625u64;
     let eps = 0.2;
+    let mut report = Report::from_args("weight_decomposition");
+    report.meta("seed", seed).meta("eps", eps);
     println!("# Appendix B — weight-class decomposition (ε = {eps})\n");
     let mut t = Table::new([
         "family",
@@ -68,5 +71,7 @@ fn main() {
         }
     }
     t.print();
+    report.push_table("decomposition", &t);
+    report.finish();
     println!("\nexpect: edges/m ≤ 3, ratio fraction ≤ 1, worst err ≤ ε, zero overshoots.");
 }

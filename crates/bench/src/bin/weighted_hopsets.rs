@@ -5,12 +5,13 @@
 //! query depth (Bellman–Ford rounds) stays near the hop bound rather than
 //! the distance.
 //!
-//! Usage: `cargo run --release -p psh-bench --bin weighted_hopsets`
+//! Usage: `cargo run --release -p psh-bench --bin weighted_hopsets [--json PATH]`
 
 use psh_bench::stats::Summary;
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::Family;
-use psh_core::hopset::weighted::build_weighted_hopsets;
+use psh_bench::Report;
+use psh_core::api::{HopsetBuilder, Seed};
 use psh_core::hopset::HopsetParams;
 use psh_graph::traversal::dijkstra::dijkstra;
 use rand::rngs::StdRng;
@@ -25,6 +26,11 @@ fn main() {
         gamma2: 0.75,
         k_conf: 1.0,
     };
+    let mut report = Report::from_args("weighted_hopsets");
+    report
+        .meta("seed", seed)
+        .meta("eta", 0.4)
+        .meta("epsilon", params.epsilon);
     println!("# §5 — weighted hopsets via rounding + distance bands\n");
     let mut t = Table::new([
         "family",
@@ -38,8 +44,15 @@ fn main() {
     for family in [Family::Grid, Family::Random] {
         for u in [16.0f64, 256.0, 4096.0] {
             let g = family.instantiate_weighted(900, u, seed);
-            let (wh, _) =
-                build_weighted_hopsets(&g, &params, 0.4, &mut StdRng::seed_from_u64(seed));
+            let wh = HopsetBuilder::weighted(0.4)
+                .params(params)
+                .seed(Seed(seed))
+                .build(&g)
+                .unwrap()
+                .artifact
+                .as_banded()
+                .expect("weighted kind yields a banded artifact")
+                .clone();
             let mut rng = StdRng::seed_from_u64(seed);
             let mut errs = Vec::new();
             let mut undershoots = 0usize;
@@ -72,5 +85,7 @@ fn main() {
         }
     }
     t.print();
+    report.push_table("weighted_bands", &t);
+    report.finish();
     println!("\nexpect: zero undershoots (soundness) and max err within the ε' budget.");
 }

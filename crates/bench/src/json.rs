@@ -1,0 +1,299 @@
+//! Machine-readable experiment output.
+//!
+//! Every table/ablation binary accepts `--json PATH`: alongside the
+//! human-readable markdown tables it then writes one JSON document with
+//! the same rows plus run metadata (binary name, thread count and
+//! execution policy, total wall-clock), so `BENCH_*.json` trajectories
+//! can accumulate across commits without scraping stdout.
+//!
+//! The writer is a deliberately tiny hand-rolled serializer (the
+//! workspace has no registry access for serde); the document shape is:
+//!
+//! ```json
+//! {
+//!   "bin": "table1_spanners",
+//!   "threads": 4,
+//!   "policy": "parallel(4)",
+//!   "wall_clock_s": 12.34,
+//!   "meta": { "n": 2000, "seed": 20150625 },
+//!   "tables": { "unweighted_k2": [ {"k": "2", "size": "9,641", ...}, ... ] }
+//! }
+//! ```
+
+use crate::table::Table;
+use psh_exec::ExecutionPolicy;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A JSON value (the subset the reports need).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Bool(bool),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+/// Read `--name VALUE` / `--name=VALUE` from the process arguments —
+/// the one argv scanner shared by every experiment binary.
+pub fn parse_flag(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl JsonValue {
+    /// Serialize into `out` (compact, no trailing newline).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => out.push_str(&v.to_string()),
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null"); // JSON has no Infinity/NaN
+                }
+            }
+            JsonValue::Str(s) => escape_into(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialize to a `String`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+}
+
+/// One binary's JSON report: run metadata plus every table it printed.
+///
+/// Construct with [`Report::from_args`]; call [`Report::push_table`]
+/// right after printing each table and [`Report::finish`] at the end of
+/// `main`. When `--json` was not passed everything is a no-op, so the
+/// instrumentation costs nothing in the default human-readable mode.
+#[derive(Debug)]
+pub struct Report {
+    bin: String,
+    path: Option<PathBuf>,
+    meta: Vec<(String, JsonValue)>,
+    tables: Vec<(String, JsonValue)>,
+    started: Instant,
+}
+
+impl Report {
+    /// Build a report for binary `bin`, reading `--json PATH` from the
+    /// process arguments.
+    pub fn from_args(bin: &str) -> Report {
+        Report::new(bin, parse_flag("--json").map(PathBuf::from))
+    }
+
+    /// Build a report with an explicit output path (`None` disables it).
+    pub fn new(bin: &str, path: Option<PathBuf>) -> Report {
+        Report {
+            bin: bin.to_string(),
+            path,
+            meta: Vec::new(),
+            tables: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// True when `--json` was requested.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Attach a metadata field (workload sizes, parameters, seeds, …).
+    pub fn meta(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        if self.enabled() {
+            self.meta.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Record a printed table under `label`: one JSON object per row,
+    /// keyed by the table's column headers.
+    pub fn push_table(&mut self, label: &str, table: &Table) -> &mut Self {
+        if self.enabled() {
+            let rows: Vec<JsonValue> = table
+                .rows()
+                .iter()
+                .map(|row| {
+                    JsonValue::Object(
+                        table
+                            .header()
+                            .iter()
+                            .zip(row)
+                            .map(|(h, c)| (h.clone(), JsonValue::Str(c.clone())))
+                            .collect(),
+                    )
+                })
+                .collect();
+            self.tables
+                .push((label.to_string(), JsonValue::Array(rows)));
+        }
+        self
+    }
+
+    /// The document this report currently describes. The top-level
+    /// `threads`/`policy` fields record the *process-default*
+    /// [`ExecutionPolicy`] (what `PSH_THREADS` selected) — a binary that
+    /// sweeps explicit policies (e.g. `parallel_scaling`) reports the
+    /// swept policies per table row and in its own `meta` instead.
+    pub fn to_value(&self) -> JsonValue {
+        let policy = ExecutionPolicy::from_env();
+        JsonValue::Object(vec![
+            ("bin".into(), JsonValue::Str(self.bin.clone())),
+            ("threads".into(), JsonValue::U64(policy.threads() as u64)),
+            ("policy".into(), JsonValue::Str(policy.to_string())),
+            (
+                "wall_clock_s".into(),
+                JsonValue::F64(self.started.elapsed().as_secs_f64()),
+            ),
+            ("meta".into(), JsonValue::Object(self.meta.clone())),
+            ("tables".into(), JsonValue::Object(self.tables.clone())),
+        ])
+    }
+
+    /// Write the report if `--json` was requested; prints the path so the
+    /// run's artifacts are discoverable from the transcript.
+    pub fn finish(self) {
+        let Some(path) = &self.path else { return };
+        let mut doc = self.to_value().to_json();
+        doc.push('\n');
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("\njson report written to {}", path.display()),
+            Err(e) => eprintln!("\nfailed to write json report {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_serialize_compactly() {
+        let v = JsonValue::Object(vec![
+            ("a".into(), JsonValue::U64(3)),
+            (
+                "b".into(),
+                JsonValue::Array(vec![true.into(), "x\"y".into()]),
+            ),
+            ("c".into(), JsonValue::F64(1.5)),
+            ("inf".into(), JsonValue::F64(f64::INFINITY)),
+        ]);
+        assert_eq!(
+            v.to_json(),
+            r#"{"a":3,"b":[true,"x\"y"],"c":1.5,"inf":null}"#
+        );
+    }
+
+    #[test]
+    fn report_captures_tables_and_meta() {
+        let mut t = Table::new(["alg", "size"]);
+        t.row(["ours", "123"]);
+        let mut r = Report::new("unit_test", Some(PathBuf::from("/dev/null")));
+        r.meta("n", 100usize);
+        r.push_table("main", &t);
+        let doc = r.to_value().to_json();
+        assert!(doc.contains(r#""bin":"unit_test""#));
+        assert!(doc.contains(r#""n":100"#));
+        assert!(doc.contains(r#""main":[{"alg":"ours","size":"123"}]"#));
+        assert!(doc.contains(r#""threads":"#));
+        r.finish();
+    }
+
+    #[test]
+    fn disabled_report_is_a_noop() {
+        let mut r = Report::new("unit_test", None);
+        assert!(!r.enabled());
+        r.meta("n", 1usize);
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        r.push_table("t", &t);
+        let doc = r.to_value().to_json();
+        assert!(doc.contains(r#""tables":{}"#));
+        r.finish();
+    }
+}

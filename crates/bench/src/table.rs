@@ -24,6 +24,16 @@ impl Table {
         self
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The accumulated rows (used by the `--json` report writer).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Render as GitHub-flavored markdown.
     pub fn render(&self) -> String {
         let ncol = self.header.len();

@@ -24,6 +24,7 @@
 
 use crate::error::ClusterError;
 use crate::{engine, Clustering, ExponentialShifts};
+use psh_exec::{ExecutionPolicy, Executor};
 use psh_graph::CsrGraph;
 use psh_pram::Cost;
 use rand::rngs::StdRng;
@@ -110,6 +111,7 @@ impl<A> Run<A> {
 pub struct ClusterBuilder {
     beta: f64,
     seed: Seed,
+    policy: ExecutionPolicy,
 }
 
 impl ClusterBuilder {
@@ -118,12 +120,22 @@ impl ClusterBuilder {
         ClusterBuilder {
             beta,
             seed: Seed::default(),
+            policy: ExecutionPolicy::default(),
         }
     }
 
     /// Set the RNG seed (default: `Seed(0)`).
     pub fn seed(mut self, seed: impl Into<Seed>) -> Self {
         self.seed = seed.into();
+        self
+    }
+
+    /// Choose how the race executes (default: [`ExecutionPolicy::from_env`],
+    /// i.e. `PSH_THREADS` or the machine's parallelism). The artifact and
+    /// its [`psh_pram::Cost`] are byte-identical for every policy — this
+    /// knob only selects wall-clock behavior.
+    pub fn execution(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -156,12 +168,24 @@ impl ClusterBuilder {
         g: &CsrGraph,
         rng: &mut R,
     ) -> Result<(Clustering, Cost), ClusterError> {
+        self.build_with_rng_on(&self.policy.executor(), g, rng)
+    }
+
+    /// [`ClusterBuilder::build_with_rng`] on an explicit executor — the
+    /// entry point used by callers that already hold one (the hopset
+    /// recursion runs thousands of clusterings and shares a single pool).
+    pub fn build_with_rng_on<R: Rng>(
+        &self,
+        exec: &Executor,
+        g: &CsrGraph,
+        rng: &mut R,
+    ) -> Result<(Clustering, Cost), ClusterError> {
         self.validate()?;
         if g.n() == 0 {
             return Ok((empty_clustering(), Cost::ZERO));
         }
         let shifts = ExponentialShifts::sample(g.n(), self.beta, rng);
-        Ok(engine::shifted_cluster(g, &shifts))
+        Ok(engine::shifted_cluster_with(exec, g, &shifts))
     }
 
     /// Run with pre-sampled shifts (experiments replaying a recorded shift
@@ -182,7 +206,11 @@ impl ClusterBuilder {
                 vertices: g.n(),
             });
         }
-        Ok(engine::shifted_cluster(g, shifts))
+        Ok(engine::shifted_cluster_with(
+            &self.policy.executor(),
+            g,
+            shifts,
+        ))
     }
 }
 

@@ -1,5 +1,7 @@
 //! The clustering race: a deterministic, bucketed, multi-source shortest
-//! path computation with per-vertex start times.
+//! path computation with per-vertex start times, expressed as a
+//! [`Frontier`] on the shared level-synchronous engine
+//! ([`psh_graph::frontier`]).
 //!
 //! Every vertex `u` is born in integer round `start_int[u]` and races
 //! outward; a vertex is assigned to the first racer that reaches it, which
@@ -9,22 +11,29 @@
 //! time, so processing integer rounds in order with fractional tie-breaking
 //! (then center id, then tree parent id) resolves the true argmin exactly
 //! and deterministically — Appendix A's implementation, with ties fixed
-//! rather than "arbitrary" so reruns are bit-identical.
+//! rather than "arbitrary" so reruns are bit-identical for any
+//! [`psh_exec::ExecutionPolicy`] and thread count.
 //!
-//! Cost model: work = claims examined + edges scanned; depth = one round
-//! per integer time step at which some vertex is assigned (the race's
-//! level-synchronous schedule). Lemma 2.1 bounds the number of rounds by
-//! `O(β⁻¹ log n)` w.h.p.
+//! Cost model (engine-measured): work = claims examined + edges scanned +
+//! winners committed, counted by the engine's `OpCounter`; depth = one
+//! round per integer time step at which some vertex is assigned (the
+//! race's level-synchronous schedule), counted from the rounds the engine
+//! actually ran. Lemma 2.1 bounds the number of rounds by `O(β⁻¹ log n)`
+//! w.h.p.
 
 use crate::clustering::Clustering;
 use crate::shifts::ExponentialShifts;
+use psh_exec::Executor;
+use psh_graph::frontier::{drive, BucketQueue, Frontier};
 use psh_graph::{CsrGraph, VertexId, Weight};
 use psh_pram::Cost;
-use rayon::prelude::*;
-use std::collections::BTreeMap;
+
+const UNASSIGNED: u32 = u32::MAX;
 
 /// A pending claim: `center` (with tie-break key `frac`) tries to absorb
-/// `target`, reached through tree edge from `parent`.
+/// `target`, reached through tree edge from `parent`. Ordered
+/// target-first (engine contract); among claims on the same target the
+/// minimum `(frac, center, parent)` wins.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct Claim {
     target: VertexId,
@@ -33,91 +42,98 @@ struct Claim {
     parent: VertexId,
 }
 
-/// Run the race defined by `shifts` on `g`. See module docs.
+/// The race's mutable state plus the read-only shift vector.
+struct Race<'a> {
+    g: &'a CsrGraph,
+    shifts: &'a ExponentialShifts,
+    center: Vec<u32>,
+    parent: Vec<u32>,
+    dist_to_center: Vec<Weight>,
+}
+
+impl Frontier for Race<'_> {
+    type Claim = Claim;
+
+    fn target(c: &Claim) -> VertexId {
+        c.target
+    }
+
+    fn live(&self, c: &Claim) -> bool {
+        self.center[c.target as usize] == UNASSIGNED
+    }
+
+    fn commit(&mut self, c: &Claim, round: u64) {
+        self.center[c.target as usize] = c.center;
+        self.parent[c.target as usize] = c.parent;
+        self.dist_to_center[c.target as usize] = round - self.shifts.start_int[c.center as usize];
+    }
+
+    fn expand(&self, c: &Claim, round: u64, out: &mut Vec<(u64, Claim)>) -> u64 {
+        // Each newly assigned vertex claims its unassigned neighbors at
+        // the arrival round `round + w`.
+        let v = c.target;
+        let cen = c.center;
+        for (w, wt) in self.g.neighbors(v) {
+            if self.center[w as usize] == UNASSIGNED {
+                out.push((
+                    round.saturating_add(wt),
+                    Claim {
+                        target: w,
+                        frac: self.shifts.start_frac[cen as usize],
+                        center: cen,
+                        parent: v,
+                    },
+                ));
+            }
+        }
+        self.g.degree(v) as u64
+    }
+}
+
+/// Run the race defined by `shifts` on `g` with the process-default
+/// executor. See module docs.
 pub fn shifted_cluster(g: &CsrGraph, shifts: &ExponentialShifts) -> (Clustering, Cost) {
+    shifted_cluster_with(&Executor::current(), g, shifts)
+}
+
+/// Run the race on an explicit executor. Artifacts are byte-identical
+/// across executors; only wall-clock changes.
+pub fn shifted_cluster_with(
+    exec: &Executor,
+    g: &CsrGraph,
+    shifts: &ExponentialShifts,
+) -> (Clustering, Cost) {
     let n = g.n();
     assert_eq!(shifts.len(), n, "shift vector must cover every vertex");
 
-    const UNASSIGNED: u32 = u32::MAX;
-    let mut center = vec![UNASSIGNED; n];
-    let mut parent = vec![UNASSIGNED; n];
-    let mut dist_to_center = vec![0 as Weight; n];
+    let mut race = Race {
+        g,
+        shifts,
+        center: vec![UNASSIGNED; n],
+        parent: vec![UNASSIGNED; n],
+        dist_to_center: vec![0 as Weight; n],
+    };
 
     // Birth claims: every vertex tries to claim itself at its start round.
-    let mut buckets: BTreeMap<u64, Vec<Claim>> = BTreeMap::new();
+    let mut queue = BucketQueue::new();
     for v in 0..n as u32 {
-        buckets
-            .entry(shifts.start_int[v as usize])
-            .or_default()
-            .push(Claim {
+        queue.push(
+            shifts.start_int[v as usize],
+            Claim {
                 target: v,
                 frac: shifts.start_frac[v as usize],
                 center: v,
                 parent: v,
-            });
+            },
+        );
     }
 
-    let mut cost = Cost::flat(n as u64);
-    while let Some((&round, _)) = buckets.first_key_value() {
-        let claims = buckets.remove(&round).unwrap();
-        let examined = claims.len() as u64;
-        // Drop stale claims (targets assigned in an earlier round).
-        let center_ref = &center;
-        let mut live: Vec<Claim> = claims
-            .into_par_iter()
-            .filter(|c| center_ref[c.target as usize] == UNASSIGNED)
-            .collect();
-        if live.is_empty() {
-            cost = cost.add_work(examined);
-            continue;
-        }
-        // Winner per target: smallest (frac, center, parent).
-        live.par_sort_unstable();
-        let mut winners: Vec<Claim> = Vec::new();
-        let mut last = UNASSIGNED;
-        for c in live {
-            if c.target != last {
-                winners.push(c);
-                last = c.target;
-            }
-        }
-        for c in &winners {
-            center[c.target as usize] = c.center;
-            parent[c.target as usize] = c.parent;
-            dist_to_center[c.target as usize] = round - shifts.start_int[c.center as usize];
-        }
-        // Expansion: each newly assigned vertex claims its unassigned
-        // neighbors at the arrival round `round + w`.
-        let center_ref = &center;
-        let shifts_ref = &shifts;
-        let expansion: Vec<(u64, Claim)> = winners
-            .par_iter()
-            .flat_map_iter(|c| {
-                let v = c.target;
-                let cen = c.center;
-                g.neighbors(v).filter_map(move |(w, wt)| {
-                    (center_ref[w as usize] == UNASSIGNED).then_some((
-                        round.saturating_add(wt),
-                        Claim {
-                            target: w,
-                            frac: shifts_ref.start_frac[cen as usize],
-                            center: cen,
-                            parent: v,
-                        },
-                    ))
-                })
-            })
-            .collect();
-        let scanned: u64 = winners.par_iter().map(|c| g.degree(c.target) as u64).sum();
-        for (r, claim) in expansion {
-            buckets.entry(r).or_default().push(claim);
-        }
-        cost = cost.then(Cost::flat(examined + scanned + winners.len() as u64));
-    }
+    let cost = Cost::flat(n as u64).then(drive(exec, &mut queue, &mut race));
 
-    debug_assert!(center.iter().all(|&c| c != UNASSIGNED));
+    debug_assert!(race.center.iter().all(|&c| c != UNASSIGNED));
 
     // Dense cluster ids in increasing center-vertex order (deterministic).
+    let center = race.center;
     let mut centers: Vec<VertexId> = (0..n as u32).filter(|&v| center[v as usize] == v).collect();
     centers.sort_unstable();
     let mut dense = vec![UNASSIGNED; n];
@@ -126,13 +142,13 @@ pub fn shifted_cluster(g: &CsrGraph, shifts: &ExponentialShifts) -> (Clustering,
     }
     let cluster_id: Vec<u32> = center.iter().map(|&c| dense[c as usize]).collect();
     let num_clusters = centers.len();
-    cost = cost.then(Cost::flat(n as u64));
+    let cost = cost.then(Cost::flat(n as u64));
 
     (
         Clustering {
             center,
-            parent,
-            dist_to_center,
+            parent: race.parent,
+            dist_to_center: race.dist_to_center,
             cluster_id,
             centers,
             num_clusters,
@@ -144,6 +160,7 @@ pub fn shifted_cluster(g: &CsrGraph, shifts: &ExponentialShifts) -> (Clustering,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use psh_exec::ExecutionPolicy;
     use psh_graph::generators;
     use psh_graph::traversal::dijkstra;
     use psh_graph::INF;
@@ -244,5 +261,20 @@ mod tests {
         let (c, _) = shifted_cluster(&g, &shifts);
         assert_eq!(c.num_clusters, 1);
         assert_eq!(c.center, vec![0]);
+    }
+
+    #[test]
+    fn byte_identical_across_executors_and_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let base = generators::connected_random(500, 1500, &mut rng);
+        let g = generators::with_uniform_weights(&base, 1, 9, &mut rng);
+        let shifts = ExponentialShifts::sample(g.n(), 0.25, &mut rng);
+        let (seq, seq_cost) = shifted_cluster_with(&Executor::sequential(), &g, &shifts);
+        for threads in [2, 4, 8] {
+            let exec = Executor::new(ExecutionPolicy::Parallel { threads });
+            let (par, par_cost) = shifted_cluster_with(&exec, &g, &shifts);
+            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(seq_cost, par_cost, "cost model is execution-independent");
+        }
     }
 }

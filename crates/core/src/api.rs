@@ -26,14 +26,16 @@
 //! ```
 
 use crate::error::PshError;
-use crate::hopset::unweighted::build_hopset_with_beta0;
+use crate::hopset::unweighted::build_hopset_with_beta0_on;
 use crate::hopset::weighted::build_weighted_hopsets_impl;
 use crate::hopset::{limited, Hopset, HopsetParams, WeightedHopsets};
 use crate::oracle::ApproxShortestPaths;
-use crate::spanner::unweighted::{beta_for, spanner_from_clustering};
+use crate::spanner::unweighted::{beta_for, spanner_from_clustering_with};
 use crate::spanner::weighted::weighted_spanner_impl;
-use crate::spanner::{well_separated_spanner, Spanner};
+use crate::spanner::well_separated::well_separated_spanner_with;
+use crate::spanner::Spanner;
 use psh_cluster::ClusterBuilder;
+use psh_exec::ExecutionPolicy;
 use psh_graph::connectivity::components_union_find;
 use psh_graph::CsrGraph;
 use psh_pram::Cost;
@@ -72,6 +74,7 @@ pub struct SpannerBuilder {
     beta_override: Option<f64>,
     seed: Seed,
     require_connected: bool,
+    policy: ExecutionPolicy,
 }
 
 impl SpannerBuilder {
@@ -97,7 +100,16 @@ impl SpannerBuilder {
             beta_override: None,
             seed: Seed::default(),
             require_connected: false,
+            policy: ExecutionPolicy::default(),
         }
+    }
+
+    /// Choose how the construction executes (default:
+    /// [`ExecutionPolicy::from_env`]). Artifacts and costs are
+    /// byte-identical for every policy; only wall-clock changes.
+    pub fn execution(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Change the stretch parameter.
@@ -182,6 +194,7 @@ impl SpannerBuilder {
     ) -> Result<(Spanner, Cost), PshError> {
         self.validate(g)?;
         let k = self.stretch_k;
+        let exec = self.policy.executor();
         match &self.kind {
             SpannerKind::Unweighted => {
                 let n = g.n();
@@ -189,13 +202,14 @@ impl SpannerBuilder {
                     return Ok((Spanner::new(n, Vec::new()), Cost::ZERO));
                 }
                 let beta = self.beta_override.unwrap_or_else(|| beta_for(n, k));
-                let (clustering, c_cost) = ClusterBuilder::new(beta).build_with_rng(g, rng)?;
-                let (spanner, s_cost) = spanner_from_clustering(g, &clustering);
+                let (clustering, c_cost) =
+                    ClusterBuilder::new(beta).build_with_rng_on(&exec, g, rng)?;
+                let (spanner, s_cost) = spanner_from_clustering_with(&exec, g, &clustering);
                 Ok((spanner, c_cost.then(s_cost)))
             }
-            SpannerKind::Weighted => Ok(weighted_spanner_impl(g, k, rng)),
+            SpannerKind::Weighted => Ok(weighted_spanner_impl(&exec, g, k, rng)),
             SpannerKind::WellSeparated { levels } => {
-                let (edges, cost) = well_separated_spanner(g, levels, k, rng);
+                let (edges, cost) = well_separated_spanner_with(&exec, g, levels, k, rng);
                 Ok((Spanner::new(g.n(), edges), cost))
             }
         }
@@ -270,6 +284,7 @@ pub struct HopsetBuilder {
     params: HopsetParams,
     beta0_override: Option<f64>,
     seed: Seed,
+    policy: ExecutionPolicy,
 }
 
 impl HopsetBuilder {
@@ -300,7 +315,16 @@ impl HopsetBuilder {
             params: HopsetParams::default(),
             beta0_override: None,
             seed: Seed::default(),
+            policy: ExecutionPolicy::default(),
         }
+    }
+
+    /// Choose how the construction executes (default:
+    /// [`ExecutionPolicy::from_env`]). Artifacts and costs are
+    /// byte-identical for every policy; only wall-clock changes.
+    pub fn execution(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Replace the full parameter set.
@@ -401,23 +425,26 @@ impl HopsetBuilder {
         rng: &mut R,
     ) -> Result<(HopsetArtifact, Cost), PshError> {
         self.validate()?;
+        let exec = self.policy.executor();
         match self.kind {
             HopsetKind::Unweighted => {
                 let beta0 = self
                     .beta0_override
                     .unwrap_or_else(|| self.params.beta0(g.n()));
-                let (h, cost) = build_hopset_with_beta0(g, &self.params, beta0, rng);
+                let (h, cost) = build_hopset_with_beta0_on(&exec, g, &self.params, beta0, rng);
                 Ok((HopsetArtifact::Single(h), cost))
             }
             HopsetKind::Weighted { eta } => {
                 let beta0 = self
                     .beta0_override
                     .unwrap_or_else(|| self.params.beta0_weighted(g.n()));
-                let (b, cost) = build_weighted_hopsets_impl(g, &self.params, eta, beta0, rng);
+                let (b, cost) =
+                    build_weighted_hopsets_impl(&exec, g, &self.params, eta, beta0, rng);
                 Ok((HopsetArtifact::Banded(b), cost))
             }
             HopsetKind::Limited { alpha } => {
-                let (h, cost) = limited::low_depth_hopset_impl(g, alpha, self.params.epsilon, rng);
+                let (h, cost) =
+                    limited::low_depth_hopset_impl(&exec, g, alpha, self.params.epsilon, rng);
                 Ok((HopsetArtifact::Single(h), cost))
             }
         }
@@ -449,6 +476,7 @@ pub struct OracleBuilder {
     seed: Seed,
     require_connected: bool,
     allow_large_weights: bool,
+    policy: ExecutionPolicy,
 }
 
 impl Default for OracleBuilder {
@@ -466,7 +494,16 @@ impl OracleBuilder {
             seed: Seed::default(),
             require_connected: false,
             allow_large_weights: false,
+            policy: ExecutionPolicy::default(),
         }
+    }
+
+    /// Choose how preprocessing executes (default:
+    /// [`ExecutionPolicy::from_env`]). Artifacts and costs are
+    /// byte-identical for every policy; only wall-clock changes.
+    pub fn execution(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Replace the hopset parameter set.
@@ -572,8 +609,10 @@ impl OracleBuilder {
         rng: &mut R,
     ) -> Result<(ApproxShortestPaths, Cost), PshError> {
         self.validate(g)?;
+        let exec = self.policy.executor();
         if self.takes_weighted_path(g) {
             Ok(ApproxShortestPaths::build_weighted_impl(
+                &exec,
                 g,
                 &self.params,
                 self.eta,
@@ -581,6 +620,7 @@ impl OracleBuilder {
             ))
         } else {
             Ok(ApproxShortestPaths::build_unweighted_impl(
+                &exec,
                 g,
                 &self.params,
                 rng,

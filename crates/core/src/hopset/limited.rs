@@ -13,8 +13,9 @@
 //! `(1+O(ε/η))`-approximate path — the `O(n^α)`-depth regime.
 
 use super::rounding::Rounding;
-use super::unweighted::build_hopset_with_beta0;
+use super::unweighted::build_hopset_with_beta0_on;
 use super::{Hopset, HopsetParams};
+use psh_exec::Executor;
 use psh_graph::{CsrGraph, Edge};
 use psh_pram::Cost;
 use rand::rngs::StdRng;
@@ -24,6 +25,18 @@ use rand::{Rng, SeedableRng};
 /// **original** weight scale (weights rounded up, so they still dominate
 /// true distances).
 pub fn limited_hopset<R: Rng>(
+    g: &CsrGraph,
+    d: u64,
+    eta: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> (Vec<Edge>, Cost) {
+    limited_hopset_with(&Executor::current(), g, d, eta, epsilon, rng)
+}
+
+/// [`limited_hopset`] on an explicit executor.
+pub fn limited_hopset_with<R: Rng>(
+    exec: &Executor,
     g: &CsrGraph,
     d: u64,
     eta: f64,
@@ -45,7 +58,7 @@ pub fn limited_hopset<R: Rng>(
         k_conf: 1.0,
     };
     let beta0 = (epsilon / n.powf(3.0 * eta)).min(1.0);
-    let (hopset, cost) = build_hopset_with_beta0(&rounded, &params, beta0, rng);
+    let (hopset, cost) = build_hopset_with_beta0_on(exec, &rounded, &params, beta0, rng);
     // convert shortcut weights back to the original scale (ceil: never
     // undershoots the true path weight the edge represents)
     let edges: Vec<Edge> = hopset
@@ -66,12 +79,15 @@ pub fn low_depth_hopset<R: Rng>(
     rng: &mut R,
 ) -> (Hopset, Cost) {
     assert!(alpha > 0.0 && alpha < 1.0, "need 0 < α < 1");
-    low_depth_hopset_impl(g, alpha, epsilon, rng)
+    low_depth_hopset_impl(&Executor::current(), g, alpha, epsilon, rng)
 }
 
 /// Theorem C.2's body — `alpha` validation happens in the builder
-/// ([`crate::api::HopsetBuilder::limited`]) or the wrapper above.
+/// ([`crate::api::HopsetBuilder::limited`]) or the wrapper above. The
+/// bands of one iteration fan out on `exec` with seeds pre-drawn in band
+/// order; iterations stay sequential (each feeds the next its shortcuts).
 pub(crate) fn low_depth_hopset_impl<R: Rng>(
+    exec: &Executor,
     g: &CsrGraph,
     alpha: f64,
     epsilon: f64,
@@ -88,18 +104,25 @@ pub(crate) fn low_depth_hopset_impl<R: Rng>(
     let mut total_cost = Cost::ZERO;
     for _ in 0..iterations {
         // all bands of one iteration run in parallel (par-composed costs)
-        let mut iter_cost = Cost::ZERO;
-        let mut new_edges: Vec<Edge> = Vec::new();
+        let mut tasks: Vec<(u64, u64)> = Vec::new(); // (band start d, seed)
         let mut d: u64 = 1;
         while d <= d_max {
-            let seed: u64 = rng.random();
-            let (edges, c) =
-                limited_hopset(&working, d, eta, epsilon, &mut StdRng::seed_from_u64(seed));
-            new_edges.extend(edges);
-            iter_cost = iter_cost.par(c);
+            tasks.push((d, rng.random()));
             let next = (d as f64 * band).ceil() as u64;
             d = next.max(d + 1);
         }
+        let band_results: Vec<(Vec<Edge>, Cost)> = exec.par_map(&tasks, 1, |&(d, seed)| {
+            limited_hopset_with(
+                exec,
+                &working,
+                d,
+                eta,
+                epsilon,
+                &mut StdRng::seed_from_u64(seed),
+            )
+        });
+        let iter_cost = Cost::par_all(band_results.iter().map(|(_, c)| *c));
+        let new_edges: Vec<Edge> = band_results.into_iter().flat_map(|(e, _)| e).collect();
         total_cost = total_cost.then(iter_cost);
         if new_edges.is_empty() {
             break;

@@ -18,10 +18,13 @@
 //!
 //! Star weights are the cluster-tree distances (actual paths in `G`);
 //! clique weights are exact distances inside the current recursive piece,
-//! computed by one bucketed parallel search ([`dial_sssp`]) per large
-//! center — the searches run in parallel, as Theorem 4.4's accounting
-//! assumes, and the piece's diameter is `O(β⁻¹ log n)` w.h.p. so each
-//! search is shallow.
+//! computed by one bucketed parallel search ([`dial_sssp_with`]) per large
+//! center — the searches run in parallel on the [`Executor`]'s pool, as
+//! Theorem 4.4's accounting assumes, and the piece's diameter is
+//! `O(β⁻¹ log n)` w.h.p. so each search is shallow. The recursive calls
+//! (lines 4 and 10) also fan out on the pool, with child seeds drawn in
+//! deterministic cluster order *before* the parallel region, so the
+//! artifact is byte-identical for any [`psh_exec::ExecutionPolicy`].
 //!
 //! The same code serves the weighted construction of §5: the clustering
 //! engine and the bucketed searches already handle integer weights, and §5
@@ -30,13 +33,13 @@
 use super::{Hopset, HopsetParams};
 use crate::api::HopsetBuilder;
 use psh_cluster::ClusterBuilder;
+use psh_exec::Executor;
 use psh_graph::subgraph::split_by_labels;
-use psh_graph::traversal::dial::dial_sssp;
+use psh_graph::traversal::dial::dial_sssp_with;
 use psh_graph::{CsrGraph, Edge, VertexId, INF};
 use psh_pram::Cost;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 /// Build a hopset for `g` with top-level parameter `β₀ = params.beta0(n)`.
 ///
@@ -53,8 +56,20 @@ pub fn build_hopset<R: Rng>(g: &CsrGraph, params: &HopsetParams, rng: &mut R) ->
 }
 
 /// Build a hopset with an explicit top-level β₀ (§5 and Appendix C call
-/// this with their own β₀ choices).
+/// this with their own β₀ choices), on the process-default executor.
 pub fn build_hopset_with_beta0<R: Rng>(
+    g: &CsrGraph,
+    params: &HopsetParams,
+    beta0: f64,
+    rng: &mut R,
+) -> (Hopset, Cost) {
+    build_hopset_with_beta0_on(&Executor::current(), g, params, beta0, rng)
+}
+
+/// [`build_hopset_with_beta0`] on an explicit executor — recursion,
+/// clusterings, and clique searches all share its pool.
+pub fn build_hopset_with_beta0_on<R: Rng>(
+    exec: &Executor,
     g: &CsrGraph,
     params: &HopsetParams,
     beta0: f64,
@@ -66,6 +81,7 @@ pub fn build_hopset_with_beta0<R: Rng>(
         growth: params.growth(n),
         rho: params.rho(n),
         n_final: params.n_final(n),
+        exec: exec.clone(),
     };
     let ident: Vec<VertexId> = (0..n as u32).collect();
     let out = recurse(g, &ident, beta0, 0, true, &ctx, rng.random());
@@ -83,6 +99,7 @@ struct Ctx {
     growth: f64,
     rho: f64,
     n_final: usize,
+    exec: Executor,
 }
 
 #[derive(Default)]
@@ -114,7 +131,7 @@ fn recurse(
     let mut rng = StdRng::seed_from_u64(seed);
     let beta = beta.min(BETA_CAP);
     let (clustering, cluster_cost) = ClusterBuilder::new(beta)
-        .build_with_rng(sub, &mut rng)
+        .build_with_rng_on(&ctx.exec, sub, &mut rng)
         .expect("recursion betas are positive and finite");
     let (pieces, split_cost) =
         split_by_labels(sub, &clustering.cluster_id, clustering.num_clusters);
@@ -160,13 +177,10 @@ fn recurse(
         // Clique edges (line 9): exact pairwise distances between large
         // centers, one parallel bucketed search per center, all in parallel.
         let centers: Vec<VertexId> = large.iter().map(|&cid| clustering.centers[cid]).collect();
-        let searches: Vec<(Vec<u64>, Cost)> = centers
-            .par_iter()
-            .map(|&c| {
-                let (sssp, sc) = dial_sssp(sub, c);
-                (sssp.dist, sc)
-            })
-            .collect();
+        let searches: Vec<(Vec<u64>, Cost)> = ctx.exec.par_map(&centers, 1, |&c| {
+            let (sssp, sc) = dial_sssp_with(&ctx.exec, sub, c);
+            (sssp.dist, sc)
+        });
         cost = cost.then(Cost::par_all(searches.iter().map(|(_, c)| *c)));
         for (i, &ci) in centers.iter().enumerate() {
             for (j, &cj) in centers.iter().enumerate().skip(i + 1) {
@@ -183,28 +197,24 @@ fn recurse(
 
     // Recursive calls run in parallel (lines 4 and 10); seeds are drawn in
     // deterministic cluster order before the parallel region.
-    let child_seeds: Vec<u64> = recurse_on.iter().map(|_| rng.random()).collect();
-    let children: Vec<Outcome> = recurse_on
-        .par_iter()
-        .zip(child_seeds)
-        .map(|(&cid, child_seed)| {
-            let piece = &pieces[cid];
-            let child_global: Vec<VertexId> = piece
-                .to_parent
-                .iter()
-                .map(|&p| to_global[p as usize])
-                .collect();
-            recurse(
-                &piece.graph,
-                &child_global,
-                next_beta,
-                depth + 1,
-                false,
-                ctx,
-                child_seed,
-            )
-        })
-        .collect();
+    let tasks: Vec<(usize, u64)> = recurse_on.iter().map(|&cid| (cid, rng.random())).collect();
+    let children: Vec<Outcome> = ctx.exec.par_map(&tasks, 1, |&(cid, child_seed)| {
+        let piece = &pieces[cid];
+        let child_global: Vec<VertexId> = piece
+            .to_parent
+            .iter()
+            .map(|&p| to_global[p as usize])
+            .collect();
+        recurse(
+            &piece.graph,
+            &child_global,
+            next_beta,
+            depth + 1,
+            false,
+            ctx,
+            child_seed,
+        )
+    });
 
     let mut max_level = if (!first && !large.is_empty()) || !edges.is_empty() {
         depth

@@ -14,8 +14,9 @@
 //! (Lemma 4.2 + Lemma 5.2) — so the minimum is a `(1+ε')`-approximation.
 
 use super::rounding::Rounding;
-use super::unweighted::build_hopset_with_beta0;
+use super::unweighted::build_hopset_with_beta0_on;
 use super::{Hopset, HopsetParams};
+use psh_exec::Executor;
 use psh_graph::traversal::bellman_ford::{hop_limited_pair, ExtraEdges};
 use psh_graph::{CsrGraph, VertexId, INF};
 use psh_pram::Cost;
@@ -95,12 +96,24 @@ pub fn build_weighted_hopsets<R: Rng>(
 ) -> (WeightedHopsets, Cost) {
     params.validate().expect("invalid hopset parameters");
     assert!(eta > 0.0 && eta < 1.0, "eta must be in (0,1), got {eta}");
-    build_weighted_hopsets_impl(g, params, eta, params.beta0_weighted(g.n()), rng)
+    build_weighted_hopsets_impl(
+        &Executor::current(),
+        g,
+        params,
+        eta,
+        params.beta0_weighted(g.n()),
+        rng,
+    )
 }
 
 /// §5's construction body with an explicit `β₀` — parameter validation
 /// happens in the builder (or the wrapper above) before this runs.
+///
+/// The bands really are built in parallel on `exec` (the paper's
+/// schedule): band seeds are drawn in deterministic band order before the
+/// fan-out, so the family is byte-identical for any policy.
 pub(crate) fn build_weighted_hopsets_impl<R: Rng>(
+    exec: &Executor,
     g: &CsrGraph,
     params: &HopsetParams,
     eta: f64,
@@ -113,35 +126,46 @@ pub(crate) fn build_weighted_hopsets_impl<R: Rng>(
     let c = (n.max(2) as f64).powf(eta).max(2.0);
     let d_max: u64 = (n as u64).saturating_mul(g.max_weight().unwrap_or(1));
 
-    let mut bands = Vec::new();
-    let mut cost = Cost::ZERO;
+    let mut tasks: Vec<(u64, u64)> = Vec::new(); // (band start d, seed)
     let mut d: u64 = 1;
     while d <= d_max {
+        tasks.push((d, rng.random()));
+        // next band: d ← d · n^η
+        let next = (d as f64 * c).ceil() as u64;
+        d = next.max(d + 1);
+    }
+
+    let bands: Vec<(EstimateBand, Cost)> = exec.par_map(&tasks, 1, |&(d, seed)| {
         // paths in this band have ≤ n hops and weight ≤ c·d
         let rounding = Rounding::for_band(d, n.max(2) as u64, zeta);
         let graph = rounding.round_graph(g);
-        let seed: u64 = rng.random();
-        let (hopset, hcost) =
-            build_hopset_with_beta0(&graph, params, beta0, &mut StdRng::seed_from_u64(seed));
+        let (hopset, hcost) = build_hopset_with_beta0_on(
+            exec,
+            &graph,
+            params,
+            beta0,
+            &mut StdRng::seed_from_u64(seed),
+        );
         // hop budget from Lemma 4.2 at the band's top distance, in rounded
         // units (the search runs on the rounded graph)
         let d_rounded_top = ((c * d as f64) / rounding.what).ceil() as u64;
         let h = params.hop_bound(n, beta0, d_rounded_top.max(1));
         let extra = hopset.to_extra_edges();
-        // bands are built in parallel in the paper: par-compose their costs
-        cost = cost.par(hcost.then(Cost::flat(g.m() as u64)));
-        bands.push(EstimateBand {
-            d,
-            rounding,
-            graph,
-            hopset,
-            extra,
-            h,
-        });
-        // next band: d ← d · n^η
-        let next = (d as f64 * c).ceil() as u64;
-        d = next.max(d + 1);
-    }
+        (
+            EstimateBand {
+                d,
+                rounding,
+                graph,
+                hopset,
+                extra,
+                h,
+            },
+            hcost.then(Cost::flat(g.m() as u64)),
+        )
+    });
+    // bands are built in parallel in the paper: par-compose their costs
+    let cost = Cost::par_all(bands.iter().map(|(_, c)| *c));
+    let bands: Vec<EstimateBand> = bands.into_iter().map(|(b, _)| b).collect();
     (
         WeightedHopsets {
             bands,

@@ -10,9 +10,10 @@
 //! Bellman–Ford over `E ∪ E'` — [KS97]'s procedure.
 
 use crate::api::{OracleBuilder, OracleMode};
-use crate::hopset::unweighted::build_hopset_with_beta0;
-use crate::hopset::weighted::{build_weighted_hopsets, WeightedHopsets};
+use crate::hopset::unweighted::build_hopset_with_beta0_on;
+use crate::hopset::weighted::{build_weighted_hopsets_impl, WeightedHopsets};
 use crate::hopset::{Hopset, HopsetParams};
+use psh_exec::Executor;
 use psh_graph::traversal::bellman_ford::{hop_limited_pair, ExtraEdges};
 use psh_graph::traversal::dijkstra::dijkstra_pair;
 use psh_graph::{CsrGraph, VertexId, Weight, INF};
@@ -102,12 +103,13 @@ impl ApproxShortestPaths {
     /// Corollary 4.5's preprocessing body — preconditions are validated by
     /// [`OracleBuilder`] before this runs.
     pub(crate) fn build_unweighted_impl<R: Rng>(
+        exec: &Executor,
         g: &CsrGraph,
         params: &HopsetParams,
         rng: &mut R,
     ) -> (Self, Cost) {
         let beta0 = params.beta0(g.n());
-        let (hopset, cost) = build_hopset_with_beta0(g, params, beta0, rng);
+        let (hopset, cost) = build_hopset_with_beta0_on(exec, g, params, beta0, rng);
         let extra = hopset.to_extra_edges();
         let h_max = params.hop_bound(g.n(), beta0, g.n() as u64);
         (
@@ -126,12 +128,14 @@ impl ApproxShortestPaths {
     /// Corollary 5.4's preprocessing body — preconditions are validated by
     /// [`OracleBuilder`] before this runs.
     pub(crate) fn build_weighted_impl<R: Rng>(
+        exec: &Executor,
         g: &CsrGraph,
         params: &HopsetParams,
         eta: f64,
         rng: &mut R,
     ) -> (Self, Cost) {
-        let (hopsets, cost) = build_weighted_hopsets(g, params, eta, rng);
+        let (hopsets, cost) =
+            build_weighted_hopsets_impl(exec, g, params, eta, params.beta0_weighted(g.n()), rng);
         (
             ApproxShortestPaths {
                 graph: g.clone(),

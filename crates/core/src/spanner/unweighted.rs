@@ -20,10 +20,14 @@
 use super::Spanner;
 use crate::api::SpannerBuilder;
 use psh_cluster::Clustering;
-use psh_graph::{CsrGraph, Edge};
+use psh_exec::Executor;
+use psh_graph::{CsrGraph, Edge, VertexId};
 use psh_pram::Cost;
 use rand::Rng;
-use rayon::prelude::*;
+
+/// Vertices per parallel chunk when scanning adjacencies for boundary
+/// edges (each item's work is one adjacency scan).
+const SELECT_GRAIN: usize = 512;
 
 /// Build an `O(k)`-spanner of the unweighted graph `g`.
 ///
@@ -56,44 +60,50 @@ pub fn beta_for(n: usize, k: f64) -> f64 {
 /// Selected inter-cluster edges are deterministic: for each vertex and each
 /// adjacent cluster, the smallest canonical edge id wins.
 pub fn select_spanner_eids(g: &CsrGraph, c: &Clustering) -> (Vec<u32>, Cost) {
+    select_spanner_eids_with(&Executor::current(), g, c)
+}
+
+/// [`select_spanner_eids`] on an explicit executor. The per-vertex scans
+/// run chunked on the pool with a reused per-chunk scratch buffer; outputs
+/// are concatenated in vertex order, so the selection is byte-identical
+/// for any [`psh_exec::ExecutionPolicy`].
+pub fn select_spanner_eids_with(exec: &Executor, g: &CsrGraph, c: &Clustering) -> (Vec<u32>, Cost) {
+    let verts: Vec<VertexId> = (0..g.n() as u32).collect();
     // Forest edges: locate the canonical id of each (v, parent) tree edge.
-    let forest: Vec<u32> = (0..g.n() as u32)
-        .into_par_iter()
-        .filter_map(|v| {
-            let p = c.parent[v as usize];
-            if p == v {
-                return None;
-            }
-            let eid = g
-                .neighbors_with_eid(v)
-                .find(|&(t, _, _)| t == p)
-                .map(|(_, _, eid)| eid)
-                .expect("tree parent must be a graph neighbor");
-            Some(eid)
-        })
-        .collect();
+    let forest: Vec<u32> = exec.par_flat_map(&verts, SELECT_GRAIN, |&v, out| {
+        let p = c.parent[v as usize];
+        if p == v {
+            return;
+        }
+        let eid = g
+            .neighbors_with_eid(v)
+            .find(|&(t, _, _)| t == p)
+            .map(|(_, _, eid)| eid)
+            .expect("tree parent must be a graph neighbor");
+        out.push(eid);
+    });
     // One edge per (boundary vertex, adjacent cluster): scan each vertex's
-    // adjacency, keep the min-eid edge into every foreign cluster.
-    let picked: Vec<u32> = (0..g.n() as u32)
-        .into_par_iter()
-        .flat_map_iter(|v| {
+    // adjacency, keep the min-eid edge into every foreign cluster. The
+    // (foreign cluster, eid) scratch is chunk-local and reused per vertex.
+    let picked_parts: Vec<Vec<u32>> = exec.par_map_chunks(&verts, SELECT_GRAIN, |chunk| {
+        let mut out: Vec<u32> = Vec::new();
+        let mut locals: Vec<(u32, u32)> = Vec::new();
+        for &v in chunk {
             let mine = c.cluster_id[v as usize];
-            // (foreign cluster, eid) pairs; dedup per cluster keeping min eid
-            let mut locals: Vec<(u32, u32)> = g
-                .neighbors_with_eid(v)
-                .filter_map(|(t, _, eid)| {
-                    let ct = c.cluster_id[t as usize];
-                    (ct != mine).then_some((ct, eid))
-                })
-                .collect();
+            locals.clear();
+            locals.extend(g.neighbors_with_eid(v).filter_map(|(t, _, eid)| {
+                let ct = c.cluster_id[t as usize];
+                (ct != mine).then_some((ct, eid))
+            }));
             locals.sort_unstable();
             locals.dedup_by_key(|&mut (ct, _)| ct);
-            locals.into_iter().map(|(_, eid)| eid)
-        })
-        .collect();
+            out.extend(locals.iter().map(|&(_, eid)| eid));
+        }
+        out
+    });
     let mut eids = forest;
-    eids.extend(picked);
-    eids.sort_unstable();
+    eids.extend(picked_parts.into_iter().flatten());
+    exec.par_sort_unstable(&mut eids);
     eids.dedup();
     let cost = Cost::new(2 * g.m() as u64 + g.n() as u64, 2);
     (eids, cost)
@@ -101,7 +111,16 @@ pub fn select_spanner_eids(g: &CsrGraph, c: &Clustering) -> (Vec<u32>, Cost) {
 
 /// Steps 2–3 of Algorithm 2 as a [`Spanner`] over `g`'s own edges.
 pub fn spanner_from_clustering(g: &CsrGraph, c: &Clustering) -> (Spanner, Cost) {
-    let (eids, cost) = select_spanner_eids(g, c);
+    spanner_from_clustering_with(&Executor::current(), g, c)
+}
+
+/// [`spanner_from_clustering`] on an explicit executor.
+pub fn spanner_from_clustering_with(
+    exec: &Executor,
+    g: &CsrGraph,
+    c: &Clustering,
+) -> (Spanner, Cost) {
+    let (eids, cost) = select_spanner_eids_with(exec, g, c);
     let edges: Vec<Edge> = eids.iter().map(|&eid| g.edge(eid)).collect();
     (Spanner::new(g.n(), edges), cost)
 }

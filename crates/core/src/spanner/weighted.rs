@@ -11,9 +11,10 @@
 //! `O(n^{1+1/k} log k)` in `O(m)` work and `O(k log* n log U)` depth.
 
 use super::buckets::{bucket_edges, group_stride, split_into_groups};
-use super::well_separated::well_separated_spanner;
+use super::well_separated::well_separated_spanner_with;
 use super::Spanner;
 use crate::api::SpannerBuilder;
+use psh_exec::Executor;
 use psh_graph::{CsrGraph, Edge};
 use psh_pram::Cost;
 use rand::rngs::StdRng;
@@ -32,7 +33,12 @@ pub fn weighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, 
 
 /// Theorem 3.3's pipeline body — parameter validation happens in the
 /// builder ([`SpannerBuilder::weighted`]) before this runs.
-pub(crate) fn weighted_spanner_impl<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
+pub(crate) fn weighted_spanner_impl<R: Rng>(
+    exec: &Executor,
+    g: &CsrGraph,
+    k: f64,
+    rng: &mut R,
+) -> (Spanner, Cost) {
     let n = g.n();
     if n <= 1 || g.m() == 0 {
         return (Spanner::new(n, Vec::new()), Cost::ZERO);
@@ -40,18 +46,15 @@ pub(crate) fn weighted_spanner_impl<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -
     let stride = group_stride(k);
     let buckets = bucket_edges(g);
     let groups = split_into_groups(buckets, stride);
-    // Independent seeds per group so groups can run in parallel while
-    // staying deterministic.
-    let seeds: Vec<u64> = (0..groups.len()).map(|_| rng.random()).collect();
-    let results: Vec<(Vec<Edge>, Cost)> = groups
-        .iter()
-        .zip(seeds)
-        .map(|(group, seed)| {
-            let levels: Vec<Vec<u32>> = group.iter().map(|(_, eids)| eids.clone()).collect();
-            let mut group_rng = StdRng::seed_from_u64(seed);
-            well_separated_spanner(g, &levels, k, &mut group_rng)
-        })
-        .collect();
+    // Independent seeds per group, drawn in deterministic group order, so
+    // the groups really do run in parallel (the paper's schedule) while
+    // producing the same edges as a sequential sweep.
+    let tasks: Vec<(usize, u64)> = (0..groups.len()).map(|i| (i, rng.random())).collect();
+    let results: Vec<(Vec<Edge>, Cost)> = exec.par_map(&tasks, 1, |&(i, seed)| {
+        let levels: Vec<Vec<u32>> = groups[i].iter().map(|(_, eids)| eids.clone()).collect();
+        let mut group_rng = StdRng::seed_from_u64(seed);
+        well_separated_spanner_with(exec, g, &levels, k, &mut group_rng)
+    });
     // Groups run in parallel: work adds, depth maxes.
     let cost = Cost::par_all(results.iter().map(|(_, c)| *c)).then(Cost::flat(g.m() as u64));
     let edges: Vec<Edge> = results.into_iter().flat_map(|(e, _)| e).collect();

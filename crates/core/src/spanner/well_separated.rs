@@ -24,8 +24,9 @@
 //! Every edge added to `S` is an **original** graph edge, recovered through
 //! the quotient graph's provenance.
 
-use super::unweighted::{beta_for, select_spanner_eids};
+use super::unweighted::{beta_for, select_spanner_eids_with};
 use psh_cluster::ClusterBuilder;
+use psh_exec::Executor;
 use psh_graph::union_find::UnionFind;
 use psh_graph::{CsrGraph, Edge};
 use psh_pram::Cost;
@@ -39,6 +40,20 @@ use rand::Rng;
 /// clustering parameter uses the *global* `n` of `g`, matching the paper's
 /// `β = ln n / 2k`.
 pub fn well_separated_spanner<R: Rng>(
+    g: &CsrGraph,
+    levels: &[Vec<u32>],
+    k: f64,
+    rng: &mut R,
+) -> (Vec<Edge>, Cost) {
+    well_separated_spanner_with(&Executor::current(), g, levels, k, rng)
+}
+
+/// [`well_separated_spanner`] on an explicit executor. The `for i = 1..s`
+/// level loop is inherently sequential (each level contracts the last);
+/// the clustering and boundary selection inside each level run on the
+/// executor's pool.
+pub fn well_separated_spanner_with<R: Rng>(
+    exec: &Executor,
     g: &CsrGraph,
     levels: &[Vec<u32>],
     k: f64,
@@ -92,9 +107,9 @@ pub fn well_separated_spanner<R: Rng>(
 
         // --- Cluster Γ_i and select spanner edges ------------------------
         let (clustering, c_cost) = ClusterBuilder::new(beta)
-            .build_with_rng(&local_graph, rng)
+            .build_with_rng_on(exec, &local_graph, rng)
             .expect("beta_for yields positive finite betas");
-        let (local_eids, s_cost) = select_spanner_eids(&local_graph, &clustering);
+        let (local_eids, s_cost) = select_spanner_eids_with(exec, &local_graph, &clustering);
         selected.extend(
             local_eids
                 .iter()

@@ -1,0 +1,607 @@
+//! # psh-exec — the real parallel execution layer
+//!
+//! The paper's algorithms are *level-synchronous*: each round does a bulk
+//! of independent work (filter claims, sort them, expand a frontier) and
+//! then synchronizes. Until this crate existed, the workspace only
+//! *modelled* that parallelism in the [`psh_pram`](../psh_pram/index.html)
+//! work/depth currency while every hot loop executed sequentially through
+//! the vendored rayon stub. `psh-exec` supplies the missing substrate: a
+//! `std::thread`-based, work-sharing pool (no external registry crates)
+//! with deterministic chunked combinators, selected through an
+//! [`ExecutionPolicy`].
+//!
+//! ## Determinism is the contract
+//!
+//! Every combinator returns results whose *values and order* are
+//! byte-identical to sequential execution, for any thread count:
+//!
+//! * [`Executor::par_map`] / [`Executor::par_flat_map`] /
+//!   [`Executor::par_filter`] split the input into chunks, process chunks
+//!   concurrently, and concatenate the per-chunk outputs **in chunk
+//!   order** — exactly the sequential output, independent of chunk
+//!   boundaries and scheduling;
+//! * [`Executor::par_sort_unstable`] requires a total order over `Copy`
+//!   items (every field participates in `Ord`), so the fully sorted
+//!   sequence is unique no matter how the parallel merge interleaves;
+//! * [`Executor::par_map_chunks`] and [`Executor::par_for_each_init`]
+//!   expose the chunk structure (for per-chunk scratch state); callers
+//!   must combine per-chunk results associatively, which every in-repo
+//!   caller does.
+//!
+//! The `seq↔par` equivalence is enforced end-to-end by the
+//! `parallel_equivalence` integration tests and by a `PSH_THREADS` CI
+//! matrix: the same seeds must produce byte-identical clusterings,
+//! spanners, and hopsets under `Sequential` and `Parallel { 2, 4, 8 }`.
+//!
+//! ## Picking a policy
+//!
+//! ```
+//! use psh_exec::{ExecutionPolicy, Executor};
+//!
+//! // explicit
+//! let exec = Executor::new(ExecutionPolicy::Parallel { threads: 4 });
+//! let doubled = exec.par_map(&[1u64, 2, 3], 1, |&x| 2 * x);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//!
+//! // or process-wide: PSH_THREADS=1 forces Sequential, PSH_THREADS=k
+//! // forces Parallel { k }, unset uses the machine's parallelism.
+//! let _ = Executor::current();
+//! ```
+
+mod pool;
+
+pub use pool::Scope;
+
+use pool::Pool;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How the algorithms should execute.
+///
+/// `Sequential` runs every combinator inline on the calling thread (the
+/// vendored rayon stub's semantics); `Parallel { threads }` runs them on a
+/// shared work-sharing pool sized so that `threads` threads (including the
+/// caller, which always helps) are busy. Artifacts are byte-identical
+/// either way — the policy only chooses wall-clock behavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecutionPolicy {
+    /// Run inline on the calling thread.
+    Sequential,
+    /// Run on a pool of `threads` threads (callers count toward the
+    /// total; `threads <= 1` degenerates to `Sequential`).
+    Parallel { threads: usize },
+}
+
+impl ExecutionPolicy {
+    /// Number of threads this policy keeps busy.
+    pub fn threads(self) -> usize {
+        match self {
+            ExecutionPolicy::Sequential => 1,
+            ExecutionPolicy::Parallel { threads } => threads.max(1),
+        }
+    }
+
+    /// Policy from the environment: `PSH_THREADS=1` → `Sequential`,
+    /// `PSH_THREADS=k` → `Parallel { k }`; unset or unparsable falls back
+    /// to [`std::thread::available_parallelism`] (sequential on one core).
+    pub fn from_env() -> Self {
+        let threads = std::env::var("PSH_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        if threads <= 1 {
+            ExecutionPolicy::Sequential
+        } else {
+            ExecutionPolicy::Parallel { threads }
+        }
+    }
+
+    /// The executor realizing this policy (pools are cached per thread
+    /// count and shared process-wide).
+    pub fn executor(self) -> Executor {
+        Executor::new(self)
+    }
+}
+
+impl Default for ExecutionPolicy {
+    /// The environment-driven policy ([`ExecutionPolicy::from_env`]).
+    fn default() -> Self {
+        ExecutionPolicy::from_env()
+    }
+}
+
+impl std::fmt::Display for ExecutionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionPolicy::Sequential => write!(f, "sequential"),
+            ExecutionPolicy::Parallel { threads } => write!(f, "parallel({threads})"),
+        }
+    }
+}
+
+/// Below this length a parallel sort cannot beat a sequential one.
+const SORT_GRAIN: usize = 4096;
+
+/// Oversubscription factor: more chunks than threads so uneven chunks
+/// (frontier expansions have skewed degrees) still balance.
+const CHUNKS_PER_THREAD: usize = 4;
+
+fn pool_for(threads: usize) -> Arc<Pool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<Pool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    Arc::clone(
+        pools
+            .lock()
+            .unwrap()
+            .entry(threads)
+            .or_insert_with(|| Arc::new(Pool::new(threads))),
+    )
+}
+
+/// A handle executing work under one [`ExecutionPolicy`]. Cheap to clone
+/// (pools are shared, process-wide, and live forever once created).
+#[derive(Clone)]
+pub struct Executor {
+    pool: Option<Arc<Pool>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::current()
+    }
+}
+
+impl Executor {
+    /// Executor for `policy`. `Parallel { 0 | 1 }` normalizes to
+    /// sequential.
+    pub fn new(policy: ExecutionPolicy) -> Executor {
+        match policy {
+            ExecutionPolicy::Sequential | ExecutionPolicy::Parallel { threads: 0 | 1 } => {
+                Executor { pool: None }
+            }
+            ExecutionPolicy::Parallel { threads } => Executor {
+                pool: Some(pool_for(threads)),
+            },
+        }
+    }
+
+    /// The strictly sequential executor.
+    pub fn sequential() -> Executor {
+        Executor { pool: None }
+    }
+
+    /// The process-wide default executor, resolved once from
+    /// [`ExecutionPolicy::from_env`] and cached.
+    pub fn current() -> Executor {
+        static CURRENT: OnceLock<Executor> = OnceLock::new();
+        CURRENT
+            .get_or_init(|| Executor::new(ExecutionPolicy::from_env()))
+            .clone()
+    }
+
+    /// Number of threads this executor keeps busy (1 when sequential).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map(|p| p.threads).unwrap_or(1)
+    }
+
+    /// True when work actually runs on a pool.
+    pub fn is_parallel(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Structured fork/join: tasks spawned on the [`Scope`] all complete
+    /// before `scope` returns, and may borrow from the enclosing frame.
+    /// The calling thread helps drain the pool while waiting, so nested
+    /// scopes cannot deadlock. The first panicking task's payload is
+    /// re-raised here after the batch drains.
+    pub fn scope<'scope, R>(&self, f: impl FnOnce(&Scope<'scope, '_>) -> R) -> R {
+        pool::run_scope(self.pool.as_deref(), f)
+    }
+
+    /// Run `a` and `b` concurrently, returning both results.
+    pub fn join<RA: Send, RB: Send>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB) {
+        if self.pool.is_none() {
+            return (a(), b());
+        }
+        let rb: Mutex<Option<RB>> = Mutex::new(None);
+        let ra = self.scope(|s| {
+            s.spawn(|| {
+                *rb.lock().unwrap() = Some(b());
+            });
+            a()
+        });
+        (ra, rb.into_inner().unwrap().unwrap())
+    }
+
+    /// How many chunks to cut `len` items into for roughly `grain`-sized
+    /// parallel work units. Returns 1 whenever parallelism cannot pay.
+    fn chunk_count(&self, len: usize, grain: usize) -> usize {
+        let grain = grain.max(1);
+        match &self.pool {
+            None => 1,
+            Some(_) if len <= grain => 1,
+            Some(p) => len.div_ceil(grain).min(p.threads * CHUNKS_PER_THREAD),
+        }
+    }
+
+    /// Map each chunk of `items` to one result, concurrently; results are
+    /// returned in chunk order. Chunk boundaries are unspecified (they
+    /// depend on the thread count), so callers must only combine the
+    /// results associatively — prefer [`Executor::par_map`] /
+    /// [`Executor::par_flat_map`], which hide the boundaries entirely.
+    pub fn par_map_chunks<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        grain: usize,
+        f: impl Fn(&[T]) -> R + Sync,
+    ) -> Vec<R> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let count = self.chunk_count(items.len(), grain);
+        if count <= 1 {
+            return vec![f(items)];
+        }
+        let size = items.len().div_ceil(count);
+        let chunks: Vec<&[T]> = items.chunks(size).collect();
+        let mut out: Vec<Option<R>> = Vec::new();
+        out.resize_with(chunks.len(), || None);
+        self.scope(|s| {
+            for (slot, chunk) in out.iter_mut().zip(&chunks) {
+                let f = &f;
+                s.spawn(move || *slot = Some(f(chunk)));
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("chunk completed"))
+            .collect()
+    }
+
+    /// Map every item, preserving order. Deterministic: equal to the
+    /// sequential `items.iter().map(f).collect()` for any thread count.
+    pub fn par_map<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        grain: usize,
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<R> {
+        let parts = self.par_map_chunks(items, grain, |chunk| {
+            chunk.iter().map(&f).collect::<Vec<R>>()
+        });
+        flatten(parts)
+    }
+
+    /// Emit any number of outputs per item via `f(item, &mut out)`;
+    /// outputs appear in item order. Deterministic for any thread count.
+    pub fn par_flat_map<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        grain: usize,
+        f: impl Fn(&T, &mut Vec<R>) + Sync,
+    ) -> Vec<R> {
+        let parts = self.par_map_chunks(items, grain, |chunk| {
+            let mut out = Vec::new();
+            for item in chunk {
+                f(item, &mut out);
+            }
+            out
+        });
+        flatten(parts)
+    }
+
+    /// Keep items satisfying `pred`, preserving order (`T: Copy` — the
+    /// engine's claims are small PODs).
+    pub fn par_filter<T: Copy + Sync + Send>(
+        &self,
+        items: &[T],
+        grain: usize,
+        pred: impl Fn(&T) -> bool + Sync,
+    ) -> Vec<T> {
+        self.par_flat_map(items, grain, |item, out| {
+            if pred(item) {
+                out.push(*item);
+            }
+        })
+    }
+
+    /// Visit every item with per-chunk scratch state built by `init` —
+    /// the pool analogue of rayon's `for_each_init`. Item visit order
+    /// within a chunk is sequential; side effects must be per-item
+    /// independent (e.g. disjoint writes, atomic counters).
+    pub fn par_for_each_init<T: Sync, S>(
+        &self,
+        items: &[T],
+        grain: usize,
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, &T) + Sync,
+    ) {
+        self.par_map_chunks(items, grain, |chunk| {
+            let mut state = init();
+            for item in chunk {
+                f(&mut state, item);
+            }
+        });
+    }
+
+    /// Sort in place. `T: Copy + Ord` with a *total* order over all fields
+    /// means the sorted sequence is unique, so the parallel merge path and
+    /// `slice::sort_unstable` produce byte-identical output.
+    pub fn par_sort_unstable<T: Copy + Ord + Send + Sync>(&self, v: &mut [T]) {
+        let len = v.len();
+        if self.pool.is_none() || len <= SORT_GRAIN {
+            v.sort_unstable();
+            return;
+        }
+        let runs = self.threads().min(len.div_ceil(SORT_GRAIN / 2)).max(2);
+        let run_len = len.div_ceil(runs);
+        self.scope(|s| {
+            for chunk in v.chunks_mut(run_len) {
+                s.spawn(move || chunk.sort_unstable());
+            }
+        });
+        // Bottom-up parallel merge, ping-ponging between `v` and a copy.
+        let mut buf: Vec<T> = v.to_vec();
+        let mut width = run_len;
+        let mut in_v = true;
+        while width < len {
+            if in_v {
+                self.merge_pass(&*v, &mut buf, width);
+            } else {
+                self.merge_pass(&buf, v, width);
+            }
+            in_v = !in_v;
+            width *= 2;
+        }
+        if !in_v {
+            v.copy_from_slice(&buf);
+        }
+    }
+
+    fn merge_pass<T: Copy + Ord + Send + Sync>(&self, src: &[T], dst: &mut [T], width: usize) {
+        self.scope(|s| {
+            let mut rest = dst;
+            let mut start = 0;
+            while start < src.len() {
+                let mid = (start + width).min(src.len());
+                let end = (start + 2 * width).min(src.len());
+                let (out, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                let (a, b) = (&src[start..mid], &src[mid..end]);
+                s.spawn(move || merge_into(a, b, out));
+                start = end;
+            }
+        });
+    }
+}
+
+fn flatten<R>(parts: Vec<Vec<R>>) -> Vec<R> {
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+fn merge_into<T: Copy + Ord>(a: &[T], b: &[T], out: &mut [T]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out[k] = a[i];
+            i += 1;
+        } else {
+            out[k] = b[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    out[k..k + (a.len() - i)].copy_from_slice(&a[i..]);
+    k += a.len() - i;
+    out[k..k + (b.len() - j)].copy_from_slice(&b[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn both() -> [Executor; 2] {
+        [
+            Executor::sequential(),
+            Executor::new(ExecutionPolicy::Parallel { threads: 4 }),
+        ]
+    }
+
+    #[test]
+    fn policy_normalization_and_display() {
+        assert_eq!(ExecutionPolicy::Sequential.threads(), 1);
+        assert_eq!(ExecutionPolicy::Parallel { threads: 4 }.threads(), 4);
+        assert!(!Executor::new(ExecutionPolicy::Parallel { threads: 1 }).is_parallel());
+        assert!(Executor::new(ExecutionPolicy::Parallel { threads: 2 }).is_parallel());
+        assert_eq!(ExecutionPolicy::Sequential.to_string(), "sequential");
+        assert_eq!(
+            ExecutionPolicy::Parallel { threads: 3 }.to_string(),
+            "parallel(3)"
+        );
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [2, 3, 4, 8] {
+            let exec = Executor::new(ExecutionPolicy::Parallel { threads });
+            assert_eq!(exec.par_map(&items, 1, |x| x * 3 + 1), expect);
+        }
+    }
+
+    #[test]
+    fn par_flat_map_preserves_item_order() {
+        let items: Vec<u32> = (0..5_000).collect();
+        for exec in both() {
+            let out = exec.par_flat_map(&items, 16, |&x, out| {
+                if x % 3 == 0 {
+                    out.push(x);
+                    out.push(x + 1);
+                }
+            });
+            let expect: Vec<u32> = items
+                .iter()
+                .filter(|&&x| x % 3 == 0)
+                .flat_map(|&x| [x, x + 1])
+                .collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn par_filter_matches_sequential() {
+        let items: Vec<i64> = (-4_000..4_000).collect();
+        for exec in both() {
+            let kept = exec.par_filter(&items, 64, |&x| x % 7 == 0);
+            let expect: Vec<i64> = items.iter().copied().filter(|&x| x % 7 == 0).collect();
+            assert_eq!(kept, expect);
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_covers_every_item_exactly_once() {
+        let items: Vec<u64> = (0..50_000).collect();
+        for exec in both() {
+            let sums = exec.par_map_chunks(&items, 128, |c| c.iter().sum::<u64>());
+            assert_eq!(
+                sums.iter().sum::<u64>(),
+                items.iter().sum::<u64>(),
+                "chunk sums must partition the total"
+            );
+        }
+    }
+
+    #[test]
+    fn par_for_each_init_visits_all_with_chunk_state() {
+        let items: Vec<u64> = (0..20_000).collect();
+        for exec in both() {
+            let total = AtomicU64::new(0);
+            let inits = AtomicU64::new(0);
+            exec.par_for_each_init(
+                &items,
+                256,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                |acc, &x| {
+                    *acc += 1;
+                    total.fetch_add(x, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(total.load(Ordering::Relaxed), items.iter().sum::<u64>());
+            assert!(inits.load(Ordering::Relaxed) >= 1);
+        }
+    }
+
+    #[test]
+    fn par_sort_sorts_and_matches_sequential() {
+        // pseudo-random without rand: splitmix-ish scramble
+        let mut items: Vec<u64> = (0..60_000u64)
+            .map(|i| {
+                let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^ (z >> 27)
+            })
+            .collect();
+        let mut expect = items.clone();
+        expect.sort_unstable();
+        let exec = Executor::new(ExecutionPolicy::Parallel { threads: 4 });
+        exec.par_sort_unstable(&mut items);
+        assert_eq!(items, expect);
+    }
+
+    #[test]
+    fn scope_joins_before_returning() {
+        let exec = Executor::new(ExecutionPolicy::Parallel { threads: 4 });
+        let counter = AtomicU64::new(0);
+        exec.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // all spawned tasks completed (and their writes are visible)
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let exec = Executor::new(ExecutionPolicy::Parallel { threads: 2 });
+        let counter = AtomicU64::new(0);
+        exec.scope(|s| {
+            for _ in 0..8 {
+                let exec2 = exec.clone();
+                let counter = &counter;
+                s.spawn(move || {
+                    exec2.scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for exec in both() {
+            let (a, b) = exec.join(|| 6 * 7, || "ok");
+            assert_eq!((a, b), (42, "ok"));
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_scope_caller() {
+        let exec = Executor::new(ExecutionPolicy::Parallel { threads: 2 });
+        let result = std::panic::catch_unwind(|| {
+            exec.scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        });
+        assert!(result.is_err(), "task panic must surface on the caller");
+        // the pool stays usable afterwards
+        assert_eq!(exec.par_map(&[1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for exec in both() {
+            let empty: Vec<u64> = Vec::new();
+            assert!(exec.par_map(&empty, 8, |x| *x).is_empty());
+            assert!(exec.par_map_chunks(&empty, 8, |c| c.len()).is_empty());
+            assert_eq!(exec.par_map(&[7u64], 8, |x| x + 1), vec![8]);
+            let mut one = [3u64];
+            exec.par_sort_unstable(&mut one);
+            assert_eq!(one, [3]);
+        }
+    }
+}

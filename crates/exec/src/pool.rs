@@ -1,0 +1,229 @@
+//! The work-sharing thread pool behind [`crate::Executor`].
+//!
+//! Deliberately minimal: one global FIFO injector guarded by a mutex, a
+//! condvar to park idle workers, and per-batch completion latches. No
+//! work-stealing deques, no registry crates — the workloads this pool
+//! serves (frontier rounds, recursive hopset calls, chunked sorts) push
+//! coarse chunk-sized jobs, so a shared queue is not a bottleneck.
+//!
+//! # Blocking and nesting
+//!
+//! A thread waiting on a batch (the caller of [`crate::Executor::scope`],
+//! or a pool worker running a job that opened a nested scope) does not
+//! sleep idly: it *helps*, draining jobs from the injector until its own
+//! batch completes. This makes nested parallelism (the hopset recursion
+//! spawning clusterings that spawn frontier rounds) deadlock-free with any
+//! pool size: every blocked thread is also a consumer of the queue.
+//!
+//! # Memory ordering
+//!
+//! Each job's completion decrements the batch latch with `Release`; the
+//! waiter observes zero with `Acquire`. Atomic read-modify-writes form a
+//! release sequence, so the waiter synchronizes-with *every* completed
+//! job, not just the last one — everything a job wrote (including
+//! `Relaxed` counter bumps, see `psh_pram::OpCounter`) is visible after
+//! the scope returns. Panics inside jobs are caught, the first payload is
+//! stored, and the panic resumes on the scope caller after all jobs of
+//! the batch have finished.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared between the pool's workers and scope callers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled on every push *and* every batch-job completion, so both
+    /// idle workers and batch waiters wake promptly.
+    work: Condvar,
+}
+
+impl Shared {
+    fn push(&self, job: Job) {
+        let mut q = self.queue.lock().unwrap();
+        q.push_back(job);
+        self.work.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// Completion latch for one `scope` invocation.
+pub(crate) struct Batch {
+    shared: Arc<Shared>,
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Batch {
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            // Lock/unlock pairs the notification with a waiter that is
+            // between its latch check and its condvar wait.
+            drop(self.shared.queue.lock().unwrap());
+            self.shared.work.notify_all();
+        }
+    }
+}
+
+/// A persistent set of worker threads. Pools live for the whole process
+/// (see the registry in `lib.rs`); workers park on the condvar when idle.
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    pub(crate) threads: usize,
+}
+
+impl Pool {
+    /// Spawn a pool that, together with the scope caller, keeps `threads`
+    /// threads busy: `threads - 1` workers are created.
+    pub(crate) fn new(threads: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+        });
+        for i in 0..threads.saturating_sub(1) {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("psh-exec-{i}"))
+                .spawn(move || worker(&shared))
+                .expect("failed to spawn psh-exec worker");
+        }
+        Pool { shared, threads }
+    }
+
+    /// Help-then-wait until `batch` has no outstanding jobs.
+    fn wait(&self, batch: &Batch) {
+        loop {
+            if batch.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if let Some(job) = self.shared.try_pop() {
+                job();
+                continue;
+            }
+            let q = self.shared.queue.lock().unwrap();
+            if batch.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if !q.is_empty() {
+                continue; // a job arrived between try_pop and the lock
+            }
+            // Parked until a push or a completion notifies; the guard is
+            // dropped immediately so helpers can pop.
+            drop(self.shared.work.wait(q).unwrap());
+        }
+    }
+}
+
+fn worker(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.work.wait(q).unwrap();
+            }
+        };
+        // Jobs are panic-wrapped at spawn time, so `job()` never unwinds.
+        job();
+    }
+}
+
+/// Spawn handle passed to the closure of [`crate::Executor::scope`].
+///
+/// Tasks spawned here run on the pool (or inline under the sequential
+/// policy) and are all complete by the time `scope` returns. Borrowing
+/// data from the enclosing frame is allowed: the scope cannot be exited —
+/// not even by panic — before every spawned task has finished.
+pub struct Scope<'scope, 'pool> {
+    pool: Option<&'pool Pool>,
+    batch: Arc<Batch>,
+    /// Invariant in `'scope`, like `std::thread::Scope`.
+    _marker: PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Run `f` as a pool task (or inline when sequential).
+    pub fn spawn<F: FnOnce() + Send + 'scope>(&self, f: F) {
+        let Some(pool) = self.pool else {
+            f();
+            return;
+        };
+        self.batch.remaining.fetch_add(1, Ordering::Relaxed);
+        let batch = Arc::clone(&self.batch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                batch.panic.lock().unwrap().get_or_insert(payload);
+            }
+            batch.complete_one();
+        });
+        // SAFETY: the job is erased to 'static so it can sit in the shared
+        // queue, but `run_scope` (via `WaitGuard`, which waits even on
+        // panic) guarantees the batch drains before the 'scope frame is
+        // left, so every borrow the job holds outlives its execution.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        pool.shared.push(job);
+    }
+}
+
+/// Drains the batch even when the scope body panics, keeping borrowed
+/// frames alive until every spawned job has run.
+struct WaitGuard<'pool> {
+    pool: Option<&'pool Pool>,
+    batch: Arc<Batch>,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool {
+            pool.wait(&self.batch);
+        }
+    }
+}
+
+/// The `scope` entry point shared by the sequential and pooled executors.
+pub(crate) fn run_scope<'scope, R>(
+    pool: Option<&Pool>,
+    f: impl FnOnce(&Scope<'scope, '_>) -> R,
+) -> R {
+    let shared = pool.map(|p| Arc::clone(&p.shared)).unwrap_or_else(|| {
+        // Sequential: a throwaway latch that never sees a job.
+        Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+        })
+    });
+    let batch = Arc::new(Batch {
+        shared,
+        remaining: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    });
+    let scope = Scope {
+        pool,
+        batch: Arc::clone(&batch),
+        _marker: PhantomData,
+    };
+    let result = {
+        let _guard = WaitGuard {
+            pool,
+            batch: Arc::clone(&batch),
+        };
+        f(&scope)
+        // _guard drops here: waits for all spawned jobs, panic or not.
+    };
+    if let Some(payload) = batch.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    result
+}

@@ -1,0 +1,257 @@
+//! The shared level-synchronous frontier engine.
+//!
+//! Every bucketed search in this workspace — the clustering race
+//! (Algorithm 1 / Appendix A), parallel BFS [UY91], Dial's bucketed SSSP
+//! [KS97], Δ-stepping, and the hopset round loops built on them — has the
+//! same skeleton: a priority queue of integer-keyed buckets of *claims*,
+//! processed in key order, where each round
+//!
+//! 1. **filters** the popped bucket down to claims that are still live,
+//! 2. **resolves** contention by sorting and keeping, per target vertex,
+//!    the minimum claim under a total tie-breaking order,
+//! 3. **commits** the winners to the algorithm's state, and
+//! 4. **expands** each winner into future claims pushed at later keys.
+//!
+//! Before this module each algorithm hand-rolled that loop; now they all
+//! implement [`Frontier`] and let [`drive`] run the rounds. The engine
+//! owns both the parallelism and the accounting:
+//!
+//! * phases 1, 2, and 4 execute on a [`psh_exec::Executor`] via the
+//!   deterministic chunked combinators, so artifacts are byte-identical
+//!   for any [`psh_exec::ExecutionPolicy`] — ties are fixed by the claim
+//!   type's `Ord`, never by scheduling;
+//! * *work* is accumulated in a [`psh_pram::OpCounter`] (claims examined,
+//!   edges scanned, winners committed — the same currency the paper
+//!   charges), and *depth* is the number of rounds the engine actually
+//!   ran, so the reported [`Cost`] is measured from the execution itself
+//!   rather than estimated alongside it.
+//!
+//! Two-phase claim/commit is what makes determinism cheap: state is only
+//! read during filtering/expansion and only written between them, so no
+//! parallel phase ever races on the arrays the algorithms update.
+
+use crate::csr::VertexId;
+use psh_exec::Executor;
+use psh_pram::{Cost, OpCounter};
+use std::collections::BTreeMap;
+
+/// Claims per chunk when filtering a popped bucket (claims are small
+/// PODs; below this a pool round-trip costs more than the scan).
+const FILTER_GRAIN: usize = 4096;
+
+/// Winners per chunk when expanding (each expansion scans an adjacency
+/// list, so chunks are heavier than filter chunks).
+const EXPAND_GRAIN: usize = 256;
+
+/// An ordered multimap from integer round keys to pending claims — the
+/// lazy bucket structure shared by every search engine. Sparse key ranges
+/// skip empty buckets in `O(log)` time.
+#[derive(Clone, Debug, Default)]
+pub struct BucketQueue<T> {
+    buckets: BTreeMap<u64, Vec<T>>,
+}
+
+impl<T> BucketQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        BucketQueue {
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Append `item` to the bucket at `key`.
+    pub fn push(&mut self, key: u64, item: T) {
+        self.buckets.entry(key).or_default().push(item);
+    }
+
+    /// Remove and return the non-empty bucket with the smallest key.
+    pub fn pop_min(&mut self) -> Option<(u64, Vec<T>)> {
+        let (&key, _) = self.buckets.first_key_value()?;
+        let items = self.buckets.remove(&key).expect("bucket exists");
+        Some((key, items))
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// One algorithm's view of the race: what a claim is, when it is still
+/// live, how winners update state, and what they spawn next.
+///
+/// # Contract
+///
+/// * `Claim`'s `Ord` **must order by target first** (the engine groups
+///   winners by runs of equal targets in sorted order), and the remaining
+///   fields must totally order claims so the per-target minimum is the
+///   unique deterministic winner.
+/// * [`Frontier::live`] and [`Frontier::expand`] take `&self` and run in
+///   parallel — they must not mutate state (interior-mutable counters
+///   aside). [`Frontier::commit`] runs sequentially, in sorted winner
+///   order, between them.
+/// * `expand` returns the work units (edge scans) it performed, which the
+///   engine adds to the run's [`Cost::work`].
+pub trait Frontier: Sync {
+    /// A pending assignment attempt on some target vertex.
+    type Claim: Copy + Ord + Send + Sync;
+
+    /// The vertex this claim tries to acquire.
+    fn target(claim: &Self::Claim) -> VertexId;
+
+    /// Is this claim still meaningful, given current state? Runs in the
+    /// parallel filter phase; stale claims are dropped (their examination
+    /// is still charged as work).
+    fn live(&self, claim: &Self::Claim) -> bool;
+
+    /// Apply a winning claim. Runs sequentially; `round` is the bucket
+    /// key being processed.
+    fn commit(&mut self, claim: &Self::Claim, round: u64);
+
+    /// Emit the follow-up claims of a committed winner as
+    /// `(key, claim)` pairs with `key >= round`; returns the number of
+    /// work units (e.g. edges scanned) performed. Runs in the parallel
+    /// expansion phase, after every commit of this round.
+    fn expand(&self, claim: &Self::Claim, round: u64, out: &mut Vec<(u64, Self::Claim)>) -> u64;
+}
+
+/// Run the level-synchronous rounds to exhaustion.
+///
+/// Returns the engine-measured cost: `work` = claims examined + work
+/// units reported by `expand` + winners committed (from the internal
+/// [`OpCounter`]); `depth` = number of rounds in which at least one claim
+/// won (rounds whose bucket was entirely stale cost work but no depth,
+/// matching the PRAM schedule where such a round does not exist).
+pub fn drive<F: Frontier>(
+    exec: &Executor,
+    queue: &mut BucketQueue<F::Claim>,
+    frontier: &mut F,
+) -> Cost {
+    let counter = OpCounter::new();
+    let mut rounds: u64 = 0;
+    let mut winners: Vec<F::Claim> = Vec::new();
+    while let Some((round, claims)) = queue.pop_min() {
+        counter.add(claims.len() as u64);
+        // Phase 1: parallel filter of stale claims.
+        let shared: &F = frontier;
+        let mut live = exec.par_filter(&claims, FILTER_GRAIN, |c| shared.live(c));
+        if live.is_empty() {
+            continue;
+        }
+        // Phase 2: deterministic contention resolution — sort puts each
+        // target's minimum claim first; keep the first of each run.
+        exec.par_sort_unstable(&mut live);
+        winners.clear();
+        let mut last: Option<VertexId> = None;
+        for claim in live {
+            let t = F::target(&claim);
+            if last != Some(t) {
+                winners.push(claim);
+                last = Some(t);
+            }
+        }
+        // Phase 3: sequential commit in sorted winner order.
+        for claim in &winners {
+            frontier.commit(claim, round);
+        }
+        // Phase 4: parallel expansion; emitted claims land in later (or
+        // re-opened current) buckets, concatenated in winner order.
+        let shared: &F = frontier;
+        let expansion = exec.par_flat_map(&winners, EXPAND_GRAIN, |claim, out| {
+            let before = out.len();
+            let scanned = shared.expand(claim, round, out);
+            debug_assert!(out[before..].iter().all(|&(k, _)| k >= round));
+            counter.add(scanned);
+        });
+        for (key, claim) in expansion {
+            queue.push(key, claim);
+        }
+        counter.add(winners.len() as u64);
+        rounds += 1;
+    }
+    Cost::new(counter.get(), rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_queue_pops_in_key_order() {
+        let mut q = BucketQueue::new();
+        q.push(5, 'b');
+        q.push(2, 'a');
+        q.push(5, 'c');
+        assert!(!q.is_empty());
+        assert_eq!(q.pop_min(), Some((2, vec!['a'])));
+        assert_eq!(q.pop_min(), Some((5, vec!['b', 'c'])));
+        assert!(q.is_empty());
+        assert_eq!(q.pop_min(), None);
+    }
+
+    #[test]
+    fn reinserting_at_the_popped_key_reopens_the_bucket() {
+        // Δ-stepping's light-phase iterations rely on this: claims pushed
+        // at the current key are processed as an extra sub-round.
+        let mut q = BucketQueue::new();
+        q.push(3, 1u32);
+        let (k, _) = q.pop_min().unwrap();
+        q.push(k, 2u32);
+        assert_eq!(q.pop_min(), Some((3, vec![2])));
+    }
+
+    /// Toy frontier: propagate the smallest source id along a path, one
+    /// vertex per round — a miniature BFS exercising all four phases.
+    struct Label {
+        adj: Vec<Vec<VertexId>>,
+        owner: Vec<u32>,
+    }
+
+    impl Frontier for Label {
+        type Claim = (VertexId, u32); // (target, proposed owner)
+
+        fn target(c: &Self::Claim) -> VertexId {
+            c.0
+        }
+
+        fn live(&self, c: &Self::Claim) -> bool {
+            self.owner[c.0 as usize] == u32::MAX
+        }
+
+        fn commit(&mut self, c: &Self::Claim, _round: u64) {
+            self.owner[c.0 as usize] = c.1;
+        }
+
+        fn expand(&self, c: &Self::Claim, round: u64, out: &mut Vec<(u64, Self::Claim)>) -> u64 {
+            for &w in &self.adj[c.0 as usize] {
+                if self.owner[w as usize] == u32::MAX {
+                    out.push((round + 1, (w, c.1)));
+                }
+            }
+            self.adj[c.0 as usize].len() as u64
+        }
+    }
+
+    #[test]
+    fn drive_resolves_ties_deterministically_and_counts_rounds() {
+        // path 0-1-2-3-4 with sources 0 (owner 7) and 4 (owner 3): vertex
+        // 2 is contested at round 2 and the smaller claim (owner 3) wins.
+        let adj = vec![vec![1], vec![0, 2], vec![1, 3], vec![2, 4], vec![3]];
+        for exec in [
+            Executor::sequential(),
+            Executor::new(psh_exec::ExecutionPolicy::Parallel { threads: 3 }),
+        ] {
+            let mut f = Label {
+                adj: adj.clone(),
+                owner: vec![u32::MAX; 5],
+            };
+            let mut q = BucketQueue::new();
+            q.push(0, (0, 7u32));
+            q.push(0, (4, 3u32));
+            let cost = drive(&exec, &mut q, &mut f);
+            assert_eq!(f.owner, vec![7, 7, 3, 3, 3]);
+            assert_eq!(cost.depth, 3, "rounds 0, 1, 2");
+            assert!(cost.work > 0);
+        }
+    }
+}

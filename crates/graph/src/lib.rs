@@ -11,11 +11,17 @@
 //! * [`generators`] — synthetic workloads: Erdős–Rényi, preferential
 //!   attachment, grids/tori, paths, trees, geometric graphs, and weight
 //!   assigners (uniform, log-uniform over a ratio `U`).
+//! * [`frontier`] — the shared level-synchronous frontier engine: the
+//!   two-phase claim/commit round loop (bucket → filter → resolve →
+//!   commit → expand) that the clustering race, BFS, Dial, Δ-stepping,
+//!   and the hopset round loops all drive, executing on a
+//!   [`psh_exec::Executor`] with engine-measured work/depth.
 //! * [`traversal`] — the parallel search engines the paper builds on:
 //!   level-synchronous BFS [UY91], bucketed integer-weight SSSP
 //!   ("weighted parallel BFS", Dial's algorithm as used by [KS97]),
-//!   hop-limited Bellman–Ford (the hopset query engine), and exact
-//!   Dijkstra as a verification oracle.
+//!   Δ-stepping, hop-limited Bellman–Ford (the hopset query engine), and
+//!   exact Dijkstra as a verification oracle — the first three as
+//!   [`frontier::Frontier`] implementations.
 //! * [`connectivity`] / [`union_find`] — connected components (parallel
 //!   label propagation and union-find), used by Appendix B's hierarchical
 //!   weight decomposition.
@@ -32,6 +38,7 @@
 pub mod builder;
 pub mod connectivity;
 pub mod csr;
+pub mod frontier;
 pub mod generators;
 pub mod io;
 pub mod prefix;
@@ -41,5 +48,6 @@ pub mod traversal;
 pub mod union_find;
 
 pub use csr::{CsrGraph, Edge, VertexId, Weight, INF};
+pub use frontier::{drive, BucketQueue, Frontier};
 pub use quotient::QuotientGraph;
 pub use subgraph::SubGraph;

@@ -1,33 +1,90 @@
-//! Parallel level-synchronous BFS, after Ullman–Yannakakis [UY91].
+//! Parallel level-synchronous BFS, after Ullman–Yannakakis [UY91], as a
+//! [`Frontier`] driven by the shared engine ([`crate::frontier`]).
 //!
-//! Each round expands the whole frontier in parallel; contended claims on a
-//! newly discovered vertex are resolved by an atomic `fetch_min` on the
-//! claiming parent, so the output forest is deterministic (the minimum-id
-//! eligible parent always wins) regardless of scheduling.
+//! Each claim `(target, parent)` proposes to discover `target` at the
+//! claim's bucket key (= BFS level); the engine's deterministic
+//! contention resolution keeps the minimum-id eligible parent, so the
+//! output forest is byte-identical for any
+//! [`psh_exec::ExecutionPolicy`].
 //!
-//! Cost accounting: work = initialization + edges scanned per round
-//! (including re-scans of already-visited targets — that is what a PRAM
-//! implementation pays too); depth = one round per BFS level, matching the
-//! `O(diameter)` depth of the paper's parallel BFS (the `log* n` CRCW
-//! factor is a model constant we do not multiply in — see the
-//! `psh_pram` crate docs).
+//! Cost accounting (engine-measured): work = initialization + claims
+//! examined + edges scanned per round; depth = one round per BFS level
+//! including the source round, matching the `O(diameter)` depth of the
+//! paper's parallel BFS (the `log* n` CRCW factor is a model constant we
+//! do not multiply in — see the `psh_pram` crate docs).
 
 use crate::csr::{CsrGraph, VertexId, INF};
+use crate::frontier::{drive, BucketQueue, Frontier};
 use crate::traversal::SsspResult;
+use psh_exec::Executor;
 use psh_pram::Cost;
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A pending discovery: `parent` proposes to discover `target` at the
+/// bucket's level. Ordered target-first (engine contract), then by
+/// parent id — the minimum-id parent wins contested vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct BfsClaim {
+    target: VertexId,
+    parent: VertexId,
+}
+
+struct Bfs<'a> {
+    g: &'a CsrGraph,
+    dist: Vec<u64>,
+    parent: Vec<VertexId>,
+    max_levels: u64,
+}
+
+impl Frontier for Bfs<'_> {
+    type Claim = BfsClaim;
+
+    fn target(c: &BfsClaim) -> VertexId {
+        c.target
+    }
+
+    fn live(&self, c: &BfsClaim) -> bool {
+        self.dist[c.target as usize] == INF
+    }
+
+    fn commit(&mut self, c: &BfsClaim, round: u64) {
+        self.dist[c.target as usize] = round;
+        self.parent[c.target as usize] = c.parent;
+    }
+
+    fn expand(&self, c: &BfsClaim, round: u64, out: &mut Vec<(u64, BfsClaim)>) -> u64 {
+        if round >= self.max_levels {
+            return 0; // bounded search: do not scan past the last level
+        }
+        for (w, _) in self.g.neighbors(c.target) {
+            if self.dist[w as usize] == INF {
+                out.push((
+                    round + 1,
+                    BfsClaim {
+                        target: w,
+                        parent: c.target,
+                    },
+                ));
+            }
+        }
+        self.g.degree(c.target) as u64
+    }
+}
 
 /// BFS from a single source.
 pub fn parallel_bfs(g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
-    parallel_bfs_multi(g, &[src])
+    parallel_bfs_bounded_with(&Executor::current(), g, &[src], usize::MAX)
+}
+
+/// [`parallel_bfs`] on an explicit executor.
+pub fn parallel_bfs_with(exec: &Executor, g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
+    parallel_bfs_bounded_with(exec, g, &[src], usize::MAX)
 }
 
 /// BFS from a set of sources, all at distance 0. `max_levels` bounds how
 /// far the search runs via [`parallel_bfs_bounded`]; this entry point runs
 /// to exhaustion.
 pub fn parallel_bfs_multi(g: &CsrGraph, sources: &[VertexId]) -> (SsspResult, Cost) {
-    parallel_bfs_bounded(g, sources, usize::MAX)
+    parallel_bfs_bounded_with(&Executor::current(), g, sources, usize::MAX)
 }
 
 /// BFS from `sources`, stopping after `max_levels` levels (vertices further
@@ -38,49 +95,41 @@ pub fn parallel_bfs_bounded(
     sources: &[VertexId],
     max_levels: usize,
 ) -> (SsspResult, Cost) {
+    parallel_bfs_bounded_with(&Executor::current(), g, sources, max_levels)
+}
+
+/// [`parallel_bfs_bounded`] on an explicit executor.
+pub fn parallel_bfs_bounded_with(
+    exec: &Executor,
+    g: &CsrGraph,
+    sources: &[VertexId],
+    max_levels: usize,
+) -> (SsspResult, Cost) {
     let n = g.n();
-    let claim: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
-    let mut dist = vec![INF; n];
-
-    let mut frontier: Vec<VertexId> = sources.to_vec();
-    frontier.sort_unstable();
-    frontier.dedup();
-    for &s in &frontier {
-        dist[s as usize] = 0;
-        claim[s as usize].store(s, Ordering::Relaxed);
+    let mut bfs = Bfs {
+        g,
+        dist: vec![INF; n],
+        parent: vec![u32::MAX; n],
+        max_levels: max_levels.min(u64::MAX as usize) as u64,
+    };
+    let mut queue = BucketQueue::new();
+    for &s in sources {
+        queue.push(
+            0,
+            BfsClaim {
+                target: s,
+                parent: s,
+            },
+        );
     }
-
-    let mut cost = Cost::flat(n as u64); // initialization round
-    let mut level: u64 = 0;
-    while !frontier.is_empty() && (level as usize) < max_levels {
-        level += 1;
-        let scanned: u64 = frontier.par_iter().map(|&u| g.degree(u) as u64).sum();
-        // Expansion: claim unvisited neighbors with atomic min on parent.
-        let (dist_ref, claim_ref) = (&dist, &claim);
-        let mut next: Vec<VertexId> = frontier
-            .par_iter()
-            .flat_map_iter(|&u| {
-                g.neighbors(u).filter_map(move |(w, _)| {
-                    if dist_ref[w as usize] == INF {
-                        claim_ref[w as usize].fetch_min(u, Ordering::Relaxed);
-                        Some(w)
-                    } else {
-                        None
-                    }
-                })
-            })
-            .collect();
-        next.par_sort_unstable();
-        next.dedup();
-        for &w in &next {
-            dist[w as usize] = level;
-        }
-        cost = cost.then(Cost::flat(scanned + next.len() as u64));
-        frontier = next;
-    }
-
-    let parent: Vec<VertexId> = claim.into_iter().map(AtomicU32::into_inner).collect();
-    (SsspResult { dist, parent }, cost)
+    let cost = Cost::flat(n as u64).then(drive(exec, &mut queue, &mut bfs));
+    (
+        SsspResult {
+            dist: bfs.dist,
+            parent: bfs.parent,
+        },
+        cost,
+    )
 }
 
 #[cfg(test)]
@@ -89,6 +138,7 @@ mod tests {
     use crate::generators;
     use crate::traversal::dijkstra::dijkstra;
     use proptest::prelude::*;
+    use psh_exec::ExecutionPolicy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -98,7 +148,7 @@ mod tests {
         let (r, cost) = parallel_bfs(&g, 0);
         assert_eq!(r.dist, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(r.path_to(5).unwrap(), vec![0, 1, 2, 3, 4, 5]);
-        // depth = init round + 5 discovery levels + 1 final empty expansion
+        // depth = init round + 6 discovery rounds (levels 0..=5)
         assert_eq!(cost.depth, 7);
     }
 
@@ -147,6 +197,19 @@ mod tests {
         let g = generators::path(4);
         let (r, _) = parallel_bfs_multi(&g, &[2, 2, 2]);
         assert_eq!(r.dist, vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn identical_results_across_executors() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = generators::connected_random(400, 900, &mut rng);
+        let (seq, seq_cost) = parallel_bfs_with(&Executor::sequential(), &g, 5);
+        for threads in [2, 4, 8] {
+            let exec = Executor::new(ExecutionPolicy::Parallel { threads });
+            let (par, par_cost) = parallel_bfs_with(&exec, &g, 5);
+            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(seq_cost, par_cost, "cost model is execution-independent");
+        }
     }
 
     proptest! {

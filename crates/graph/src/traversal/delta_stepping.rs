@@ -1,117 +1,119 @@
-//! Δ-stepping — the practical parallel SSSP engine (Meyer–Sanders).
+//! Δ-stepping — the practical parallel SSSP engine (Meyer–Sanders) — as a
+//! [`Frontier`] driven by the shared engine ([`crate::frontier`]).
 //!
 //! The paper's searches are expressed as bucketed "weighted parallel BFS"
 //! ([`crate::traversal::dial`], one bucket per distance value); Δ-stepping
-//! generalizes the bucket width to Δ, relaxing *light* edges (`w < Δ`)
-//! iteratively within a bucket and *heavy* edges once when the bucket
-//! settles. With `Δ = 1` it degenerates to Dial; with `Δ = ∞` to
-//! Bellman–Ford. It is the engine a production deployment would use for
-//! the hopset clique searches when edge weights are spread out, so the
-//! library ships it with the same instrumentation and determinism
-//! guarantees as the other engines.
+//! generalizes the bucket key to `dist / Δ`, so a claim carries its
+//! tentative distance explicitly: `(target, dist, parent)`. Relaxations
+//! that stay inside the current width-Δ bucket re-open it (the engine
+//! processes the re-filled key as an extra sub-round — the classic
+//! light-edge iteration); relaxations that leave it land in later
+//! buckets. A vertex can be committed several times as its tentative
+//! distance improves; the `live` check (`claim.dist < dist[target]`)
+//! drops everything stale. With `Δ = 1` the key degenerates to Dial; with
+//! `Δ = ∞` to Bellman–Ford. It is the engine a production deployment
+//! would use for the hopset clique searches when edge weights are spread
+//! out, so the library ships it with the same instrumentation and
+//! determinism guarantees as the other engines.
 //!
-//! Depth accounting: one round per (bucket, light-phase iteration) plus
-//! one per heavy phase — the standard Δ-stepping round structure.
+//! Depth accounting (engine-measured): one round per (bucket, sub-round)
+//! in which some tentative distance improved.
 
 use crate::csr::{CsrGraph, VertexId, Weight, INF};
+use crate::frontier::{drive, BucketQueue, Frontier};
 use crate::traversal::SsspResult;
+use psh_exec::Executor;
 use psh_pram::Cost;
-use rayon::prelude::*;
-use std::collections::BTreeMap;
+
+/// A pending relaxation: reach `target` at tentative distance `dist`
+/// through `parent`. Ordered target-first (engine contract), then by
+/// (dist, parent): the smallest tentative distance wins, ties to the
+/// minimum parent id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct DeltaClaim {
+    target: VertexId,
+    dist: Weight,
+    parent: VertexId,
+}
+
+struct DeltaStepping<'a> {
+    g: &'a CsrGraph,
+    dist: Vec<Weight>,
+    parent: Vec<VertexId>,
+    delta: Weight,
+}
+
+impl Frontier for DeltaStepping<'_> {
+    type Claim = DeltaClaim;
+
+    fn target(c: &DeltaClaim) -> VertexId {
+        c.target
+    }
+
+    fn live(&self, c: &DeltaClaim) -> bool {
+        c.dist < self.dist[c.target as usize]
+    }
+
+    fn commit(&mut self, c: &DeltaClaim, _round: u64) {
+        self.dist[c.target as usize] = c.dist;
+        self.parent[c.target as usize] = c.parent;
+    }
+
+    fn expand(&self, c: &DeltaClaim, _round: u64, out: &mut Vec<(u64, DeltaClaim)>) -> u64 {
+        for (w, wt) in self.g.neighbors(c.target) {
+            let nd = c.dist.saturating_add(wt);
+            if nd < self.dist[w as usize] {
+                out.push((
+                    nd / self.delta,
+                    DeltaClaim {
+                        target: w,
+                        dist: nd,
+                        parent: c.target,
+                    },
+                ));
+            }
+        }
+        self.g.degree(c.target) as u64
+    }
+}
 
 /// Δ-stepping SSSP from `src` with bucket width `delta >= 1`.
 pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> (SsspResult, Cost) {
+    delta_stepping_with(&Executor::current(), g, src, delta)
+}
+
+/// [`delta_stepping`] on an explicit executor.
+pub fn delta_stepping_with(
+    exec: &Executor,
+    g: &CsrGraph,
+    src: VertexId,
+    delta: Weight,
+) -> (SsspResult, Cost) {
     assert!(delta >= 1, "bucket width must be at least 1");
     let n = g.n();
-    let mut dist = vec![INF; n];
-    let mut parent = vec![u32::MAX; n];
-    let mut buckets: BTreeMap<u64, Vec<VertexId>> = BTreeMap::new();
-    dist[src as usize] = 0;
-    parent[src as usize] = src;
-    buckets.entry(0).or_default().push(src);
-    let mut cost = Cost::flat(n as u64);
-
-    while let Some((&bidx, _)) = buckets.first_key_value() {
-        let mut bucket = buckets.remove(&bidx).unwrap();
-        // vertices settled by this bucket, for the single heavy phase
-        let mut settled: Vec<VertexId> = Vec::new();
-        // --- light phases: iterate until the bucket stops refilling ----
-        while !bucket.is_empty() {
-            let dist_ref = &dist;
-            let active: Vec<VertexId> = bucket
-                .drain(..)
-                .filter(|&v| dist_ref[v as usize] / delta == bidx)
-                .collect();
-            if active.is_empty() {
-                break;
-            }
-            let scanned: u64 = active.par_iter().map(|&v| g.degree(v) as u64).sum();
-            let dist_ref = &dist;
-            let mut relax: Vec<(VertexId, Weight, VertexId)> = active
-                .par_iter()
-                .flat_map_iter(|&u| {
-                    let du = dist_ref[u as usize];
-                    g.neighbors(u).filter_map(move |(v, w)| {
-                        let nd = du.saturating_add(w);
-                        (w < delta && nd < dist_ref[v as usize]).then_some((v, nd, u))
-                    })
-                })
-                .collect();
-            relax.par_sort_unstable();
-            settled.extend(&active);
-            let mut last = u32::MAX;
-            for (v, nd, p) in relax {
-                if v == last {
-                    continue;
-                }
-                last = v;
-                if nd < dist[v as usize] {
-                    dist[v as usize] = nd;
-                    parent[v as usize] = p;
-                    let b = nd / delta;
-                    if b == bidx {
-                        bucket.push(v);
-                    } else {
-                        buckets.entry(b).or_default().push(v);
-                    }
-                }
-            }
-            cost = cost.then(Cost::flat(scanned + active.len() as u64));
-        }
-        // --- one heavy phase over everything settled in this bucket ----
-        settled.sort_unstable();
-        settled.dedup();
-        if settled.is_empty() {
-            continue;
-        }
-        let dist_ref = &dist;
-        let mut relax: Vec<(VertexId, Weight, VertexId)> = settled
-            .par_iter()
-            .flat_map_iter(|&u| {
-                let du = dist_ref[u as usize];
-                g.neighbors(u).filter_map(move |(v, w)| {
-                    let nd = du.saturating_add(w);
-                    (w >= delta && nd < dist_ref[v as usize]).then_some((v, nd, u))
-                })
-            })
-            .collect();
-        relax.par_sort_unstable();
-        let mut last = u32::MAX;
-        for (v, nd, p) in relax {
-            if v == last {
-                continue;
-            }
-            last = v;
-            if nd < dist[v as usize] {
-                dist[v as usize] = nd;
-                parent[v as usize] = p;
-                buckets.entry(nd / delta).or_default().push(v);
-            }
-        }
-        cost = cost.then(Cost::flat(settled.len() as u64 + 1));
-    }
-
-    (SsspResult { dist, parent }, cost)
+    let mut state = DeltaStepping {
+        g,
+        dist: vec![INF; n],
+        parent: vec![u32::MAX; n],
+        delta,
+    };
+    let mut queue = BucketQueue::new();
+    queue.push(
+        0,
+        DeltaClaim {
+            target: src,
+            dist: 0,
+            parent: src,
+        },
+    );
+    let cost = Cost::flat(n as u64).then(drive(exec, &mut queue, &mut state));
+    (
+        SsspResult {
+            dist: state.dist,
+            parent: state.parent,
+        },
+        cost,
+    )
 }
 
 /// A reasonable default bucket width: the mean edge weight (≥ 1), the
@@ -130,6 +132,7 @@ mod tests {
     use crate::generators;
     use crate::traversal::dijkstra::dijkstra;
     use proptest::prelude::*;
+    use psh_exec::ExecutionPolicy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -184,6 +187,20 @@ mod tests {
         let g = CsrGraph::from_unit_edges(4, [(0, 1)]);
         let (r, _) = delta_stepping(&g, 0, 3);
         assert_eq!(r.dist, vec![0, 1, INF, INF]);
+    }
+
+    #[test]
+    fn identical_results_across_executors() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let base = generators::connected_random(250, 600, &mut rng);
+        let g = generators::with_uniform_weights(&base, 1, 17, &mut rng);
+        let (seq, seq_cost) = delta_stepping_with(&Executor::sequential(), &g, 3, 8);
+        for threads in [2, 4, 8] {
+            let exec = Executor::new(ExecutionPolicy::Parallel { threads });
+            let (par, par_cost) = delta_stepping_with(&exec, &g, 3, 8);
+            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(seq_cost, par_cost, "cost model is execution-independent");
+        }
     }
 
     proptest! {

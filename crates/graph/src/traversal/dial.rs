@@ -1,31 +1,91 @@
-//! Bucketed integer-weight SSSP — the paper's "weighted parallel BFS".
+//! Bucketed integer-weight SSSP — the paper's "weighted parallel BFS" —
+//! as a [`Frontier`] driven by the shared engine ([`crate::frontier`]).
 //!
 //! Klein–Subramanian [KS97] (and §5 of the paper) run shortest-path
 //! searches on integer-weight graphs by processing distance values in
 //! increasing order: all vertices settled at the same distance form one
 //! parallel round, so the *depth* of a search is the number of distinct
 //! distance levels — which the rounding scheme of Lemma 5.2 compresses to
-//! `O(ck/ζ)`. This is Dial's algorithm with lazy buckets; we use an ordered
-//! map so sparse distance ranges skip empty levels in O(log) time.
+//! `O(ck/ζ)`. This is Dial's algorithm with lazy deletion: a claim
+//! `(target, parent)` at key `d` proposes to settle `target` at distance
+//! `d`; the first bucket in which a vertex has a live claim is its exact
+//! distance, later claims are stale. Contested settlements go to the
+//! minimum parent id (engine tie-breaking), so the forest is
+//! deterministic under any [`psh_exec::ExecutionPolicy`].
 //!
 //! Supports per-source start offsets, which is how a super-source with
 //! weighted spokes (the ESTC implementation of Appendix A, Lemma 2.1) is
 //! expressed without materializing the extra vertex.
 
 use crate::csr::{CsrGraph, VertexId, Weight, INF};
+use crate::frontier::{drive, BucketQueue, Frontier};
 use crate::traversal::SsspResult;
+use psh_exec::Executor;
 use psh_pram::Cost;
-use rayon::prelude::*;
-use std::collections::BTreeMap;
+
+/// A pending settlement: reach `target` through `parent` at the bucket's
+/// key. Ordered target-first (engine contract), then by parent id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct DialClaim {
+    target: VertexId,
+    parent: VertexId,
+}
+
+struct Dial<'a> {
+    g: &'a CsrGraph,
+    dist: Vec<Weight>,
+    parent: Vec<VertexId>,
+    settled: Vec<bool>,
+    bound: Weight,
+}
+
+impl Frontier for Dial<'_> {
+    type Claim = DialClaim;
+
+    fn target(c: &DialClaim) -> VertexId {
+        c.target
+    }
+
+    fn live(&self, c: &DialClaim) -> bool {
+        !self.settled[c.target as usize]
+    }
+
+    fn commit(&mut self, c: &DialClaim, round: u64) {
+        self.settled[c.target as usize] = true;
+        self.dist[c.target as usize] = round;
+        self.parent[c.target as usize] = c.parent;
+    }
+
+    fn expand(&self, c: &DialClaim, round: u64, out: &mut Vec<(u64, DialClaim)>) -> u64 {
+        for (w, wt) in self.g.neighbors(c.target) {
+            let nd = round.saturating_add(wt);
+            if nd < INF && nd <= self.bound && !self.settled[w as usize] {
+                out.push((
+                    nd,
+                    DialClaim {
+                        target: w,
+                        parent: c.target,
+                    },
+                ));
+            }
+        }
+        self.g.degree(c.target) as u64
+    }
+}
 
 /// Single-source exact SSSP on integer weights.
 pub fn dial_sssp(g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
-    dial_sssp_offsets(g, &[(src, 0)])
+    dial_sssp_bounded_with(&Executor::current(), g, &[(src, 0)], INF)
+}
+
+/// [`dial_sssp`] on an explicit executor.
+pub fn dial_sssp_with(exec: &Executor, g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
+    dial_sssp_bounded_with(exec, g, &[(src, 0)], INF)
 }
 
 /// Multi-source SSSP where source `s` starts at distance `offset`.
 pub fn dial_sssp_offsets(g: &CsrGraph, sources: &[(VertexId, Weight)]) -> (SsspResult, Cost) {
-    dial_sssp_bounded(g, sources, INF)
+    dial_sssp_bounded_with(&Executor::current(), g, sources, INF)
 }
 
 /// Multi-source SSSP ignoring distances beyond `bound` (those vertices
@@ -36,65 +96,44 @@ pub fn dial_sssp_bounded(
     sources: &[(VertexId, Weight)],
     bound: Weight,
 ) -> (SsspResult, Cost) {
+    dial_sssp_bounded_with(&Executor::current(), g, sources, bound)
+}
+
+/// [`dial_sssp_bounded`] on an explicit executor.
+pub fn dial_sssp_bounded_with(
+    exec: &Executor,
+    g: &CsrGraph,
+    sources: &[(VertexId, Weight)],
+    bound: Weight,
+) -> (SsspResult, Cost) {
     let n = g.n();
-    let mut dist = vec![INF; n];
-    let mut parent = vec![u32::MAX; n];
-    let mut settled = vec![false; n];
-    let mut buckets: BTreeMap<Weight, Vec<VertexId>> = BTreeMap::new();
-
+    let mut dial = Dial {
+        g,
+        dist: vec![INF; n],
+        parent: vec![u32::MAX; n],
+        settled: vec![false; n],
+        bound,
+    };
+    let mut queue = BucketQueue::new();
     for &(s, off) in sources {
-        if off <= bound && off < dist[s as usize] {
-            dist[s as usize] = off;
-            parent[s as usize] = s;
-            buckets.entry(off).or_default().push(s);
+        if off < INF && off <= bound {
+            queue.push(
+                off,
+                DialClaim {
+                    target: s,
+                    parent: s,
+                },
+            );
         }
     }
-
-    let mut cost = Cost::flat(n as u64);
-    while let Some((&key, _)) = buckets.first_key_value() {
-        let candidates = buckets.remove(&key).unwrap();
-        // Lazy deletion: keep only entries that are still current and
-        // not yet settled (a vertex can be inserted at several keys).
-        let dist_ref = &dist;
-        let current: Vec<VertexId> = candidates
-            .into_iter()
-            .filter(|&v| dist_ref[v as usize] == key && !settled[v as usize])
-            .collect();
-        if current.is_empty() {
-            continue;
-        }
-        for &v in &current {
-            settled[v as usize] = true;
-        }
-        let scanned: u64 = current.par_iter().map(|&v| g.degree(v) as u64).sum();
-        // Two-phase deterministic relaxation: gather tentative improvements,
-        // then apply the per-target minimum (ties to the smaller parent id).
-        let mut relax: Vec<(VertexId, Weight, VertexId)> = current
-            .par_iter()
-            .flat_map_iter(|&u| {
-                g.neighbors(u).filter_map(move |(v, w)| {
-                    let nd = key.saturating_add(w);
-                    (nd < dist_ref[v as usize] && nd <= bound).then_some((v, nd, u))
-                })
-            })
-            .collect();
-        relax.par_sort_unstable();
-        let mut last = u32::MAX;
-        for (v, nd, p) in relax {
-            if v == last {
-                continue; // a better (or equal, smaller-parent) entry won
-            }
-            last = v;
-            if nd < dist[v as usize] {
-                dist[v as usize] = nd;
-                parent[v as usize] = p;
-                buckets.entry(nd).or_default().push(v);
-            }
-        }
-        cost = cost.then(Cost::flat(scanned + current.len() as u64));
-    }
-
-    (SsspResult { dist, parent }, cost)
+    let cost = Cost::flat(n as u64).then(drive(exec, &mut queue, &mut dial));
+    (
+        SsspResult {
+            dist: dial.dist,
+            parent: dial.parent,
+        },
+        cost,
+    )
 }
 
 #[cfg(test)]
@@ -104,6 +143,7 @@ mod tests {
     use crate::generators;
     use crate::traversal::dijkstra::dijkstra;
     use proptest::prelude::*;
+    use psh_exec::ExecutionPolicy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -156,6 +196,20 @@ mod tests {
         let g = generators::path(3);
         let (r, _) = dial_sssp_offsets(&g, &[(1, 5), (1, 2), (1, 9)]);
         assert_eq!(r.dist, vec![3, 2, 3]);
+    }
+
+    #[test]
+    fn identical_results_across_executors() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let base = generators::connected_random(300, 700, &mut rng);
+        let g = generators::with_uniform_weights(&base, 1, 12, &mut rng);
+        let (seq, seq_cost) = dial_sssp_with(&Executor::sequential(), &g, 9);
+        for threads in [2, 4, 8] {
+            let exec = Executor::new(ExecutionPolicy::Parallel { threads });
+            let (par, par_cost) = dial_sssp_with(&exec, &g, 9);
+            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(seq_cost, par_cost, "cost model is execution-independent");
+        }
     }
 
     proptest! {

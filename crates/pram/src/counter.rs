@@ -1,15 +1,28 @@
-//! Atomic operation counters for measuring *work* inside rayon parallel
-//! sections, where threading a `&mut Cost` through closures is impossible.
+//! Atomic operation counters for measuring *work* inside `psh-exec`
+//! parallel sections, where threading a `&mut Cost` through closures is
+//! impossible. The frontier engine (`psh_graph::frontier::drive`) counts
+//! claims examined, edges scanned, and winners committed this way while
+//! its phases run on the pool.
 //!
 //! The counter is intentionally minimal: a relaxed atomic add is ~1ns and
 //! does not perturb what we measure (we measure operation counts, not time).
+//!
+//! # Happens-before
+//!
+//! Reads are only meaningful after the parallel section that performed
+//! the adds has joined. `psh_exec::Executor::scope` (which every `par_*`
+//! combinator is built on) establishes the required edge: each task's
+//! completion is a `Release` decrement of the batch latch and the scope
+//! caller observes zero with `Acquire`, so every `Relaxed` add inside any
+//! task is visible to a [`OpCounter::get`] after `scope` returns. This is
+//! asserted by the `visible_after_exec_scope_join` test below.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A shareable work counter. Clone-free: pass `&OpCounter` into parallel
 /// closures. Depth cannot be counted this way (it is a property of the
-/// round structure, not of the operations), so algorithms track rounds
-/// explicitly and only use `OpCounter` for work.
+/// round structure, not of the operations), so the frontier engine counts
+/// rounds explicitly and only uses `OpCounter` for work.
 #[derive(Debug, Default)]
 pub struct OpCounter {
     ops: AtomicU64,
@@ -21,9 +34,9 @@ impl OpCounter {
         Self::default()
     }
 
-    /// Record `n` operations. Relaxed ordering: counts are only read after
-    /// the parallel section joins, and rayon's join provides the necessary
-    /// happens-before edge.
+    /// Record `n` operations. Relaxed ordering suffices: counts are only
+    /// read after the parallel section joins, and `psh-exec`'s scope join
+    /// provides the necessary happens-before edge (see module docs).
     #[inline]
     pub fn add(&self, n: u64) {
         self.ops.fetch_add(n, Ordering::Relaxed);
@@ -80,5 +93,26 @@ mod tests {
             }
         });
         assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn visible_after_exec_scope_join() {
+        // The happens-before contract from the module docs: every add
+        // performed inside a psh-exec scope (pool tasks and combinators
+        // alike) is visible to a plain `get` after the scope returns.
+        use psh_exec::{ExecutionPolicy, Executor};
+        let exec = Executor::new(ExecutionPolicy::Parallel { threads: 4 });
+        let c = OpCounter::new();
+        exec.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| c.add(250));
+            }
+        });
+        assert_eq!(c.get(), 4000, "adds must be visible after scope exit");
+
+        c.take();
+        let items: Vec<u64> = (0..10_000).collect();
+        exec.par_for_each_init(&items, 64, || (), |(), &x| c.add(x));
+        assert_eq!(c.get(), items.iter().sum::<u64>());
     }
 }

@@ -55,7 +55,19 @@ fn main() -> Result<(), PshError> {
         assert!(answer.distance >= exact as f64);
     }
 
-    // --- 5. Errors are values, not panics -----------------------------------
+    // --- 5. Execution policy: same artifact, real threads -------------------
+    // Builders run on the psh-exec pool by default (PSH_THREADS or the
+    // machine's parallelism). The policy only changes wall-clock — the
+    // artifact and its cost are byte-identical for every thread count.
+    let par = SpannerBuilder::unweighted(3.0)
+        .seed(Seed(11))
+        .execution(ExecutionPolicy::Parallel { threads: 4 })
+        .build(&g)?;
+    assert_eq!(par.artifact, spanner.artifact);
+    assert_eq!(par.cost, spanner.cost);
+    println!("parallel(4) rebuilt the byte-identical spanner");
+
+    // --- 6. Errors are values, not panics -----------------------------------
     let err = SpannerBuilder::unweighted(0.5).build(&g).unwrap_err();
     println!("k = 0.5 is rejected up front: {err}");
     println!("all answers are sound upper bounds — done.");

@@ -5,7 +5,8 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`psh_graph`] | CSR graphs, generators, parallel BFS / bucketed SSSP / hop-limited Bellman–Ford, connectivity, quotient graphs |
+//! | [`psh_exec`] | the real parallel execution layer: thread pool, deterministic combinators, [`ExecutionPolicy`](psh_exec::ExecutionPolicy) |
+//! | [`psh_graph`] | CSR graphs, generators, the shared frontier engine, parallel BFS / bucketed SSSP / Δ-stepping / hop-limited Bellman–Ford, connectivity, quotient graphs |
 //! | [`psh_pram`] | the work/depth (PRAM) cost model every algorithm reports in |
 //! | [`psh_cluster`] | exponential start time clustering (Algorithm 1) |
 //! | [`psh_core`] | spanners (Theorem 1.1), hopsets (Theorem 1.2), the approximate-distance oracle, Appendices B–C |
@@ -36,14 +37,16 @@
 pub use psh_baselines as baselines;
 pub use psh_cluster as cluster;
 pub use psh_core as core;
+pub use psh_exec as exec;
 pub use psh_graph as graph;
 pub use psh_pram as pram;
 
 pub mod pipeline;
 
 /// The common working set: graph types and generators, the pipeline
-/// builders with their `Seed`/`Run`/error vocabulary, the artifact types
-/// they produce, and the cost model.
+/// builders with their `Seed`/`Run`/error vocabulary, the execution
+/// policy that selects sequential vs pooled execution, the artifact
+/// types the builders produce, and the cost model.
 pub mod prelude {
     pub use crate::pipeline::{
         ClusterBuilder, ClusterError, HopsetArtifact, HopsetBuilder, HopsetKind, OracleBuilder,
@@ -53,6 +56,7 @@ pub mod prelude {
     pub use psh_core::hopset::{Hopset, HopsetParams, WeightClassDecomposition};
     pub use psh_core::oracle::ApproxShortestPaths;
     pub use psh_core::spanner::Spanner;
+    pub use psh_exec::{ExecutionPolicy, Executor};
     pub use psh_graph::{generators, CsrGraph, Edge, VertexId, Weight, INF};
     pub use psh_pram::Cost;
 }

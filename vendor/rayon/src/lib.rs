@@ -1,16 +1,25 @@
-//! Offline stand-in for [`rayon`](https://docs.rs/rayon).
+//! Offline stand-in for [`rayon`](https://docs.rs/rayon) — now only the
+//! **sequential fallback** for cold paths.
 //!
-//! The build environment has no registry access, so this vendored crate
-//! supplies the `rayon::prelude` surface the workspace uses —
-//! `par_iter`, `par_iter_mut`, `into_par_iter`, `par_chunks`,
-//! `par_chunks_mut`, `par_sort_unstable`, and `flat_map_iter` — as thin
-//! wrappers over **sequential** std iterators.
+//! Since the `psh-exec` execution layer landed, every hot path (the
+//! shared frontier engine behind the clustering race, BFS, Dial,
+//! Δ-stepping, the hopset recursion and its clique searches, and the
+//! spanner selection) runs on `psh_exec::Executor`'s real thread pool
+//! under `ExecutionPolicy::{Sequential, Parallel}`. What remains on this
+//! stub are cold, non-policy-gated helpers (connectivity, prefix sums,
+//! union-find sweeps, subgraph splits, verification oracles, baselines),
+//! for which it supplies the `rayon::prelude` surface — `par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `par_chunks`, `par_chunks_mut`,
+//! `par_sort_unstable`, `flat_map_iter` — as thin wrappers over
+//! **sequential** std iterators, i.e. exactly the
+//! `ExecutionPolicy::Sequential` semantics.
 //!
-//! Semantics are identical (the codebase already uses the deterministic
-//! two-phase patterns that make parallel and sequential execution agree);
-//! only wall-clock parallelism is lost. The paper's claims are measured
-//! in the `psh_pram::Cost` work/depth model, which is unaffected.
-//! Swapping the real rayon back in is a one-line `Cargo.toml` change.
+//! Results are unaffected: the codebase uses deterministic two-phase
+//! patterns that make parallel and sequential execution agree, and the
+//! `psh_pram::Cost` work/depth accounting never depended on wall-clock.
+//! The build environment has no registry access; when one is reachable,
+//! swapping the real rayon back in for these cold paths is a one-line
+//! `Cargo.toml` change (delete the `[patch.crates-io]` line).
 
 pub mod prelude {
     pub use crate::{
