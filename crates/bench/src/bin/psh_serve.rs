@@ -1,0 +1,226 @@
+//! `psh-serve` — build-or-load an oracle snapshot and replay a query
+//! workload on the psh-exec pool.
+//!
+//! The serving half of Theorem 1.2's bargain: pay the parallel
+//! preprocessing once, then answer distance queries cheaply. On the first
+//! run with `--snapshot PATH` the oracle is built from the input graph
+//! and saved; later runs load the snapshot (skipping preprocessing
+//! entirely, even in a fresh process) and serve the workload in batches
+//! through `query_batch`, reporting queries/sec and p50/p99 per-batch
+//! latency.
+//!
+//! Usage:
+//! ```text
+//! psh-serve [--family random|power-law|grid|path|torus] [--n N]
+//!           [--weights U]            # log-uniform weights of ratio U
+//!           [--graph PATH]           # text edge list instead of --family
+//!           [--snapshot PATH]        # load if present, else build + save
+//!           [--workload PATH]        # 'q s t' lines; default: random pairs
+//!           [--queries Q] [--batch B] [--threads K] [--seed S]
+//!           [--json PATH]
+//! ```
+//!
+//! Exits non-zero on unusable input (unreadable graph/workload/snapshot,
+//! out-of-range query ids) — never panics on malformed files.
+
+use psh_bench::json::parse_flag;
+use psh_bench::stats::percentile;
+use psh_bench::table::{fmt_f, fmt_u, Table};
+use psh_bench::workloads::{random_pairs, read_pairs, Family};
+use psh_bench::Report;
+use psh_core::api::{OracleBuilder, Seed};
+use psh_core::oracle::ApproxShortestPaths;
+use psh_core::snapshot::{load_oracle, save_oracle, OracleMeta};
+use psh_core::HopsetParams;
+use psh_exec::ExecutionPolicy;
+use psh_graph::CsrGraph;
+use psh_pram::Cost;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("psh-serve: {msg}");
+    std::process::exit(1);
+}
+
+fn load_graph(seed: u64) -> CsrGraph {
+    if let Some(path) = parse_flag("--graph") {
+        let file = std::fs::File::open(&path)
+            .unwrap_or_else(|e| die(format_args!("cannot open {path}: {e}")));
+        return psh_graph::io::read_graph(BufReader::new(file))
+            .unwrap_or_else(|e| die(format_args!("bad graph file {path}: {e}")));
+    }
+    let n: usize = parse_flag("--n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2500);
+    let family = parse_flag("--family").unwrap_or_else(|| "grid".into());
+    let family = Family::ALL
+        .into_iter()
+        .find(|f| f.name() == family)
+        .unwrap_or_else(|| die(format_args!("unknown family '{family}'")));
+    match parse_flag("--weights").and_then(|s| s.parse::<f64>().ok()) {
+        Some(u) => family.instantiate_weighted(n, u, seed),
+        None => family.instantiate(n, seed),
+    }
+}
+
+/// Build or load the oracle; returns it with its meta and whether the
+/// snapshot path was used for loading. The input graph is only parsed or
+/// generated when the oracle must actually be built — serving from an
+/// existing snapshot touches nothing but the snapshot file.
+fn obtain_oracle(seed: u64) -> (ApproxShortestPaths, OracleMeta, bool, f64) {
+    let snapshot: Option<PathBuf> = parse_flag("--snapshot").map(PathBuf::from);
+    if let Some(path) = snapshot.as_ref().filter(|p| p.exists()) {
+        let start = Instant::now();
+        let (oracle, meta) = load_oracle(path)
+            .unwrap_or_else(|e| die(format_args!("cannot load {}: {e}", path.display())));
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "loaded snapshot {} ({} vertices, hopset size {}) in {:.3}s",
+            path.display(),
+            oracle.graph().n(),
+            oracle.hopset_size(),
+            secs
+        );
+        return (oracle, meta, true, secs);
+    }
+    let g = load_graph(seed);
+    let params = HopsetParams::default();
+    let start = Instant::now();
+    let run = OracleBuilder::new()
+        .params(params)
+        .seed(Seed(seed))
+        .build(&g)
+        .unwrap_or_else(|e| die(format_args!("preprocessing failed: {e}")));
+    let secs = start.elapsed().as_secs_f64();
+    let meta = OracleMeta::of_run(&run, params);
+    println!(
+        "preprocessed n={} m={} (hopset size {}, {}) in {:.3}s",
+        g.n(),
+        g.m(),
+        run.artifact.hopset_size(),
+        run.cost,
+        secs
+    );
+    if let Some(path) = snapshot {
+        save_oracle(&path, &run.artifact, &meta)
+            .unwrap_or_else(|e| die(format_args!("cannot save {}: {e}", path.display())));
+        println!("snapshot saved to {}", path.display());
+    }
+    (run.artifact, meta, false, secs)
+}
+
+fn main() {
+    let seed: u64 = parse_flag("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20150625);
+    let mut report = Report::from_args("psh-serve");
+
+    let (oracle, meta, loaded, prep_s) = obtain_oracle(seed);
+    let n = oracle.graph().n();
+    if n == 0 {
+        die("the graph has no vertices to query");
+    }
+
+    let pairs: Vec<(u32, u32)> = match parse_flag("--workload") {
+        Some(path) => {
+            let file = std::fs::File::open(&path)
+                .unwrap_or_else(|e| die(format_args!("cannot open {path}: {e}")));
+            read_pairs(BufReader::new(file), n)
+                .unwrap_or_else(|e| die(format_args!("bad workload {path}: {e}")))
+        }
+        None => {
+            let q: usize = parse_flag("--queries")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1000);
+            random_pairs(n, q, seed ^ 0xC0FFEE)
+        }
+    };
+    let batch: usize = parse_flag("--batch")
+        .and_then(|s| s.parse().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(256);
+    // strict parse: a typo must not silently fall back to the env policy
+    let policy = match parse_flag("--threads") {
+        None => ExecutionPolicy::from_env(),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(0 | 1) => ExecutionPolicy::Sequential,
+            Ok(k) => ExecutionPolicy::Parallel { threads: k },
+            Err(_) => die(format_args!(
+                "bad --threads '{s}' (want a single thread count, e.g. 4)"
+            )),
+        },
+    };
+
+    // --- replay -----------------------------------------------------------
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(pairs.len().div_ceil(batch));
+    let mut served = 0usize;
+    let mut reachable = 0usize;
+    let mut total_cost = Cost::ZERO;
+    let replay_start = Instant::now();
+    for chunk in pairs.chunks(batch) {
+        let start = Instant::now();
+        let (answers, cost) = oracle.query_batch(chunk, policy);
+        latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        served += answers.len();
+        reachable += answers.iter().filter(|a| a.distance.is_finite()).count();
+        total_cost = total_cost.then(cost);
+    }
+    let replay_s = replay_start.elapsed().as_secs_f64();
+    let qps = served as f64 / replay_s.max(1e-12);
+    let p50 = percentile(&latencies_ms, 50.0);
+    let p99 = percentile(&latencies_ms, 99.0);
+
+    println!(
+        "\n# psh-serve — n={} m={} | {} queries in batches of {batch} | {policy}\n",
+        n,
+        oracle.graph().m(),
+        served
+    );
+    let mut t = Table::new([
+        "queries",
+        "batches",
+        "policy",
+        "qps",
+        "p50 (ms)",
+        "p99 (ms)",
+        "reachable",
+    ]);
+    t.row([
+        fmt_u(served as u64),
+        fmt_u(latencies_ms.len() as u64),
+        policy.to_string(),
+        fmt_f(qps),
+        fmt_f(p50),
+        fmt_f(p99),
+        fmt_u(reachable as u64),
+    ]);
+    t.print();
+    println!(
+        "\nquery cost: {total_cost} | preprocessing: {} ({}) {:.3}s | {}",
+        if loaded {
+            "loaded from snapshot"
+        } else {
+            "built fresh"
+        },
+        meta.seed,
+        prep_s,
+        meta.build_cost,
+    );
+
+    report
+        .meta("n", n)
+        .meta("m", oracle.graph().m())
+        .meta("queries", served)
+        .meta("batch", batch)
+        .meta("policy", policy.to_string())
+        .meta("loaded_snapshot", loaded)
+        .meta("seed", meta.seed.0)
+        .meta("preprocess_s", prep_s)
+        .meta("qps", qps)
+        .meta("p50_ms", p50)
+        .meta("p99_ms", p99);
+    report.push_table("serve", &t);
+    report.finish();
+}

@@ -1,0 +1,168 @@
+//! E18 — batch query serving: throughput scaling and the serving
+//! determinism contract.
+//!
+//! Builds an oracle once, then answers the same query workload four ways
+//! — one-at-a-time sequential (the reference), `query_batch` under
+//! `Sequential` and `Parallel { 2, 4, 8 }`, and `query_batch` on an
+//! oracle that went through a **snapshot save→load round trip** — and
+//! verifies every path returns byte-identical answers *and* identical
+//! work/depth `Cost`. Speedups are hardware-dependent; determinism is
+//! not, and this binary **exits non-zero on any mismatch** (the
+//! acceptance check for the serving subsystem).
+//!
+//! Usage: `cargo run --release -p psh-bench --bin query_throughput \
+//!             [--n N] [--queries Q] [--threads 2,4,8] [--weights U]
+//!             [--seed S] [--json PATH]`
+
+use psh_bench::json::{parse_flag, JsonValue};
+use psh_bench::table::{fmt_f, fmt_u, Table};
+use psh_bench::workloads::{random_pairs, Family};
+use psh_bench::Report;
+use psh_core::api::{OracleBuilder, Seed};
+use psh_core::oracle::QueryResult;
+use psh_core::snapshot::{read_oracle, write_oracle, OracleMeta};
+use psh_core::HopsetParams;
+use psh_exec::ExecutionPolicy;
+use psh_pram::Cost;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = parse_flag("--n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+    let q: usize = parse_flag("--queries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    // strict parse: a typo must not silently shrink the determinism sweep
+    let threads: Vec<usize> = match parse_flag("--threads") {
+        None => vec![2, 4, 8],
+        Some(s) => {
+            let parsed: Result<Vec<usize>, _> =
+                s.split(',').map(|t| t.trim().parse::<usize>()).collect();
+            match parsed {
+                Ok(list) if !list.is_empty() => list,
+                _ => {
+                    eprintln!("query_throughput: bad --threads list '{s}' (want e.g. 2,4,8)");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+    let seed: u64 = parse_flag("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20150625);
+    let mut report = Report::from_args("query_throughput");
+
+    let g = match parse_flag("--weights").and_then(|s| s.parse::<f64>().ok()) {
+        Some(u) => Family::Random.instantiate_weighted(n, u, seed),
+        None => Family::Random.instantiate(n, seed),
+    };
+    let params = HopsetParams::default();
+    let run = OracleBuilder::new()
+        .params(params)
+        .seed(Seed(seed))
+        .build(&g)
+        .unwrap_or_else(|e| {
+            eprintln!("query_throughput: preprocessing failed: {e}");
+            std::process::exit(1);
+        });
+    let oracle = &run.artifact;
+    let pairs = random_pairs(g.n(), q, seed ^ 0xBA7C4);
+
+    // --- the reference: one-at-a-time sequential queries -----------------
+    let start = Instant::now();
+    let singles: Vec<(QueryResult, Cost)> =
+        pairs.iter().map(|&(s, t)| oracle.query(s, t)).collect();
+    let ref_t = start.elapsed().as_secs_f64();
+    let ref_cost = Cost::par_all(singles.iter().map(|(_, c)| *c));
+    let reference: Vec<QueryResult> = singles.into_iter().map(|(r, _)| r).collect();
+
+    // --- snapshot round trip ---------------------------------------------
+    let meta = OracleMeta::of_run(&run, params);
+    let mut buf = Vec::new();
+    write_oracle(&mut buf, oracle, &meta).expect("in-memory snapshot write");
+    let (served, served_meta) = read_oracle(buf.as_slice()).unwrap_or_else(|e| {
+        eprintln!("query_throughput: snapshot reload failed: {e}");
+        std::process::exit(1);
+    });
+    let mut mismatches = 0usize;
+    if served_meta != meta {
+        eprintln!("MISMATCH: snapshot meta changed across the round trip");
+        mismatches += 1;
+    }
+    let mut rebuf = Vec::new();
+    write_oracle(&mut rebuf, &served, &served_meta).expect("in-memory snapshot rewrite");
+    if rebuf != buf {
+        eprintln!("MISMATCH: re-saving the loaded snapshot changed its bytes");
+        mismatches += 1;
+    }
+
+    println!(
+        "# batch query serving — n={} m={} | {} queries | snapshot {} bytes\n",
+        g.n(),
+        g.m(),
+        pairs.len(),
+        fmt_u(buf.len() as u64)
+    );
+    let mut t = Table::new([
+        "path",
+        "policy",
+        "wall-clock (s)",
+        "qps",
+        "speedup",
+        "identical answers+cost",
+    ]);
+    t.row([
+        "query loop".to_string(),
+        "sequential".into(),
+        fmt_f(ref_t),
+        fmt_f(pairs.len() as f64 / ref_t.max(1e-12)),
+        "1.00".into(),
+        "— (reference)".into(),
+    ]);
+
+    let mut policies = vec![ExecutionPolicy::Sequential];
+    policies.extend(
+        threads
+            .iter()
+            .map(|&k| ExecutionPolicy::Parallel { threads: k }),
+    );
+    for (label, which) in [("fresh build", false), ("snapshot load", true)] {
+        let o = if which { &served } else { oracle };
+        for &policy in &policies {
+            let start = Instant::now();
+            let (answers, cost) = o.query_batch(&pairs, policy);
+            let secs = start.elapsed().as_secs_f64();
+            let same = answers == reference && cost == ref_cost;
+            mismatches += usize::from(!same);
+            t.row([
+                label.to_string(),
+                policy.to_string(),
+                fmt_f(secs),
+                fmt_f(pairs.len() as f64 / secs.max(1e-12)),
+                fmt_f(ref_t / secs.max(1e-12)),
+                if same { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+    }
+    t.print();
+    report
+        .meta("n", g.n())
+        .meta("m", g.m())
+        .meta("queries", pairs.len())
+        .meta("seed", seed)
+        .meta("snapshot_bytes", buf.len())
+        .meta("mismatches", mismatches)
+        .meta(
+            "swept_threads",
+            JsonValue::Array(threads.iter().map(|&k| JsonValue::U64(k as u64)).collect()),
+        );
+    report.push_table("throughput", &t);
+    report.finish();
+
+    if mismatches > 0 {
+        eprintln!("\nFAIL: {mismatches} serving path(s) disagreed with the sequential reference");
+        std::process::exit(1);
+    }
+    println!("\nall serving paths byte-identical ✓ (speedup is hardware-dependent)");
+}

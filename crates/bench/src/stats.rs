@@ -43,6 +43,18 @@ impl Summary {
     }
 }
 
+/// Nearest-rank percentile (`p ∈ [0, 100]`) of a sample — the serving
+/// binaries report p50/p99 batch latency with this. Empty samples give 0.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Log-log regression slope of `y` against `x` — the tool for checking the
 /// paper's size exponents (`n^{1+1/k}` shows up as slope `1 + 1/k`).
 pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
@@ -81,6 +93,19 @@ mod tests {
     #[test]
     fn empty_summary_is_zero() {
         assert_eq!(Summary::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // order independence
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
     }
 
     #[test]

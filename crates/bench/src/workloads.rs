@@ -7,7 +7,7 @@
 
 use psh_graph::{generators, CsrGraph};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// A named graph family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +72,69 @@ impl Family {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Query workloads (the serving binaries' replay format)
+// ---------------------------------------------------------------------------
+
+/// Draw `q` random `s`–`t` pairs over `0..n`, deterministically from
+/// `seed` (self-pairs allowed — serving must handle them).
+pub fn random_pairs(n: usize, q: usize, seed: u64) -> Vec<(u32, u32)> {
+    assert!(n > 0, "cannot draw query pairs from an empty vertex set");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..q)
+        .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
+        .collect()
+}
+
+/// Write a query workload: one `q <s> <t>` line per pair (comments `c`,
+/// blank lines ignored on read — same conventions as the edge-list
+/// format).
+pub fn write_pairs<W: std::io::Write>(pairs: &[(u32, u32)], mut out: W) -> std::io::Result<()> {
+    for (s, t) in pairs {
+        writeln!(out, "q {s} {t}")?;
+    }
+    Ok(())
+}
+
+/// Read a query workload written by [`write_pairs`]. `max_n` bounds the
+/// vertex ids (pass the serving graph's `n`); out-of-range ids are a
+/// descriptive error here so they can never panic inside `query_batch`.
+pub fn read_pairs<R: std::io::BufRead>(input: R, max_n: usize) -> std::io::Result<Vec<(u32, u32)>> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut pairs = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("q") {
+            return Err(bad(format!(
+                "line {}: expected a 'q s t' record",
+                lineno + 1
+            )));
+        }
+        let mut next_id = |what: &str| -> std::io::Result<u32> {
+            let v: u64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(format!("line {}: bad {what}", lineno + 1)))?;
+            if v as usize >= max_n {
+                return Err(bad(format!(
+                    "line {}: vertex {v} out of range (n = {max_n})",
+                    lineno + 1
+                )));
+            }
+            Ok(v as u32)
+        };
+        let s = next_id("source")?;
+        let t = next_id("target")?;
+        pairs.push((s, t));
+    }
+    Ok(pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +153,26 @@ mod tests {
         let g = Family::Random.instantiate_weighted(200, 1024.0, 2);
         assert!(g.weight_ratio() > 8.0);
         assert!(g.max_weight().unwrap() <= 1024);
+    }
+
+    #[test]
+    fn query_pairs_round_trip_and_validate() {
+        let pairs = random_pairs(50, 40, 9);
+        assert_eq!(pairs, random_pairs(50, 40, 9), "deterministic");
+        assert!(pairs
+            .iter()
+            .all(|&(s, t)| (s as usize) < 50 && (t as usize) < 50));
+        let mut buf = Vec::new();
+        write_pairs(&pairs, &mut buf).unwrap();
+        let back = read_pairs(buf.as_slice(), 50).unwrap();
+        assert_eq!(pairs, back);
+        // out-of-range ids are rejected with a descriptive error
+        let err = read_pairs(buf.as_slice(), 3).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        assert!(read_pairs("x 1 2\n".as_bytes(), 10).is_err());
+        assert!(read_pairs("q 1\n".as_bytes(), 10).is_err());
+        let commented = read_pairs("c hi\n\nq 1 2\n".as_bytes(), 10).unwrap();
+        assert_eq!(commented, vec![(1, 2)]);
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //!   preprocessing (Appendix B), and the low-depth limited hopsets
 //!   (Appendix C).
 //! * [`oracle`] — the end-to-end `(1+ε)`-approximate shortest-path oracle
-//!   of Theorem 1.2: preprocess once, then answer `s`–`t` queries with an
+//!   of Theorem 1.2: preprocess once, then answer `s`–`t` queries (or
+//!   whole batches, fanned across the psh-exec pool) with an
 //!   `h`-hop-limited parallel Bellman–Ford.
+//! * [`snapshot`] — versioned binary snapshots of hopsets, spanners, and
+//!   full oracles, so preprocessing and serving run as separate
+//!   processes.
 //!
 //! Everything is instrumented with the [`psh_pram::Cost`] work/depth model
 //! and is deterministic given an RNG seed.
@@ -24,6 +28,7 @@ pub mod api;
 pub mod error;
 pub mod hopset;
 pub mod oracle;
+pub mod snapshot;
 pub mod spanner;
 
 pub use api::{

@@ -7,13 +7,17 @@
 //! first (exposed separately; the oracle asserts the poly-bounded case).
 //!
 //! **Query** (`O(m/ε)` work, `O(h)`-round depth): h-hop-limited parallel
-//! Bellman–Ford over `E ∪ E'` — [KS97]'s procedure.
+//! Bellman–Ford over `E ∪ E'` — [KS97]'s procedure. Batches of pairs are
+//! served through [`ApproxShortestPaths::query_batch`], which fans the
+//! pairs across the psh-exec pool; a preprocessed oracle can be saved and
+//! reloaded through [`crate::snapshot`], so preprocessing and serving can
+//! run as separate processes.
 
 use crate::api::{OracleBuilder, OracleMode};
 use crate::hopset::unweighted::build_hopset_with_beta0_on;
 use crate::hopset::weighted::{build_weighted_hopsets_impl, WeightedHopsets};
 use crate::hopset::{Hopset, HopsetParams};
-use psh_exec::Executor;
+use psh_exec::{ExecutionPolicy, Executor};
 use psh_graph::traversal::bellman_ford::{hop_limited_pair, ExtraEdges};
 use psh_graph::traversal::dijkstra::dijkstra_pair;
 use psh_graph::{CsrGraph, VertexId, Weight, INF};
@@ -22,8 +26,8 @@ use rand::Rng;
 
 /// A preprocessed graph that answers approximate distance queries.
 pub struct ApproxShortestPaths {
-    graph: CsrGraph,
-    mode: Mode,
+    pub(crate) graph: CsrGraph,
+    pub(crate) mode: Mode,
 }
 
 impl std::fmt::Debug for ApproxShortestPaths {
@@ -37,7 +41,7 @@ impl std::fmt::Debug for ApproxShortestPaths {
     }
 }
 
-enum Mode {
+pub(crate) enum Mode {
     Unweighted {
         hopset: Hopset,
         extra: ExtraEdges,
@@ -180,6 +184,28 @@ impl ApproxShortestPaths {
         }
     }
 
+    /// Answer a batch of `s`–`t` queries, fanned across the psh-exec pool.
+    ///
+    /// The serving entry point: pairs are independent, so they map onto
+    /// [`Executor::par_map`] with one pair per work unit. Answers come
+    /// back **in input order** and are byte-identical for every
+    /// [`ExecutionPolicy`] (the pool's determinism contract); the returned
+    /// [`Cost`] composes the per-pair costs in parallel — work is the
+    /// *sum* over all pairs, depth the maximum — and is likewise identical
+    /// for every policy. Out-of-range vertex ids panic, exactly as
+    /// [`ApproxShortestPaths::query`] does; validate untrusted workloads
+    /// against [`CsrGraph::n`] first.
+    pub fn query_batch(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        policy: ExecutionPolicy,
+    ) -> (Vec<QueryResult>, Cost) {
+        let exec = policy.executor();
+        let answered = exec.par_map(pairs, 1, |&(s, t)| self.query(s, t));
+        let cost = Cost::par_all(answered.iter().map(|(_, c)| *c));
+        (answered.into_iter().map(|(r, _)| r).collect(), cost)
+    }
+
     /// Exact reference distance (Dijkstra) — the verification oracle.
     pub fn query_exact(&self, s: VertexId, t: VertexId) -> Weight {
         dijkstra_pair(&self.graph, s, t)
@@ -263,6 +289,31 @@ mod tests {
         let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &test_params(), &mut rng);
         assert_eq!(oracle.query(2, 2).0.distance, 0.0);
         assert!(oracle.query(0, 3).0.distance.is_infinite());
+    }
+
+    #[test]
+    fn query_batch_matches_single_queries_for_every_policy() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::grid(12, 12);
+        let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &test_params(), &mut rng);
+        let pairs: Vec<(u32, u32)> = (0..48).map(|i| (i, 143 - i)).collect();
+        let singles: Vec<(QueryResult, Cost)> =
+            pairs.iter().map(|&(s, t)| oracle.query(s, t)).collect();
+        let expect_cost = Cost::par_all(singles.iter().map(|(_, c)| *c));
+        let expect: Vec<QueryResult> = singles.into_iter().map(|(r, _)| r).collect();
+        for policy in [
+            ExecutionPolicy::Sequential,
+            ExecutionPolicy::Parallel { threads: 2 },
+            ExecutionPolicy::Parallel { threads: 4 },
+        ] {
+            let (answers, cost) = oracle.query_batch(&pairs, policy);
+            assert_eq!(answers, expect, "{policy}");
+            assert_eq!(cost, expect_cost, "{policy}");
+        }
+        // empty batches are fine
+        let (none, zero) = oracle.query_batch(&[], ExecutionPolicy::Sequential);
+        assert!(none.is_empty());
+        assert_eq!(zero, Cost::ZERO);
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Plain-text graph I/O.
+//! Graph I/O: the plain-text edge-list format and the versioned binary
+//! snapshot framework.
+//!
+//! # Text edge lists
 //!
 //! A minimal, dependency-free edge-list format so experiments can be
 //! exported/replayed and external graphs (e.g. DIMACS-converted road
@@ -12,9 +15,90 @@
 //!
 //! Lines starting with `c` (comments) or blank lines are ignored.
 //! Vertices are 0-based. The writer emits canonical (deduplicated) edges.
+//! The reader rejects malformed input with descriptive errors — including
+//! **self-loops** and **duplicate edges**, which [`CsrGraph::from_edges`]
+//! would otherwise silently canonicalize away: a file that declares them
+//! is corrupt or was produced by a different tool-chain, and silently
+//! "fixing" it would hide the mismatch. These two rejections carry a typed
+//! [`EdgeListError`] payload (downcast via [`io::Error::get_ref`]).
+//!
+//! # Binary snapshots
+//!
+//! The snapshot format lets preprocessing and serving run as separate
+//! processes: build an artifact once, [`SnapshotWriter`] it to disk, and
+//! any later process reconstructs it byte-identically with a
+//! [`SnapshotReader`]. Every snapshot starts with an 8-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  = b"PSHS"
+//! 4       2     format version (little-endian u16) = 1
+//! 6       2     artifact kind  (little-endian u16):
+//!                 1 graph · 2 hopset · 3 spanner · 4 oracle
+//! 8       …     kind-specific body
+//! ```
+//!
+//! Body encoding: all integers little-endian; `f64` values are stored as
+//! their IEEE-754 bit pattern in a little-endian `u64` (exact round-trip,
+//! no text formatting loss). Edge records are 16 bytes: `u: u32`,
+//! `v: u32`, `w: u64`, always canonical (`u < v`).
+//!
+//! **Versioning policy:** any change to the header or to any kind's body
+//! layout bumps [`SNAPSHOT_VERSION`]. Readers accept exactly the version
+//! they were compiled against and report [`SnapshotError::UnsupportedVersion`]
+//! otherwise — snapshots are cheap to regenerate from their recorded seed,
+//! so there is no silent cross-version reinterpretation. New artifact
+//! kinds may be added without a version bump (old readers report
+//! [`SnapshotError::WrongArtifact`] for kinds they don't expect).
+//!
+//! Malformed snapshots (truncated data, out-of-range vertex ids,
+//! self-loops, duplicates, zero weights) are reported as descriptive
+//! [`SnapshotError`] values, never panics — the round-trip and
+//! malformed-input tests in this module and in `psh_core::snapshot`
+//! enforce this.
+//!
+//! The graph kind is implemented here ([`write_graph_snapshot`] /
+//! [`read_graph_snapshot`]); hopsets, spanners, and the full oracle live
+//! in `psh_core::snapshot`, built on the same writer/reader primitives.
 
 use crate::csr::{CsrGraph, Edge};
-use std::io::{self, BufRead, Write};
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+// ---------------------------------------------------------------------------
+// Text edge lists
+// ---------------------------------------------------------------------------
+
+/// Typed rejection reasons for edge-list input that [`CsrGraph`]'s
+/// constructor would silently repair. Wrapped in an
+/// [`io::ErrorKind::InvalidData`] error by [`read_graph`]; recover the
+/// variant with `err.get_ref().and_then(|e| e.downcast_ref())`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeListError {
+    /// An `e u u w` record: self-loops carry no distance information and
+    /// are dropped by CSR canonicalization — a file declaring one is
+    /// corrupt, so it is rejected instead of silently repaired.
+    SelfLoop { line: usize, v: u32 },
+    /// The unordered pair `{u, v}` appeared on an earlier `e` line; CSR
+    /// canonicalization would keep only the lightest copy, silently
+    /// changing `m` — rejected for the same reason.
+    DuplicateEdge { line: usize, u: u32, v: u32 },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::SelfLoop { line, v } => {
+                write!(f, "line {line}: self-loop at vertex {v}")
+            }
+            EdgeListError::DuplicateEdge { line, u, v } => {
+                write!(f, "line {line}: duplicate edge ({u}, {v})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
 
 /// Serialize `g` to the edge-list format.
 pub fn write_graph<W: Write>(g: &CsrGraph, mut out: W) -> io::Result<()> {
@@ -26,12 +110,15 @@ pub fn write_graph<W: Write>(g: &CsrGraph, mut out: W) -> io::Result<()> {
 }
 
 /// Parse a graph from the edge-list format. Returns a descriptive error
-/// for malformed input (missing header, bad counts, out-of-range ids).
+/// for malformed input (missing header, bad counts, out-of-range ids,
+/// self-loops, duplicate edges — see [`EdgeListError`] for the typed
+/// variants).
 pub fn read_graph<R: BufRead>(input: R) -> io::Result<CsrGraph> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let mut n: Option<usize> = None;
     let mut declared_m = 0usize;
     let mut edges: Vec<Edge> = Vec::new();
+    let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
     for (lineno, line) in input.lines().enumerate() {
         let line = line?;
         let line = line.trim();
@@ -50,7 +137,7 @@ pub fn read_graph<R: BufRead>(input: R) -> io::Result<CsrGraph> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| bad(format!("line {}: bad p line", lineno + 1)))?;
                 n = Some(nn);
-                edges.reserve(declared_m);
+                edges.reserve(declared_m.min(1 << 22));
             }
             Some("e") => {
                 let n = n.ok_or_else(|| bad("e line before p line".into()))?;
@@ -72,6 +159,26 @@ pub fn read_graph<R: BufRead>(input: R) -> io::Result<CsrGraph> {
                 if w == 0 {
                     return Err(bad(format!("line {}: zero weight", lineno + 1)));
                 }
+                if u == v {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        EdgeListError::SelfLoop {
+                            line: lineno + 1,
+                            v: u as u32,
+                        },
+                    ));
+                }
+                let key = (u.min(v) as u32, u.max(v) as u32);
+                if !seen.insert(key) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        EdgeListError::DuplicateEdge {
+                            line: lineno + 1,
+                            u: key.0,
+                            v: key.1,
+                        },
+                    ));
+                }
                 edges.push(Edge::new(u as u32, v as u32, w));
             }
             Some(other) => {
@@ -91,6 +198,345 @@ pub fn read_graph<R: BufRead>(input: R) -> io::Result<CsrGraph> {
         )));
     }
     Ok(CsrGraph::from_edges(n, edges))
+}
+
+// ---------------------------------------------------------------------------
+// Binary snapshot framework
+// ---------------------------------------------------------------------------
+
+/// First four bytes of every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PSHS";
+/// The one format version this build reads and writes (see the module
+/// docs for the versioning policy).
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Artifact kind tag: a bare [`CsrGraph`].
+pub const KIND_GRAPH: u16 = 1;
+/// Artifact kind tag: a hopset edge set (body defined in `psh_core`).
+pub const KIND_HOPSET: u16 = 2;
+/// Artifact kind tag: a spanner (body defined in `psh_core`).
+pub const KIND_SPANNER: u16 = 3;
+/// Artifact kind tag: a full preprocessed oracle (body in `psh_core`).
+pub const KIND_ORACLE: u16 = 4;
+
+fn kind_name(kind: u16) -> &'static str {
+    match kind {
+        KIND_GRAPH => "graph",
+        KIND_HOPSET => "hopset",
+        KIND_SPANNER => "spanner",
+        KIND_ORACLE => "oracle",
+        _ => "unknown",
+    }
+}
+
+/// Why a snapshot could not be written or read. Every malformed input —
+/// truncation, bad identification bytes, invalid graph data — maps to a
+/// descriptive variant; readers never panic on untrusted bytes.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying I/O failure (file missing, permissions, …).
+    Io(io::Error),
+    /// The first four bytes were not [`SNAPSHOT_MAGIC`] — not a snapshot.
+    BadMagic { found: [u8; 4] },
+    /// Written by a different format version; regenerate the snapshot.
+    UnsupportedVersion { found: u16, supported: u16 },
+    /// The snapshot holds a different artifact than the caller asked for.
+    WrongArtifact { found: u16, expected: u16 },
+    /// The stream ended in the middle of `what`.
+    Truncated { what: &'static str },
+    /// A structurally invalid value, with what/why detail — covers
+    /// out-of-range vertex ids, self-loops, duplicate or unsorted edges,
+    /// zero weights, and impossible counts.
+    Corrupt { what: &'static str, detail: String },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a psh snapshot (magic {found:?})")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} unsupported (this build reads version {supported}); \
+                 regenerate the snapshot from its seed"
+            ),
+            SnapshotError::WrongArtifact { found, expected } => write!(
+                f,
+                "snapshot holds a {} artifact, expected a {}",
+                kind_name(*found),
+                kind_name(*expected)
+            ),
+            SnapshotError::Truncated { what } => {
+                write!(f, "snapshot truncated while reading {what}")
+            }
+            SnapshotError::Corrupt { what, detail } => {
+                write!(f, "corrupt snapshot ({what}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Writes one artifact in the snapshot format: construct with the
+/// artifact's kind tag (the header goes out immediately), then emit the
+/// body with the primitive methods.
+pub struct SnapshotWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> SnapshotWriter<W> {
+    /// Start a snapshot of the given artifact kind (writes the header).
+    pub fn new(mut out: W, kind: u16) -> Result<Self, SnapshotError> {
+        out.write_all(&SNAPSHOT_MAGIC)?;
+        out.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        out.write_all(&kind.to_le_bytes())?;
+        Ok(SnapshotWriter { out })
+    }
+
+    /// Emit one `u8`.
+    pub fn u8(&mut self, v: u8) -> Result<(), SnapshotError> {
+        Ok(self.out.write_all(&[v])?)
+    }
+
+    /// Emit one little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> Result<(), SnapshotError> {
+        Ok(self.out.write_all(&v.to_le_bytes())?)
+    }
+
+    /// Emit one `f64` as its exact IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) -> Result<(), SnapshotError> {
+        self.u64(v.to_bits())
+    }
+
+    /// Emit an edge list: count followed by 16-byte `(u, v, w)` records.
+    pub fn edges(&mut self, edges: &[Edge]) -> Result<(), SnapshotError> {
+        self.u64(edges.len() as u64)?;
+        for e in edges {
+            self.out.write_all(&e.u.to_le_bytes())?;
+            self.out.write_all(&e.v.to_le_bytes())?;
+            self.out.write_all(&e.w.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Emit a graph body: `n`, then the canonical edge list.
+    pub fn graph(&mut self, g: &CsrGraph) -> Result<(), SnapshotError> {
+        self.u64(g.n() as u64)?;
+        self.edges(g.edges())
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> Result<W, SnapshotError> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// How [`SnapshotReader::edges`] validates an incoming edge list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeRules {
+    /// Graph edge lists: canonical (`u < v`), strictly ascending `(u, v)`
+    /// (so no duplicates), endpoints `< n`, weights ≥ 1.
+    CanonicalSorted,
+    /// Hopset shortcut lists: canonical, endpoints `< n`, weights ≥ 1;
+    /// order and multiplicity preserved as written (star and clique
+    /// shortcuts may legitimately repeat a vertex pair).
+    CanonicalAnyOrder,
+}
+
+/// Reads one artifact in the snapshot format: construct with the expected
+/// kind (the header is checked immediately), then consume the body with
+/// the primitive methods.
+pub struct SnapshotReader<R: Read> {
+    inp: R,
+}
+
+impl<R: Read> SnapshotReader<R> {
+    /// Check the header and position the reader at the body. Reports
+    /// [`SnapshotError::BadMagic`] / [`SnapshotError::UnsupportedVersion`] /
+    /// [`SnapshotError::WrongArtifact`] before any body byte is touched.
+    pub fn new(mut inp: R, expected_kind: u16) -> Result<Self, SnapshotError> {
+        let mut magic = [0u8; 4];
+        read_exact(&mut inp, &mut magic, "header magic")?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let mut two = [0u8; 2];
+        read_exact(&mut inp, &mut two, "header version")?;
+        let version = u16::from_le_bytes(two);
+        if version != SNAPSHOT_VERSION {
+            // exactly one version is readable per build (module docs);
+            // accepting a range would need per-version body readers
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        read_exact(&mut inp, &mut two, "header kind")?;
+        let kind = u16::from_le_bytes(two);
+        if kind != expected_kind {
+            return Err(SnapshotError::WrongArtifact {
+                found: kind,
+                expected: expected_kind,
+            });
+        }
+        Ok(SnapshotReader { inp })
+    }
+
+    /// Read one `u8`.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, SnapshotError> {
+        let mut b = [0u8; 1];
+        read_exact(&mut self.inp, &mut b, what)?;
+        Ok(b[0])
+    }
+
+    /// Read one little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+        let mut b = [0u8; 8];
+        read_exact(&mut self.inp, &mut b, what)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read one `f64` from its bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read and validate an edge list over vertices `0..n` under `rules`.
+    pub fn edges(&mut self, n: usize, rules: EdgeRules) -> Result<Vec<Edge>, SnapshotError> {
+        let m = self.u64("edge count")?;
+        if m > u32::MAX as u64 {
+            return Err(SnapshotError::Corrupt {
+                what: "edge count",
+                detail: format!("{m} edges exceeds the u32 edge-id space"),
+            });
+        }
+        let m = m as usize;
+        let mut edges = Vec::with_capacity(m.min(1 << 22));
+        let mut prev: Option<(u32, u32)> = None;
+        for i in 0..m {
+            let mut rec = [0u8; 16];
+            read_exact(&mut self.inp, &mut rec, "edge record")?;
+            let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+            let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+            let w = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+            if u as usize >= n || v as usize >= n {
+                return Err(SnapshotError::Corrupt {
+                    what: "edge endpoint",
+                    detail: format!("edge {i} = ({u}, {v}) out of range for n = {n}"),
+                });
+            }
+            if u == v {
+                return Err(SnapshotError::Corrupt {
+                    what: "edge",
+                    detail: format!("edge {i} is a self-loop at vertex {u}"),
+                });
+            }
+            if u > v {
+                return Err(SnapshotError::Corrupt {
+                    what: "edge",
+                    detail: format!("edge {i} = ({u}, {v}) is not canonical (u < v)"),
+                });
+            }
+            if w == 0 {
+                return Err(SnapshotError::Corrupt {
+                    what: "edge weight",
+                    detail: format!("edge {i} = ({u}, {v}) has zero weight"),
+                });
+            }
+            if rules == EdgeRules::CanonicalSorted {
+                if let Some(p) = prev {
+                    if p >= (u, v) {
+                        return Err(SnapshotError::Corrupt {
+                            what: "edge order",
+                            detail: format!(
+                                "edge {i} = ({u}, {v}) duplicates or precedes ({}, {})",
+                                p.0, p.1
+                            ),
+                        });
+                    }
+                }
+                prev = Some((u, v));
+            }
+            edges.push(Edge { u, v, w });
+        }
+        Ok(edges)
+    }
+
+    /// Read a graph body (`n` + canonical sorted edge list).
+    pub fn graph(&mut self) -> Result<CsrGraph, SnapshotError> {
+        let n = self.u64("vertex count")?;
+        if n > u32::MAX as u64 + 1 {
+            return Err(SnapshotError::Corrupt {
+                what: "vertex count",
+                detail: format!("{n} vertices exceeds the u32 vertex-id space"),
+            });
+        }
+        let n = n as usize;
+        let edges = self.edges(n, EdgeRules::CanonicalSorted)?;
+        // the list is validated canonical + strictly sorted, so from_edges
+        // reproduces it verbatim (no silent repair can occur)
+        Ok(CsrGraph::from_edges(n, edges))
+    }
+
+    /// Assert the body is fully consumed; trailing bytes mean the snapshot
+    /// was written by a different layout and must not be half-trusted.
+    pub fn expect_eof(mut self) -> Result<(), SnapshotError> {
+        let mut b = [0u8; 1];
+        match self.inp.read(&mut b)? {
+            0 => Ok(()),
+            _ => Err(SnapshotError::Corrupt {
+                what: "trailer",
+                detail: "trailing bytes after the artifact body".into(),
+            }),
+        }
+    }
+}
+
+fn read_exact<R: Read>(
+    inp: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), SnapshotError> {
+    inp.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated { what }
+        } else {
+            SnapshotError::Io(e)
+        }
+    })
+}
+
+/// Snapshot a bare graph (kind [`KIND_GRAPH`]).
+pub fn write_graph_snapshot<W: Write>(g: &CsrGraph, out: W) -> Result<(), SnapshotError> {
+    let mut w = SnapshotWriter::new(out, KIND_GRAPH)?;
+    w.graph(g)?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Load a graph snapshot, validating the header and every edge.
+pub fn read_graph_snapshot<R: Read>(inp: R) -> Result<CsrGraph, SnapshotError> {
+    let mut r = SnapshotReader::new(inp, KIND_GRAPH)?;
+    let g = r.graph()?;
+    r.expect_eof()?;
+    Ok(g)
 }
 
 #[cfg(test)]
@@ -135,6 +581,37 @@ mod tests {
     }
 
     #[test]
+    fn rejects_self_loops_with_typed_error() {
+        let err = read_graph("p 3 1\ne 1 1 5\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let inner = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<EdgeListError>())
+            .expect("typed payload");
+        assert_eq!(*inner, EdgeListError::SelfLoop { line: 2, v: 1 });
+        assert!(err.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn rejects_duplicate_edges_with_typed_error() {
+        // same pair in either orientation, any weight
+        let err = read_graph("p 3 2\ne 0 1 5\ne 1 0 9\n".as_bytes()).unwrap_err();
+        let inner = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<EdgeListError>())
+            .expect("typed payload");
+        assert_eq!(
+            *inner,
+            EdgeListError::DuplicateEdge {
+                line: 3,
+                u: 0,
+                v: 1
+            }
+        );
+        assert!(err.to_string().contains("duplicate edge"));
+    }
+
+    #[test]
     fn empty_graph_round_trips() {
         let g = CsrGraph::from_edges(4, std::iter::empty());
         let mut buf = Vec::new();
@@ -142,5 +619,134 @@ mod tests {
         let back = read_graph(buf.as_slice()).unwrap();
         assert_eq!(back.n(), 4);
         assert_eq!(back.m(), 0);
+    }
+
+    // --- binary snapshots -------------------------------------------------
+
+    fn snapshot_of(g: &CsrGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_graph_snapshot(g, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn graph_snapshot_round_trips_byte_identically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = generators::connected_random(80, 200, &mut rng);
+        let g = generators::with_uniform_weights(&base, 1, 1_000_000, &mut rng);
+        let buf = snapshot_of(&g);
+        let back = read_graph_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+        // writing the reloaded graph reproduces the identical bytes
+        assert_eq!(buf, snapshot_of(&back));
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_snapshot() {
+        for g in [
+            CsrGraph::from_edges(0, std::iter::empty()),
+            CsrGraph::from_edges(7, std::iter::empty()),
+        ] {
+            let back = read_graph_snapshot(snapshot_of(&g).as_slice()).unwrap();
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_detected() {
+        let g = generators::grid(4, 4);
+        let buf = snapshot_of(&g);
+        for cut in 0..buf.len() {
+            let err = read_graph_snapshot(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "cut at {cut}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_and_kind_are_detected() {
+        let g = generators::path(3);
+        let mut buf = snapshot_of(&g);
+        let mut wrong_magic = buf.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            read_graph_snapshot(wrong_magic.as_slice()).unwrap_err(),
+            SnapshotError::BadMagic { .. }
+        ));
+        let mut wrong_version = buf.clone();
+        wrong_version[4] = 99;
+        match read_graph_snapshot(wrong_version.as_slice()).unwrap_err() {
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected version error, got {other}"),
+        }
+        buf[6] = KIND_SPANNER as u8; // kind byte: now claims to be a spanner
+        assert!(matches!(
+            read_graph_snapshot(buf.as_slice()).unwrap_err(),
+            SnapshotError::WrongArtifact { .. }
+        ));
+    }
+
+    #[test]
+    fn corrupt_edges_are_descriptive_errors_not_panics() {
+        // Edge values a SnapshotWriter could never emit (it only sees
+        // already-canonical Edge structs), so hand-roll the raw bytes.
+        fn raw(n: u64, recs: &[(u32, u32, u64)]) -> Vec<u8> {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&SNAPSHOT_MAGIC);
+            buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+            buf.extend_from_slice(&KIND_GRAPH.to_le_bytes());
+            buf.extend_from_slice(&n.to_le_bytes());
+            buf.extend_from_slice(&(recs.len() as u64).to_le_bytes());
+            for &(u, v, w) in recs {
+                buf.extend_from_slice(&u.to_le_bytes());
+                buf.extend_from_slice(&v.to_le_bytes());
+                buf.extend_from_slice(&w.to_le_bytes());
+            }
+            buf
+        }
+
+        let cases: &[(&str, Vec<u8>)] = &[
+            ("out-of-range id", raw(3, &[(0, 9, 1)])),
+            ("self-loop", raw(3, &[(1, 1, 1)])),
+            ("non-canonical", raw(3, &[(2, 0, 1)])),
+            ("zero weight", raw(3, &[(0, 1, 0)])),
+            ("duplicate", raw(3, &[(0, 1, 1), (0, 1, 2)])),
+            ("unsorted", raw(3, &[(1, 2, 1), (0, 1, 1)])),
+        ];
+        for (name, bytes) in cases {
+            match read_graph_snapshot(bytes.as_slice()) {
+                Err(SnapshotError::Corrupt { .. }) => {}
+                other => panic!("{name}: expected Corrupt, got {other:?}"),
+            }
+        }
+        // trailing garbage after a valid body
+        let mut ok = raw(3, &[(0, 1, 1)]);
+        ok.push(0xAA);
+        assert!(matches!(
+            read_graph_snapshot(ok.as_slice()).unwrap_err(),
+            SnapshotError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn absurd_counts_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&KIND_GRAPH.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        assert!(read_graph_snapshot(buf.as_slice()).is_err());
+        let mut buf2 = Vec::new();
+        buf2.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf2.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        buf2.extend_from_slice(&KIND_GRAPH.to_le_bytes());
+        buf2.extend_from_slice(&10u64.to_le_bytes()); // n
+        buf2.extend_from_slice(&u64::MAX.to_le_bytes()); // m
+        assert!(read_graph_snapshot(buf2.as_slice()).is_err());
     }
 }

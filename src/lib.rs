@@ -46,7 +46,8 @@ pub mod pipeline;
 /// The common working set: graph types and generators, the pipeline
 /// builders with their `Seed`/`Run`/error vocabulary, the execution
 /// policy that selects sequential vs pooled execution, the artifact
-/// types the builders produce, and the cost model.
+/// types the builders produce, the snapshot serving layer, and the cost
+/// model.
 pub mod prelude {
     pub use crate::pipeline::{
         ClusterBuilder, ClusterError, HopsetArtifact, HopsetBuilder, HopsetKind, OracleBuilder,
@@ -54,7 +55,8 @@ pub mod prelude {
     };
     pub use psh_cluster::{Clustering, ExponentialShifts};
     pub use psh_core::hopset::{Hopset, HopsetParams, WeightClassDecomposition};
-    pub use psh_core::oracle::ApproxShortestPaths;
+    pub use psh_core::oracle::{ApproxShortestPaths, QueryResult};
+    pub use psh_core::snapshot::{self, OracleMeta, SnapshotError};
     pub use psh_core::spanner::Spanner;
     pub use psh_exec::{ExecutionPolicy, Executor};
     pub use psh_graph::{generators, CsrGraph, Edge, VertexId, Weight, INF};

@@ -44,6 +44,14 @@
 //! # Ok::<(), psh::pipeline::PshError>(())
 //! ```
 //!
+//! A finished [`Run`] is also the unit of **serving**: snapshot an oracle
+//! run with [`psh_core::snapshot`] (`write_oracle` /
+//! `OracleMeta::of_run`), and any later process reloads it and answers
+//! query batches through
+//! [`ApproxShortestPaths::query_batch`](psh_core::ApproxShortestPaths::query_batch)
+//! without re-running the preprocessing — byte-identical to the fresh
+//! build for every [`ExecutionPolicy`](psh_exec::ExecutionPolicy).
+//!
 //! The pre-builder free functions (`est_cluster`, `unweighted_spanner`,
 //! `weighted_spanner`, `build_hopset`, the `ApproxShortestPaths`
 //! constructors) still exist as deprecated wrappers that delegate here,
