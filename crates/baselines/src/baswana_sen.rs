@@ -1,4 +1,4 @@
-//! The Baswana–Sen randomized `(2k−1)`-spanner [BS07] — Figure 1's
+//! The Baswana–Sen randomized `(2k−1)`-spanner \[BS07\] — Figure 1's
 //! linear-time baseline, size `O(k·n^{1+1/k})` in expectation.
 //!
 //! `k−1` clustering phases followed by a vertex–cluster joining phase.

@@ -7,14 +7,14 @@
 //!   Althöfer et al. [ADD+93]: optimal size `O(n^{1+1/k})`, sequential,
 //!   `O(m·n^{1+1/k})` work. Figure 1, row 1 (weighted).
 //! * [`baswana_sen`] — the randomized linear-time `(2k−1)`-spanner of
-//!   Baswana–Sen [BS07]: size `O(k·n^{1+1/k})`, `O(km)` work. Figure 1,
-//!   row 2 (weighted) and the [BKMP10]-quality row (unweighted).
+//!   Baswana–Sen \[BS07\]: size `O(k·n^{1+1/k})`, `O(km)` work. Figure 1,
+//!   row 2 (weighted) and the \[BKMP10\]-quality row (unweighted).
 //! * [`ks_hopset`] — the sampled-clique exact hopset in the spirit of
-//!   [KS97]/[SS99]/[UY91]: sample `Θ(√(n log n))` vertices, connect them
+//!   \[KS97\]/\[SS99\]/\[UY91\]: sample `Θ(√(n log n))` vertices, connect them
 //!   by exact distances. `O(√n)`-ish hops, `O(n)` size, `O(m√n)` work.
 //!   Figure 2, row 1.
 //! * [`sampled_hierarchy`] — a multi-level sampling hopset standing in for
-//!   Cohen [Coh00] (the substitution rationale is documented in [`sampled_hierarchy`]).
+//!   Cohen \[Coh00\] (the substitution rationale is documented in [`sampled_hierarchy`]).
 //!   Figure 2, rows 2–3.
 
 pub mod baswana_sen;

@@ -1,4 +1,4 @@
-//! A multi-level sampled hopset — the stand-in for Cohen's [Coh00]
+//! A multi-level sampled hopset — the stand-in for Cohen's \[Coh00\]
 //! pairwise-cover construction in Figure 2. The substitution: Cohen's
 //! full pairwise covers are replaced by per-level hop-radius-bounded
 //! sampling with the same size/accuracy shape, because the cover

@@ -11,7 +11,7 @@
 //!
 //! Usage:
 //! ```text
-//! psh-serve [--family random|power-law|grid|path|torus] [--n N]
+//! psh-serve [--family random|power-law|rmat|grid|grid2d|path|torus] [--n N]
 //!           [--weights U]            # log-uniform weights of ratio U
 //!           [--graph PATH]           # text edge list instead of --family
 //!           [--snapshot PATH]        # load if present, else build + save
@@ -108,6 +108,10 @@ fn obtain_oracle(seed: u64) -> (ApproxShortestPaths, OracleMeta, bool, f64) {
             .unwrap_or_else(|e| die(format_args!("cannot save {}: {e}", path.display())));
         println!("snapshot saved to {}", path.display());
     }
+    // Preprocessing is over: release the build-time split scratch this
+    // thread's arena pool retained, so the long-lived serving process
+    // doesn't carry O(n + m) recursion buffers into its steady state.
+    psh_graph::view::drain_arena_pool();
     (run.artifact, meta, false, secs)
 }
 

@@ -16,8 +16,13 @@ pub enum Family {
     Random,
     /// Preferential attachment, 3 edges per vertex (heavy-tailed degrees).
     PowerLaw,
+    /// R-MAT recursive-matrix sample (Graph500 mix): power-law degrees
+    /// with community-like skew, ~4 edge draws per vertex.
+    Rmat,
     /// Square grid (high diameter, planar-ish).
     Grid,
+    /// Square grid with 8-neighbor (king-move) topology.
+    Grid2d,
     /// Path (the hop-count adversary).
     PathGraph,
     /// Torus (vertex-transitive grid).
@@ -26,10 +31,12 @@ pub enum Family {
 
 impl Family {
     /// All families, for sweep loops.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 7] = [
         Family::Random,
         Family::PowerLaw,
+        Family::Rmat,
         Family::Grid,
+        Family::Grid2d,
         Family::PathGraph,
         Family::Torus,
     ];
@@ -39,7 +46,9 @@ impl Family {
         match self {
             Family::Random => "random",
             Family::PowerLaw => "power-law",
+            Family::Rmat => "rmat",
             Family::Grid => "grid",
+            Family::Grid2d => "grid2d",
             Family::PathGraph => "path",
             Family::Torus => "torus",
         }
@@ -52,9 +61,14 @@ impl Family {
         match self {
             Family::Random => generators::connected_random(n, 2 * n, &mut rng),
             Family::PowerLaw => generators::preferential_attachment(n.max(5), 3, &mut rng),
+            Family::Rmat => generators::rmat(n.max(2), 4 * n.max(2), &mut rng),
             Family::Grid => {
                 let side = (n as f64).sqrt().round().max(2.0) as usize;
                 generators::grid(side, side)
+            }
+            Family::Grid2d => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                generators::grid2d(side, side)
             }
             Family::PathGraph => generators::path(n),
             Family::Torus => {

@@ -84,18 +84,25 @@ pub fn radius_summary(c: &Clustering) -> (Weight, f64) {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // legacy free-function tests; migrated incrementally
 mod tests {
     use super::*;
-    use crate::est_cluster;
+    use crate::{ClusterBuilder, Seed};
     use psh_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    fn cluster(g: &CsrGraph, beta: f64, seed: u64) -> Clustering {
+        ClusterBuilder::new(beta)
+            .seed(Seed(seed))
+            .build(g)
+            .unwrap()
+            .artifact
+    }
+
     #[test]
     fn cut_stats_bounds() {
         let g = generators::grid(12, 12);
-        let (c, _) = est_cluster(&g, 0.4, &mut StdRng::seed_from_u64(1));
+        let c = cluster(&g, 0.4, 1);
         let s = cut_stats(&g, &c);
         assert_eq!(s.total, g.m());
         assert!(s.cut <= s.total);
@@ -112,7 +119,7 @@ mod tests {
         let trials = 40;
         let mut frac_sum = 0.0;
         for seed in 0..trials {
-            let (c, _) = est_cluster(&g, beta, &mut StdRng::seed_from_u64(seed));
+            let c = cluster(&g, beta, seed);
             frac_sum += cut_stats(&g, &c).fraction;
         }
         let mean = frac_sum / trials as f64;
@@ -126,7 +133,7 @@ mod tests {
     #[test]
     fn singleton_clustering_cuts_everything() {
         let g = generators::cycle(20);
-        let (c, _) = est_cluster(&g, 100.0, &mut StdRng::seed_from_u64(2));
+        let c = cluster(&g, 100.0, 2);
         assert_eq!(c.num_clusters, 20);
         let s = cut_stats(&g, &c);
         assert_eq!(s.cut, g.m());
@@ -135,7 +142,7 @@ mod tests {
     #[test]
     fn ball_cluster_count_on_singletons_equals_ball_size() {
         let g = generators::path(9);
-        let (c, _) = est_cluster(&g, 100.0, &mut StdRng::seed_from_u64(3));
+        let c = cluster(&g, 100.0, 3);
         // all singletons: a radius-2 ball around the middle touches 5 clusters
         assert_eq!(ball_cluster_count(&g, &c, 4, 2), 5);
     }
@@ -143,7 +150,7 @@ mod tests {
     #[test]
     fn ball_cluster_count_on_one_big_cluster_is_one() {
         let g = generators::path(30);
-        let (c, _) = est_cluster(&g, 0.001, &mut StdRng::seed_from_u64(12));
+        let c = cluster(&g, 0.001, 12);
         if c.num_clusters == 1 {
             assert_eq!(ball_cluster_count(&g, &c, 15, 5), 1);
         }
@@ -154,7 +161,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let base = generators::grid(8, 8);
         let g = generators::with_uniform_weights(&base, 1, 4, &mut rng);
-        let (c, _) = est_cluster(&g, 0.1, &mut rng);
+        let c = ClusterBuilder::new(0.1)
+            .build_with_rng(&g, &mut rng)
+            .unwrap()
+            .0;
         let rows = cut_by_weight(&g, &c);
         assert_eq!(rows.len(), g.m());
     }
@@ -162,7 +172,7 @@ mod tests {
     #[test]
     fn radius_summary_consistent() {
         let g = generators::grid(10, 10);
-        let (c, _) = est_cluster(&g, 0.3, &mut StdRng::seed_from_u64(5));
+        let c = cluster(&g, 0.3, 5);
         let (max, mean) = radius_summary(&c);
         assert!(mean <= max as f64);
         assert_eq!(max, c.max_radius());

@@ -4,8 +4,10 @@
 //! Every user-facing construction in the workspace follows the same
 //! contract, anchored here:
 //!
-//! * inputs are a borrowed [`CsrGraph`] plus a [`Seed`] newtype — never a
-//!   caller-threaded `&mut R`;
+//! * inputs are a borrowed graph — anything implementing
+//!   [`psh_graph::GraphView`], an owned [`psh_graph::CsrGraph`] or an
+//!   arena-backed [`psh_graph::CsrView`] alike — plus a [`Seed`]
+//!   newtype, never a caller-threaded `&mut R`;
 //! * outputs are a [`Run`] carrying the artifact, its
 //!   [`psh_pram::Cost`], and the seed that produced it, so any run can be
 //!   reproduced or cached by `(input, parameters, seed)`;
@@ -25,7 +27,7 @@
 use crate::error::ClusterError;
 use crate::{engine, Clustering, ExponentialShifts};
 use psh_exec::{ExecutionPolicy, Executor};
-use psh_graph::CsrGraph;
+use psh_graph::GraphView;
 use psh_pram::Cost;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,8 +35,8 @@ use rand::{Rng, SeedableRng};
 /// A named RNG seed: the reproducibility handle of every construction.
 ///
 /// Two runs of the same builder on the same graph with the same `Seed`
-/// produce byte-identical artifacts (the seed-equivalence integration
-/// tests enforce this against the legacy free functions).
+/// produce byte-identical artifacts (enforced by the seed-equivalence
+/// integration tests).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Seed(pub u64);
 
@@ -148,8 +150,9 @@ impl ClusterBuilder {
     }
 
     /// Run the clustering. Empty graphs yield an empty clustering rather
-    /// than a panic.
-    pub fn build(&self, g: &CsrGraph) -> Result<Run<Clustering>, ClusterError> {
+    /// than a panic. Generic over [`GraphView`]: materialized graphs and
+    /// arena-backed views cluster identically.
+    pub fn build<G: GraphView>(&self, g: &G) -> Result<Run<Clustering>, ClusterError> {
         let mut rng = self.seed.rng();
         let (artifact, cost) = self.build_with_rng(g, &mut rng)?;
         Ok(Run {
@@ -159,13 +162,13 @@ impl ClusterBuilder {
         })
     }
 
-    /// Run the clustering against a caller-supplied generator. This is the
-    /// compatibility spine the deprecated [`crate::est_cluster`] free
-    /// function delegates to; prefer [`ClusterBuilder::build`], which
-    /// records the seed in the returned [`Run`].
-    pub fn build_with_rng<R: Rng>(
+    /// Run the clustering against a caller-supplied generator. Prefer
+    /// [`ClusterBuilder::build`], which records the seed in the returned
+    /// [`Run`]; this spine exists for callers that thread one RNG through
+    /// a larger composite construction.
+    pub fn build_with_rng<G: GraphView, R: Rng>(
         &self,
-        g: &CsrGraph,
+        g: &G,
         rng: &mut R,
     ) -> Result<(Clustering, Cost), ClusterError> {
         self.build_with_rng_on(&self.policy.executor(), g, rng)
@@ -174,10 +177,10 @@ impl ClusterBuilder {
     /// [`ClusterBuilder::build_with_rng`] on an explicit executor — the
     /// entry point used by callers that already hold one (the hopset
     /// recursion runs thousands of clusterings and shares a single pool).
-    pub fn build_with_rng_on<R: Rng>(
+    pub fn build_with_rng_on<G: GraphView, R: Rng>(
         &self,
         exec: &Executor,
-        g: &CsrGraph,
+        g: &G,
         rng: &mut R,
     ) -> Result<(Clustering, Cost), ClusterError> {
         self.validate()?;
@@ -194,9 +197,9 @@ impl ClusterBuilder {
     /// Returns a bare `(Clustering, Cost)` rather than a [`Run`]: the
     /// artifact comes from the caller's shifts, not from any seed, so
     /// there is no seed that could honestly claim provenance.
-    pub fn build_with_shifts(
+    pub fn build_with_shifts<G: GraphView>(
         &self,
-        g: &CsrGraph,
+        g: &G,
         shifts: &ExponentialShifts,
     ) -> Result<(Clustering, Cost), ClusterError> {
         self.validate()?;
@@ -233,13 +236,16 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn builder_matches_legacy_free_function_for_same_seed() {
+    fn build_matches_the_rng_spine_for_same_seed() {
+        // `build` is sugar for seeding an StdRng and calling the spine —
+        // the seed recorded in the Run must honestly reproduce it.
         let g = generators::grid(10, 10);
         let run = ClusterBuilder::new(0.4).seed(Seed(9)).build(&g).unwrap();
-        #[allow(deprecated)]
-        let (legacy, legacy_cost) = crate::est_cluster(&g, 0.4, &mut StdRng::seed_from_u64(9));
-        assert_eq!(run.artifact, legacy);
-        assert_eq!(run.cost, legacy_cost);
+        let (spine, spine_cost) = ClusterBuilder::new(0.4)
+            .build_with_rng(&g, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(run.artifact, spine);
+        assert_eq!(run.cost, spine_cost);
         assert_eq!(run.seed, Seed(9));
     }
 

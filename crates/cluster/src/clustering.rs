@@ -2,7 +2,7 @@
 //! vertex set into clusters, each with a designated center and a spanning
 //! tree rooted there (certifying the cluster diameter, per Lemma 2.1).
 
-use psh_graph::{CsrGraph, Edge, VertexId, Weight};
+use psh_graph::{Edge, GraphView, VertexId, Weight};
 
 /// A clustering of a graph's vertex set.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,7 +54,7 @@ impl Clustering {
     }
 
     /// Canonical edge ids of all cut (inter-cluster) edges.
-    pub fn cut_edges(&self, g: &CsrGraph) -> Vec<u32> {
+    pub fn cut_edges<G: GraphView>(&self, g: &G) -> Vec<u32> {
         g.edges()
             .iter()
             .enumerate()
@@ -103,7 +103,7 @@ impl Clustering {
     ///    (`dist[v] == dist[parent] + w` for some edge of weight `w`;
     ///    on integer graphs the engine guarantees exactness);
     /// 3. dense ids and the `centers` table are mutually consistent.
-    pub fn validate(&self, g: &CsrGraph) -> Result<(), String> {
+    pub fn validate<G: GraphView>(&self, g: &G) -> Result<(), String> {
         if self.center.len() != g.n() {
             return Err(format!(
                 "clustering covers {} vertices, graph has {}",
@@ -159,18 +159,18 @@ impl Clustering {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // legacy free-function tests; migrated incrementally
 mod tests {
     use super::*;
-    use crate::est_cluster;
-    use psh_graph::generators;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::{ClusterBuilder, Seed};
+    use psh_graph::{generators, CsrGraph};
 
     fn clustered_grid(beta: f64, seed: u64) -> (CsrGraph, Clustering) {
         let g = generators::grid(10, 10);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let (c, _) = est_cluster(&g, beta, &mut rng);
+        let c = ClusterBuilder::new(beta)
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap()
+            .artifact;
         (g, c)
     }
 

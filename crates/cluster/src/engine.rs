@@ -25,7 +25,7 @@ use crate::clustering::Clustering;
 use crate::shifts::ExponentialShifts;
 use psh_exec::Executor;
 use psh_graph::frontier::{drive, BucketQueue, Frontier};
-use psh_graph::{CsrGraph, VertexId, Weight};
+use psh_graph::{GraphView, VertexId, Weight};
 use psh_pram::Cost;
 
 const UNASSIGNED: u32 = u32::MAX;
@@ -43,15 +43,15 @@ struct Claim {
 }
 
 /// The race's mutable state plus the read-only shift vector.
-struct Race<'a> {
-    g: &'a CsrGraph,
+struct Race<'a, G> {
+    g: &'a G,
     shifts: &'a ExponentialShifts,
     center: Vec<u32>,
     parent: Vec<u32>,
     dist_to_center: Vec<Weight>,
 }
 
-impl Frontier for Race<'_> {
+impl<G: GraphView> Frontier for Race<'_, G> {
     type Claim = Claim;
 
     fn target(c: &Claim) -> VertexId {
@@ -91,16 +91,17 @@ impl Frontier for Race<'_> {
 }
 
 /// Run the race defined by `shifts` on `g` with the process-default
-/// executor. See module docs.
-pub fn shifted_cluster(g: &CsrGraph, shifts: &ExponentialShifts) -> (Clustering, Cost) {
+/// executor. See module docs. Generic over [`GraphView`], so the hopset
+/// recursion can race directly on arena-backed cluster views.
+pub fn shifted_cluster<G: GraphView>(g: &G, shifts: &ExponentialShifts) -> (Clustering, Cost) {
     shifted_cluster_with(&Executor::current(), g, shifts)
 }
 
 /// Run the race on an explicit executor. Artifacts are byte-identical
 /// across executors; only wall-clock changes.
-pub fn shifted_cluster_with(
+pub fn shifted_cluster_with<G: GraphView>(
     exec: &Executor,
-    g: &CsrGraph,
+    g: &G,
     shifts: &ExponentialShifts,
 ) -> (Clustering, Cost) {
     let n = g.n();
@@ -163,7 +164,7 @@ mod tests {
     use psh_exec::ExecutionPolicy;
     use psh_graph::generators;
     use psh_graph::traversal::dijkstra;
-    use psh_graph::INF;
+    use psh_graph::{CsrGraph, INF};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -41,29 +41,15 @@ pub use clustering::Clustering;
 pub use error::ClusterError;
 pub use shifts::ExponentialShifts;
 
-use psh_graph::CsrGraph;
+use psh_graph::GraphView;
 use psh_pram::Cost;
-use rand::Rng;
-
-/// Run exponential start time clustering with parameter `beta` on `g`,
-/// drawing shifts from `rng`. Works for unit and integer weights alike.
-///
-/// Returns the clustering and its work/depth cost. Deterministic given the
-/// RNG state.
-///
-/// Panics on invalid `beta` (empty graphs yield an empty clustering);
-/// prefer [`ClusterBuilder`], which reports invalid parameters as
-/// [`ClusterError`] values and records the seed.
-#[deprecated(since = "0.1.0", note = "use psh_cluster::ClusterBuilder")]
-pub fn est_cluster<R: Rng>(g: &CsrGraph, beta: f64, rng: &mut R) -> (Clustering, Cost) {
-    ClusterBuilder::new(beta)
-        .build_with_rng(g, rng)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
 
 /// Run ESTC with pre-sampled shifts (useful for experiments that need to
 /// inspect or replay the shift vector).
-pub fn est_cluster_with_shifts(g: &CsrGraph, shifts: &ExponentialShifts) -> (Clustering, Cost) {
+pub fn est_cluster_with_shifts<G: GraphView>(
+    g: &G,
+    shifts: &ExponentialShifts,
+) -> (Clustering, Cost) {
     engine::shifted_cluster(g, shifts)
 }
 

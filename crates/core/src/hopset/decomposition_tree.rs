@@ -8,8 +8,8 @@
 //! quotient graph the query runs in (Lemma 5.1). The paper computes LCAs
 //! by parallel tree contraction; we ship the standard binary-lifting
 //! structure (`O(n log n)` preprocessing, `O(log n)` per query), which
-//! [`super::weight_classes::WeightClassDecomposition::query_fast`] uses
-//! in place of the linear level scan.
+//! [`super::weight_classes::WeightClassDecomposition::query`] uses in
+//! place of the linear level scan.
 
 use psh_graph::VertexId;
 

@@ -27,8 +27,7 @@ pub mod weight_classes;
 pub mod weighted;
 
 pub use params::HopsetParams;
-#[allow(deprecated)] // compatibility re-export; migrate to HopsetBuilder
-pub use unweighted::build_hopset;
+pub use unweighted::SplitStrategy;
 pub use weight_classes::WeightClassDecomposition;
 pub use weighted::WeightedHopsets;
 

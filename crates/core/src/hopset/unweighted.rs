@@ -26,39 +26,54 @@
 //! deterministic cluster order *before* the parallel region, so the
 //! artifact is byte-identical for any [`psh_exec::ExecutionPolicy`].
 //!
+//! **Recursion substrate.** The whole recursion is generic over
+//! [`GraphView`]: the root call works on whatever the caller hands in
+//! (usually an owned [`psh_graph::CsrGraph`]), and each level splits its
+//! piece into per-cluster children through one of two interchangeable
+//! [`SplitStrategy`]s. The default [`SplitStrategy::Arena`] fills a
+//! leased, reusable [`SplitArena`] and recurses on borrowed
+//! [`psh_graph::CsrView`]s — no per-child graph materialization, so a
+//! depth-`d` build no longer copies the adjacency structure `O(d)` times.
+//! [`SplitStrategy::Materialize`] is the legacy reference path (owned
+//! `CsrGraph` per child), kept for the `recursion_memory` bench and the
+//! `view_equivalence` suite, which prove the two paths produce
+//! byte-identical artifacts and Costs.
+//!
 //! The same code serves the weighted construction of §5: the clustering
 //! engine and the bucketed searches already handle integer weights, and §5
 //! supplies rounded integer weights (Lemma 5.2) before calling in here.
 
 use super::{Hopset, HopsetParams};
-use crate::api::HopsetBuilder;
 use psh_cluster::ClusterBuilder;
 use psh_exec::Executor;
 use psh_graph::subgraph::split_by_labels;
 use psh_graph::traversal::dial::dial_sssp_with;
-use psh_graph::{CsrGraph, Edge, VertexId, INF};
+use psh_graph::view::SplitArena;
+use psh_graph::{Edge, GraphView, VertexId, INF};
 use psh_pram::Cost;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Build a hopset for `g` with top-level parameter `β₀ = params.beta0(n)`.
-///
-/// Panics on invalid parameters; prefer [`crate::api::HopsetBuilder`],
-/// which reports them as [`crate::error::PshError`] values and records
-/// the seed.
-#[deprecated(since = "0.1.0", note = "use psh_core::api::HopsetBuilder::unweighted")]
-pub fn build_hopset<R: Rng>(g: &CsrGraph, params: &HopsetParams, rng: &mut R) -> (Hopset, Cost) {
-    let (artifact, cost) = HopsetBuilder::unweighted()
-        .params(*params)
-        .build_with_rng(g, rng)
-        .unwrap_or_else(|e| panic!("{e}"));
-    (artifact.into_single(), cost)
+/// How the recursion turns one level's clusters into child subproblems.
+/// Both strategies yield byte-identical artifacts and [`Cost`]s; they
+/// differ only in allocation behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Fill a per-level [`SplitArena`] (leased from a thread-local pool)
+    /// and recurse on borrowed [`psh_graph::CsrView`]s. The production
+    /// path: no per-child allocation.
+    #[default]
+    Arena,
+    /// Materialize an owned [`psh_graph::CsrGraph`] per child
+    /// (`split_by_labels`). The legacy reference path, kept for
+    /// equivalence testing and memory benchmarking.
+    Materialize,
 }
 
 /// Build a hopset with an explicit top-level β₀ (§5 and Appendix C call
 /// this with their own β₀ choices), on the process-default executor.
-pub fn build_hopset_with_beta0<R: Rng>(
-    g: &CsrGraph,
+pub fn build_hopset_with_beta0<G: GraphView, R: Rng>(
+    g: &G,
     params: &HopsetParams,
     beta0: f64,
     rng: &mut R,
@@ -67,12 +82,27 @@ pub fn build_hopset_with_beta0<R: Rng>(
 }
 
 /// [`build_hopset_with_beta0`] on an explicit executor — recursion,
-/// clusterings, and clique searches all share its pool.
-pub fn build_hopset_with_beta0_on<R: Rng>(
+/// clusterings, and clique searches all share its pool. Uses the default
+/// [`SplitStrategy::Arena`].
+pub fn build_hopset_with_beta0_on<G: GraphView, R: Rng>(
     exec: &Executor,
-    g: &CsrGraph,
+    g: &G,
     params: &HopsetParams,
     beta0: f64,
+    rng: &mut R,
+) -> (Hopset, Cost) {
+    build_hopset_with_strategy_on(exec, g, params, beta0, SplitStrategy::default(), rng)
+}
+
+/// [`build_hopset_with_beta0_on`] with an explicit [`SplitStrategy`].
+/// The `recursion_memory` bench and the equivalence suites call this with
+/// both strategies and assert the outputs are byte-identical.
+pub fn build_hopset_with_strategy_on<G: GraphView, R: Rng>(
+    exec: &Executor,
+    g: &G,
+    params: &HopsetParams,
+    beta0: f64,
+    strategy: SplitStrategy,
     rng: &mut R,
 ) -> (Hopset, Cost) {
     params.validate().expect("invalid hopset parameters");
@@ -82,6 +112,7 @@ pub fn build_hopset_with_beta0_on<R: Rng>(
         rho: params.rho(n),
         n_final: params.n_final(n),
         exec: exec.clone(),
+        strategy,
     };
     let ident: Vec<VertexId> = (0..n as u32).collect();
     let out = recurse(g, &ident, beta0, 0, true, &ctx, rng.random());
@@ -100,6 +131,7 @@ struct Ctx {
     rho: f64,
     n_final: usize,
     exec: Executor,
+    strategy: SplitStrategy,
 }
 
 #[derive(Default)]
@@ -116,8 +148,8 @@ struct Outcome {
 const BETA_CAP: f64 = 1e12;
 const MAX_DEPTH: usize = 64;
 
-fn recurse(
-    sub: &CsrGraph,
+fn recurse<G: GraphView>(
+    sub: &G,
     to_global: &[VertexId],
     beta: f64,
     depth: usize,
@@ -133,9 +165,7 @@ fn recurse(
     let (clustering, cluster_cost) = ClusterBuilder::new(beta)
         .build_with_rng_on(&ctx.exec, sub, &mut rng)
         .expect("recursion betas are positive and finite");
-    let (pieces, split_cost) =
-        split_by_labels(sub, &clustering.cluster_id, clustering.num_clusters);
-    let mut cost = cluster_cost.then(split_cost);
+    let mut cost = cluster_cost;
 
     let mut edges: Vec<Edge> = Vec::new();
     let (mut stars, mut cliques) = (0usize, 0usize);
@@ -143,13 +173,15 @@ fn recurse(
     let next_beta = beta * ctx.growth;
 
     // Which clusters recurse: all of them on the first call, only the
-    // small ones afterwards (lines 3–10).
+    // small ones afterwards (lines 3–10). Sizes come straight from the
+    // clustering — no split needed to classify.
+    let sizes = clustering.sizes();
     let mut recurse_on: Vec<usize> = Vec::new();
     let mut large: Vec<usize> = Vec::new();
-    for (cid, piece) in pieces.iter().enumerate() {
+    for (cid, &size) in sizes.iter().enumerate() {
         if first {
             recurse_on.push(cid);
-        } else if piece.n() >= threshold {
+        } else if size >= threshold {
             large.push(cid);
         } else {
             recurse_on.push(cid);
@@ -196,25 +228,57 @@ fn recurse(
     }
 
     // Recursive calls run in parallel (lines 4 and 10); seeds are drawn in
-    // deterministic cluster order before the parallel region.
+    // deterministic cluster order before the parallel region. Both split
+    // strategies feed the children to the identical recursion, so the
+    // fan-out below differs only in where the child bytes live.
     let tasks: Vec<(usize, u64)> = recurse_on.iter().map(|&cid| (cid, rng.random())).collect();
-    let children: Vec<Outcome> = ctx.exec.par_map(&tasks, 1, |&(cid, child_seed)| {
-        let piece = &pieces[cid];
-        let child_global: Vec<VertexId> = piece
-            .to_parent
-            .iter()
-            .map(|&p| to_global[p as usize])
-            .collect();
-        recurse(
-            &piece.graph,
-            &child_global,
-            next_beta,
-            depth + 1,
-            false,
-            ctx,
-            child_seed,
-        )
-    });
+    let children: Vec<Outcome> = match ctx.strategy {
+        SplitStrategy::Arena => {
+            let mut arena = SplitArena::lease();
+            let split_cost = arena.split(sub, &clustering.cluster_id, clustering.num_clusters);
+            cost = cost.then(split_cost);
+            let arena = &*arena;
+            ctx.exec.par_map(&tasks, 1, |&(cid, child_seed)| {
+                let child_global: Vec<VertexId> = arena
+                    .to_parent(cid)
+                    .iter()
+                    .map(|&p| to_global[p as usize])
+                    .collect();
+                let view = arena.view(cid);
+                recurse(
+                    &view,
+                    &child_global,
+                    next_beta,
+                    depth + 1,
+                    false,
+                    ctx,
+                    child_seed,
+                )
+            })
+        }
+        SplitStrategy::Materialize => {
+            let (pieces, split_cost) =
+                split_by_labels(sub, &clustering.cluster_id, clustering.num_clusters);
+            cost = cost.then(split_cost);
+            ctx.exec.par_map(&tasks, 1, |&(cid, child_seed)| {
+                let piece = &pieces[cid];
+                let child_global: Vec<VertexId> = piece
+                    .to_parent
+                    .iter()
+                    .map(|&p| to_global[p as usize])
+                    .collect();
+                recurse(
+                    &piece.graph,
+                    &child_global,
+                    next_beta,
+                    depth + 1,
+                    false,
+                    ctx,
+                    child_seed,
+                )
+            })
+        }
+    };
 
     let mut max_level = if (!first && !large.is_empty()) || !edges.is_empty() {
         depth
@@ -240,12 +304,13 @@ fn recurse(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated wrappers (which delegate to the builders)
 mod tests {
     use super::*;
+    use crate::api::HopsetBuilder;
     use psh_graph::generators;
     use psh_graph::traversal::bellman_ford::{hop_limited_pair, ExtraEdges};
     use psh_graph::traversal::dijkstra::dijkstra_pair;
+    use psh_graph::CsrGraph;
 
     fn test_params() -> HopsetParams {
         // Small-n friendly parameters: coarser top level, small base case.
@@ -258,11 +323,19 @@ mod tests {
         }
     }
 
+    fn build<R: Rng>(g: &CsrGraph, rng: &mut R) -> (Hopset, Cost) {
+        let (artifact, cost) = HopsetBuilder::unweighted()
+            .params(test_params())
+            .build_with_rng(g, rng)
+            .unwrap();
+        (artifact.into_single(), cost)
+    }
+
     #[test]
     fn hopset_edges_never_undershoot_distance() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::grid(16, 16);
-        let (h, _) = build_hopset(&g, &test_params(), &mut rng);
+        let (h, _) = build(&g, &mut rng);
         h.validate_no_shortcuts_below_distance(&g).unwrap();
     }
 
@@ -271,7 +344,7 @@ mod tests {
         for seed in 0..4u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = generators::connected_random(500, 1200, &mut rng);
-            let (h, _) = build_hopset(&g, &test_params(), &mut rng);
+            let (h, _) = build(&g, &mut rng);
             assert!(
                 h.star_count <= g.n(),
                 "seed {seed}: {} star edges on n={}",
@@ -286,7 +359,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let g = generators::connected_random(600, 1500, &mut rng);
         let p = test_params();
-        let (h, _) = build_hopset(&g, &p, &mut rng);
+        let (h, _) = build(&g, &mut rng);
         // bound: (n / n_final) · ρ²
         let bound = (g.n() as f64 / p.n_final(g.n()) as f64) * p.rho(g.n()).powi(2);
         assert!(
@@ -303,7 +376,7 @@ mod tests {
         let n = 512;
         let g = generators::path(n);
         let mut rng = StdRng::seed_from_u64(6);
-        let (h, _) = build_hopset(&g, &test_params(), &mut rng);
+        let (h, _) = build(&g, &mut rng);
         let extra = ExtraEdges::from_edges(n, &h.edges);
         let s = 0u32;
         let t = (n - 1) as u32;
@@ -326,17 +399,46 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = generators::grid(12, 12);
-        let p = test_params();
-        let (a, _) = build_hopset(&g, &p, &mut StdRng::seed_from_u64(42));
-        let (b, _) = build_hopset(&g, &p, &mut StdRng::seed_from_u64(42));
+        let (a, _) = build(&g, &mut StdRng::seed_from_u64(42));
+        let (b, _) = build(&g, &mut StdRng::seed_from_u64(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_strategies_agree_exactly() {
+        // The tentpole contract at unit-test granularity: arena-backed
+        // recursion and materializing recursion are indistinguishable in
+        // artifact and cost. The integration-level proptest suite
+        // (tests/view_equivalence.rs) covers more seeds and policies.
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = generators::connected_random(400, 900, &mut rng);
+        let p = test_params();
+        let beta0 = p.beta0(g.n());
+        let exec = Executor::sequential();
+        let arena = build_hopset_with_strategy_on(
+            &exec,
+            &g,
+            &p,
+            beta0,
+            SplitStrategy::Arena,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let materialized = build_hopset_with_strategy_on(
+            &exec,
+            &g,
+            &p,
+            beta0,
+            SplitStrategy::Materialize,
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(arena, materialized);
     }
 
     #[test]
     fn small_graphs_get_empty_hopsets() {
         let g = generators::path(4);
         let mut rng = StdRng::seed_from_u64(7);
-        let (h, _) = build_hopset(&g, &test_params(), &mut rng);
+        let (h, _) = build(&g, &mut rng);
         assert_eq!(h.size(), 0, "below n_final nothing should be built");
     }
 
@@ -345,7 +447,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let g = generators::erdos_renyi(800, 3000, &mut rng);
         let p = test_params();
-        let (h, _) = build_hopset(&g, &p, &mut rng);
+        let (h, _) = build(&g, &mut rng);
         let bound = g.n() as f64 + (g.n() as f64 / p.n_final(g.n()) as f64) * p.rho(g.n()).powi(2);
         assert!(
             (h.size() as f64) <= bound,
@@ -360,7 +462,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let base = generators::grid(14, 14);
         let g = generators::with_uniform_weights(&base, 1, 6, &mut rng);
-        let (h, _) = build_hopset(&g, &test_params(), &mut rng);
+        let (h, _) = build(&g, &mut rng);
         h.validate_no_shortcuts_below_distance(&g).unwrap();
     }
 }

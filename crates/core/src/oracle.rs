@@ -7,13 +7,12 @@
 //! first (exposed separately; the oracle asserts the poly-bounded case).
 //!
 //! **Query** (`O(m/ε)` work, `O(h)`-round depth): h-hop-limited parallel
-//! Bellman–Ford over `E ∪ E'` — [KS97]'s procedure. Batches of pairs are
+//! Bellman–Ford over `E ∪ E'` — \[KS97\]'s procedure. Batches of pairs are
 //! served through [`ApproxShortestPaths::query_batch`], which fans the
 //! pairs across the psh-exec pool; a preprocessed oracle can be saved and
 //! reloaded through [`crate::snapshot`], so preprocessing and serving can
 //! run as separate processes.
 
-use crate::api::{OracleBuilder, OracleMode};
 use crate::hopset::unweighted::build_hopset_with_beta0_on;
 use crate::hopset::weighted::{build_weighted_hopsets_impl, WeightedHopsets};
 use crate::hopset::{Hopset, HopsetParams};
@@ -64,46 +63,6 @@ pub struct QueryResult {
 }
 
 impl ApproxShortestPaths {
-    /// Preprocess an **unweighted** graph (Corollary 4.5's setting).
-    ///
-    /// Panics on weighted input or invalid parameters; prefer
-    /// [`crate::api::OracleBuilder`], which reports both as
-    /// [`crate::error::PshError`] values and records the seed.
-    #[deprecated(since = "0.1.0", note = "use psh_core::api::OracleBuilder")]
-    pub fn build_unweighted<R: Rng>(
-        g: &CsrGraph,
-        params: &HopsetParams,
-        rng: &mut R,
-    ) -> (Self, Cost) {
-        OracleBuilder::new()
-            .params(*params)
-            .mode(OracleMode::Unweighted)
-            .build_with_rng(g, rng)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Preprocess a **weighted** graph with polynomially bounded weights
-    /// (Corollary 5.4's setting; apply Appendix B first otherwise).
-    ///
-    /// Panics on invalid parameters; prefer
-    /// [`crate::api::OracleBuilder`], which also checks the weight-range
-    /// precondition this constructor silently assumes.
-    #[deprecated(since = "0.1.0", note = "use psh_core::api::OracleBuilder")]
-    pub fn build_weighted<R: Rng>(
-        g: &CsrGraph,
-        params: &HopsetParams,
-        eta: f64,
-        rng: &mut R,
-    ) -> (Self, Cost) {
-        OracleBuilder::new()
-            .params(*params)
-            .eta(eta)
-            .mode(OracleMode::Weighted)
-            .allow_large_weights(true)
-            .build_with_rng(g, rng)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Corollary 4.5's preprocessing body — preconditions are validated by
     /// [`OracleBuilder`] before this runs.
     pub(crate) fn build_unweighted_impl<R: Rng>(
@@ -234,12 +193,20 @@ impl ApproxShortestPaths {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated wrappers (which delegate to the builders)
 mod tests {
     use super::*;
+    use crate::api::{OracleBuilder, OracleMode, Seed};
     use psh_graph::generators;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
+    fn build_unweighted(g: &CsrGraph, params: &HopsetParams, seed: u64) -> ApproxShortestPaths {
+        OracleBuilder::new()
+            .params(*params)
+            .mode(OracleMode::Unweighted)
+            .seed(Seed(seed))
+            .build(g)
+            .unwrap()
+            .artifact
+    }
 
     fn test_params() -> HopsetParams {
         HopsetParams {
@@ -253,9 +220,8 @@ mod tests {
 
     #[test]
     fn unweighted_oracle_is_sound_and_accurate() {
-        let mut rng = StdRng::seed_from_u64(1);
         let g = generators::grid(16, 16);
-        let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &test_params(), &mut rng);
+        let oracle = build_unweighted(&g, &test_params(), 1);
         for (s, t) in [(0u32, 255u32), (0, 15), (17, 200), (100, 101)] {
             let (r, _) = oracle.query(s, t);
             let exact = oracle.query_exact(s, t) as f64;
@@ -270,10 +236,19 @@ mod tests {
 
     #[test]
     fn weighted_oracle_is_sound() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(2);
         let base = generators::grid(10, 10);
         let g = generators::with_uniform_weights(&base, 1, 20, &mut rng);
-        let (oracle, _) = ApproxShortestPaths::build_weighted(&g, &test_params(), 0.4, &mut rng);
+        let oracle = OracleBuilder::new()
+            .params(test_params())
+            .eta(0.4)
+            .mode(OracleMode::Weighted)
+            .seed(Seed(2))
+            .build(&g)
+            .unwrap()
+            .artifact;
         for (s, t) in [(0u32, 99u32), (5, 60), (42, 43)] {
             let (r, _) = oracle.query(s, t);
             let exact = oracle.query_exact(s, t) as f64;
@@ -285,17 +260,15 @@ mod tests {
     #[test]
     fn self_and_disconnected_queries() {
         let g = CsrGraph::from_unit_edges(4, [(0, 1)]);
-        let mut rng = StdRng::seed_from_u64(3);
-        let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &test_params(), &mut rng);
+        let oracle = build_unweighted(&g, &test_params(), 3);
         assert_eq!(oracle.query(2, 2).0.distance, 0.0);
         assert!(oracle.query(0, 3).0.distance.is_infinite());
     }
 
     #[test]
     fn query_batch_matches_single_queries_for_every_policy() {
-        let mut rng = StdRng::seed_from_u64(5);
         let g = generators::grid(12, 12);
-        let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &test_params(), &mut rng);
+        let oracle = build_unweighted(&g, &test_params(), 5);
         let pairs: Vec<(u32, u32)> = (0..48).map(|i| (i, 143 - i)).collect();
         let singles: Vec<(QueryResult, Cost)> =
             pairs.iter().map(|&(s, t)| oracle.query(s, t)).collect();
@@ -319,8 +292,7 @@ mod tests {
     #[test]
     fn hop_budget_exposed_for_unweighted() {
         let g = generators::path(64);
-        let mut rng = StdRng::seed_from_u64(4);
-        let (oracle, _) = ApproxShortestPaths::build_unweighted(&g, &test_params(), &mut rng);
+        let oracle = build_unweighted(&g, &test_params(), 4);
         assert!(oracle.hop_budget().is_some());
     }
 }

@@ -8,7 +8,7 @@
 //! well-separation Algorithm 3 needs so that contracted pieces (diameter
 //! `≤ w_i`) are negligible against the next level's weights.
 
-use psh_graph::{CsrGraph, Weight};
+use psh_graph::{GraphView, Weight};
 
 /// Power-of-two bucket index of a weight (`w >= 1`).
 #[inline]
@@ -25,7 +25,7 @@ pub fn group_stride(k: f64) -> u32 {
 
 /// Bucket the canonical edge ids of `g` by [`bucket_index`], ascending.
 /// Returns `(bucket_index, eids)` pairs for non-empty buckets only.
-pub fn bucket_edges(g: &CsrGraph) -> Vec<(u32, Vec<u32>)> {
+pub fn bucket_edges<G: GraphView>(g: &G) -> Vec<(u32, Vec<u32>)> {
     let mut map: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
     for (eid, e) in g.edges().iter().enumerate() {
         map.entry(bucket_index(e.w)).or_default().push(eid as u32);
@@ -48,6 +48,7 @@ pub fn split_into_groups(buckets: Vec<(u32, Vec<u32>)>, stride: u32) -> Vec<Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use psh_graph::CsrGraph;
     use psh_graph::Edge;
 
     #[test]

@@ -1,17 +1,19 @@
 //! Spanner constructions (§3 of the paper).
 //!
-//! * [`unweighted::unweighted_spanner`] — Algorithm 2: one exponential
-//!   start time clustering with `β = ln n / 2k`, keep the cluster forest,
-//!   and add one edge from every boundary vertex to each adjacent cluster.
-//!   `O(k)` stretch, expected size `O(n^{1+1/k})` (Lemma 3.2).
+//! * [`unweighted`] — Algorithm 2: one exponential start time clustering
+//!   with `β = ln n / 2k`, keep the cluster forest, and add one edge from
+//!   every boundary vertex to each adjacent cluster. `O(k)` stretch,
+//!   expected size `O(n^{1+1/k})` (Lemma 3.2). Built via
+//!   [`crate::api::SpannerBuilder::unweighted`].
 //! * [`well_separated::well_separated_spanner`] — Algorithm 3: on a graph
 //!   whose edge-weight buckets are separated by factors `≥ poly(k)`,
 //!   cluster each bucket's quotient graph `Γ_i = G[A_i]/H_{i−1}` and
 //!   contract the forests as you go.
-//! * [`weighted::weighted_spanner`] — Theorem 3.3: bucket edges by powers
-//!   of two, split the buckets into `O(log k)` well-separated groups, and
-//!   run Algorithm 3 on each group in parallel. Expected size
-//!   `O(n^{1+1/k} log k)`.
+//! * [`weighted`] — Theorem 3.3: bucket edges by powers of two, split
+//!   the buckets into `O(log k)` well-separated groups, and run
+//!   Algorithm 3 on each group in parallel. Expected size
+//!   `O(n^{1+1/k} log k)`. Built via
+//!   [`crate::api::SpannerBuilder::weighted`].
 //! * [`verify`] — exact stretch measurement against Dijkstra, the test and
 //!   experiment oracle.
 
@@ -21,10 +23,6 @@ pub mod verify;
 pub mod weighted;
 pub mod well_separated;
 
-#[allow(deprecated)] // compatibility re-export; migrate to SpannerBuilder
-pub use unweighted::unweighted_spanner;
-#[allow(deprecated)] // compatibility re-export; migrate to SpannerBuilder
-pub use weighted::weighted_spanner;
 pub use well_separated::well_separated_spanner;
 
 use psh_graph::{CsrGraph, Edge};

@@ -18,34 +18,14 @@
 //! edges per vertex by `n^{1/k}`.
 
 use super::Spanner;
-use crate::api::SpannerBuilder;
 use psh_cluster::Clustering;
 use psh_exec::Executor;
-use psh_graph::{CsrGraph, Edge, VertexId};
+use psh_graph::{Edge, GraphView, VertexId};
 use psh_pram::Cost;
-use rand::Rng;
 
 /// Vertices per parallel chunk when scanning adjacencies for boundary
 /// edges (each item's work is one adjacency scan).
 const SELECT_GRAIN: usize = 512;
-
-/// Build an `O(k)`-spanner of the unweighted graph `g`.
-///
-/// `k >= 1` is the stretch parameter; the expected size is
-/// `O(n^{1+1/k})` plus the `n − #clusters` forest edges.
-///
-/// Panics on invalid `k` or weighted input; prefer
-/// [`crate::api::SpannerBuilder`], which reports both as
-/// [`crate::error::PshError`] values and records the seed.
-#[deprecated(
-    since = "0.1.0",
-    note = "use psh_core::api::SpannerBuilder::unweighted"
-)]
-pub fn unweighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
-    SpannerBuilder::unweighted(k)
-        .build_with_rng(g, rng)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
 
 /// The paper's choice `β = ln n / 2k`.
 pub fn beta_for(n: usize, k: f64) -> f64 {
@@ -59,7 +39,7 @@ pub fn beta_for(n: usize, k: f64) -> f64 {
 ///
 /// Selected inter-cluster edges are deterministic: for each vertex and each
 /// adjacent cluster, the smallest canonical edge id wins.
-pub fn select_spanner_eids(g: &CsrGraph, c: &Clustering) -> (Vec<u32>, Cost) {
+pub fn select_spanner_eids<G: GraphView>(g: &G, c: &Clustering) -> (Vec<u32>, Cost) {
     select_spanner_eids_with(&Executor::current(), g, c)
 }
 
@@ -67,7 +47,11 @@ pub fn select_spanner_eids(g: &CsrGraph, c: &Clustering) -> (Vec<u32>, Cost) {
 /// run chunked on the pool with a reused per-chunk scratch buffer; outputs
 /// are concatenated in vertex order, so the selection is byte-identical
 /// for any [`psh_exec::ExecutionPolicy`].
-pub fn select_spanner_eids_with(exec: &Executor, g: &CsrGraph, c: &Clustering) -> (Vec<u32>, Cost) {
+pub fn select_spanner_eids_with<G: GraphView>(
+    exec: &Executor,
+    g: &G,
+    c: &Clustering,
+) -> (Vec<u32>, Cost) {
     let verts: Vec<VertexId> = (0..g.n() as u32).collect();
     // Forest edges: locate the canonical id of each (v, parent) tree edge.
     let forest: Vec<u32> = exec.par_flat_map(&verts, SELECT_GRAIN, |&v, out| {
@@ -110,14 +94,14 @@ pub fn select_spanner_eids_with(exec: &Executor, g: &CsrGraph, c: &Clustering) -
 }
 
 /// Steps 2–3 of Algorithm 2 as a [`Spanner`] over `g`'s own edges.
-pub fn spanner_from_clustering(g: &CsrGraph, c: &Clustering) -> (Spanner, Cost) {
+pub fn spanner_from_clustering<G: GraphView>(g: &G, c: &Clustering) -> (Spanner, Cost) {
     spanner_from_clustering_with(&Executor::current(), g, c)
 }
 
 /// [`spanner_from_clustering`] on an explicit executor.
-pub fn spanner_from_clustering_with(
+pub fn spanner_from_clustering_with<G: GraphView>(
     exec: &Executor,
-    g: &CsrGraph,
+    g: &G,
     c: &Clustering,
 ) -> (Spanner, Cost) {
     let (eids, cost) = select_spanner_eids_with(exec, g, c);
@@ -126,14 +110,23 @@ pub fn spanner_from_clustering_with(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated wrappers (which delegate to the builders)
 mod tests {
     use super::*;
+    use crate::api::SpannerBuilder;
     use crate::spanner::verify::max_stretch_exact;
     use psh_graph::connectivity::components_union_find;
     use psh_graph::generators;
+    use psh_graph::CsrGraph;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Test shim matching the old free-function signature, now routed
+    /// through the builder's RNG spine.
+    fn unweighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
+        SpannerBuilder::unweighted(k)
+            .build_with_rng(g, rng)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
     #[test]
     fn spanner_is_a_subgraph() {

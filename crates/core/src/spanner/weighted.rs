@@ -13,29 +13,17 @@
 use super::buckets::{bucket_edges, group_stride, split_into_groups};
 use super::well_separated::well_separated_spanner_with;
 use super::Spanner;
-use crate::api::SpannerBuilder;
 use psh_exec::Executor;
-use psh_graph::{CsrGraph, Edge};
+use psh_graph::{Edge, GraphView};
 use psh_pram::Cost;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Build an `O(k)`-spanner of a (positively) weighted graph.
-///
-/// Panics on invalid `k`; prefer [`crate::api::SpannerBuilder`], which
-/// reports it as a [`crate::error::PshError`] and records the seed.
-#[deprecated(since = "0.1.0", note = "use psh_core::api::SpannerBuilder::weighted")]
-pub fn weighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
-    SpannerBuilder::weighted(k)
-        .build_with_rng(g, rng)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
 /// Theorem 3.3's pipeline body — parameter validation happens in the
 /// builder ([`SpannerBuilder::weighted`]) before this runs.
-pub(crate) fn weighted_spanner_impl<R: Rng>(
+pub(crate) fn weighted_spanner_impl<G: GraphView, R: Rng>(
     exec: &Executor,
-    g: &CsrGraph,
+    g: &G,
     k: f64,
     rng: &mut R,
 ) -> (Spanner, Cost) {
@@ -62,14 +50,23 @@ pub(crate) fn weighted_spanner_impl<R: Rng>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated wrappers (which delegate to the builders)
 mod tests {
     use super::*;
+    use crate::api::SpannerBuilder;
     use crate::spanner::verify::max_stretch_exact;
     use psh_graph::connectivity::components_union_find;
     use psh_graph::generators;
+    use psh_graph::CsrGraph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Test shim matching the old free-function signature, now routed
+    /// through the builder's RNG spine.
+    fn weighted_spanner<R: Rng>(g: &CsrGraph, k: f64, rng: &mut R) -> (Spanner, Cost) {
+        SpannerBuilder::weighted(k)
+            .build_with_rng(g, rng)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
     fn weighted_instance(seed: u64, ratio: f64) -> CsrGraph {
         let mut rng = StdRng::seed_from_u64(seed);

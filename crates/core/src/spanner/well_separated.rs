@@ -28,7 +28,7 @@ use super::unweighted::{beta_for, select_spanner_eids_with};
 use psh_cluster::ClusterBuilder;
 use psh_exec::Executor;
 use psh_graph::union_find::UnionFind;
-use psh_graph::{CsrGraph, Edge};
+use psh_graph::{CsrGraph, Edge, GraphView};
 use psh_pram::Cost;
 use rand::Rng;
 
@@ -39,8 +39,8 @@ use rand::Rng;
 /// well-separation. Returns the selected original edges and the cost. The
 /// clustering parameter uses the *global* `n` of `g`, matching the paper's
 /// `β = ln n / 2k`.
-pub fn well_separated_spanner<R: Rng>(
-    g: &CsrGraph,
+pub fn well_separated_spanner<G: GraphView, R: Rng>(
+    g: &G,
     levels: &[Vec<u32>],
     k: f64,
     rng: &mut R,
@@ -52,9 +52,9 @@ pub fn well_separated_spanner<R: Rng>(
 /// level loop is inherently sequential (each level contracts the last);
 /// the clustering and boundary selection inside each level run on the
 /// executor's pool.
-pub fn well_separated_spanner_with<R: Rng>(
+pub fn well_separated_spanner_with<G: GraphView, R: Rng>(
     exec: &Executor,
-    g: &CsrGraph,
+    g: &G,
     levels: &[Vec<u32>],
     k: f64,
     rng: &mut R,

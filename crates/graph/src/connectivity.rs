@@ -3,7 +3,7 @@
 //! Two engines with identical outputs:
 //!
 //! * [`components_union_find`] — work-efficient, processes the edge list
-//!   through the concurrent union-find (the [SDB14] shape the paper cites).
+//!   through the concurrent union-find (the \[SDB14\] shape the paper cites).
 //! * [`components_label_propagation`] — round-synchronous min-label
 //!   propagation, the textbook PRAM algorithm; its depth is the graph
 //!   diameter, and it exists mostly to cross-check the union-find engine

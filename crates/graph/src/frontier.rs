@@ -1,8 +1,8 @@
 //! The shared level-synchronous frontier engine.
 //!
 //! Every bucketed search in this workspace — the clustering race
-//! (Algorithm 1 / Appendix A), parallel BFS [UY91], Dial's bucketed SSSP
-//! [KS97], Δ-stepping, and the hopset round loops built on them — has the
+//! (Algorithm 1 / Appendix A), parallel BFS \[UY91\], Dial's bucketed SSSP
+//! \[KS97\], Δ-stepping, and the hopset round loops built on them — has the
 //! same skeleton: a priority queue of integer-keyed buckets of *claims*,
 //! processed in key order, where each round
 //!

@@ -68,6 +68,31 @@ pub fn grid(rows: usize, cols: usize) -> CsrGraph {
     CsrGraph::from_unit_edges(rows * cols, edges)
 }
 
+/// 2-D grid with 8-neighbor (king-move) topology: the 4-neighbor [`grid`]
+/// plus both diagonals of every cell. Denser local structure at the same
+/// diameter scale — the "grid2d" scenario of the workload registry.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(4 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+                if c + 1 < cols {
+                    edges.push((id(r, c), id(r + 1, c + 1)));
+                }
+                if c > 0 {
+                    edges.push((id(r, c), id(r + 1, c - 1)));
+                }
+            }
+        }
+    }
+    CsrGraph::from_unit_edges(rows * cols, edges)
+}
+
 /// 2-D torus (grid with wraparound), so it is vertex-transitive.
 pub fn torus(rows: usize, cols: usize) -> CsrGraph {
     assert!(rows >= 3 && cols >= 3, "torus needs both sides >= 3");
@@ -167,6 +192,51 @@ pub fn preferential_attachment<R: Rng>(n: usize, deg: usize, rng: &mut R) -> Csr
             edges.push((t, v));
             pool.push(t);
             pool.push(v);
+        }
+    }
+    CsrGraph::from_unit_edges(n, edges)
+}
+
+/// R-MAT (recursive matrix) graph [Chakrabarti–Zhan–Faloutsos]: each edge
+/// lands in a quadrant of the adjacency matrix with probabilities
+/// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)` (the Graph500 mix),
+/// recursively, producing a heavy-tailed power-law degree distribution.
+///
+/// `attempts` edge samples are drawn; self-loops are rerolled and
+/// duplicate pairs merge in CSR construction, so `m ≤ attempts`. Vertex
+/// ids are sampled in the enclosing power-of-two square and rejected when
+/// `≥ n`, which keeps `n` exact without disturbing the skew. Deterministic
+/// given the `Rng`.
+pub fn rmat<R: Rng>(n: usize, attempts: usize, rng: &mut R) -> CsrGraph {
+    assert!(n >= 2, "need at least two vertices");
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    let scale = (usize::BITS - (n - 1).leading_zeros()).max(1);
+    let mut edges = Vec::with_capacity(attempts);
+    let mut draws = 0usize;
+    // generous cap: rejection discards < 1/2 of the square, self-loops a
+    // sliver — the cap only guards degenerate rng behaviour
+    let max_draws = attempts.saturating_mul(16).max(1024);
+    while edges.len() < attempts && draws < max_draws {
+        draws += 1;
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            let p: f64 = rng.random();
+            let (du, dv) = if p < A {
+                (0, 0)
+            } else if p < A + B {
+                (0, 1)
+            } else if p < A + B + C {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v && (u as usize) < n && (v as usize) < n {
+            edges.push((u, v));
         }
     }
     CsrGraph::from_unit_edges(n, edges)
@@ -344,6 +414,39 @@ mod tests {
         assert_eq!(g.n(), 12);
         // horizontal: 3*3, vertical: 2*4
         assert_eq!(g.m(), 17);
+    }
+
+    #[test]
+    fn grid2d_adds_diagonals() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.n(), 12);
+        // 4-neighbor grid edges (17) plus 2 diagonals per interior cell
+        // pair: (rows-1)*(cols-1)*2 = 12
+        assert_eq!(g.m(), 17 + 12);
+        // interior vertex has all 8 neighbors
+        assert_eq!(g.degree(5), 8);
+        let (c, _) = components_union_find(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_deterministic() {
+        let g1 = rmat(500, 2000, &mut StdRng::seed_from_u64(11));
+        let g2 = rmat(500, 2000, &mut StdRng::seed_from_u64(11));
+        assert_eq!(g1.edges(), g2.edges());
+        assert_eq!(g1.n(), 500);
+        assert!(g1.m() > 500, "expected a dense-ish sample, m={}", g1.m());
+        // heavy tail: the max degree dwarfs the mean
+        let maxdeg = (0..500u32).map(|v| g1.degree(v)).max().unwrap();
+        let mean = 2.0 * g1.m() as f64 / 500.0;
+        assert!(
+            maxdeg as f64 > 4.0 * mean,
+            "no hub: max {maxdeg} vs mean {mean:.1}"
+        );
+        // non-power-of-two n must hold exactly (rejection sampling)
+        let g3 = rmat(100, 300, &mut StdRng::seed_from_u64(12));
+        assert_eq!(g3.n(), 100);
+        assert!(g3.edges().iter().all(|e| (e.v as usize) < 100));
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //!   and the hopset round loops all drive, executing on a
 //!   [`psh_exec::Executor`] with engine-measured work/depth.
 //! * [`traversal`] — the parallel search engines the paper builds on:
-//!   level-synchronous BFS [UY91], bucketed integer-weight SSSP
-//!   ("weighted parallel BFS", Dial's algorithm as used by [KS97]),
+//!   level-synchronous BFS \[UY91\], bucketed integer-weight SSSP
+//!   ("weighted parallel BFS", Dial's algorithm as used by \[KS97\]),
 //!   Δ-stepping, hop-limited Bellman–Ford (the hopset query engine), and
 //!   exact Dijkstra as a verification oracle — the first three as
 //!   [`frontier::Frontier`] implementations.
@@ -28,8 +28,14 @@
 //! * [`quotient`] — contraction `G/H` keeping the lightest parallel edge,
 //!   exactly the quotient operation of §2, with provenance to original
 //!   edges.
-//! * [`subgraph`] — splitting a graph into per-cluster induced subgraphs
-//!   in one pass (the recursion step of Algorithm 4).
+//! * [`view`] — the [`GraphView`] trait every algorithm layer is generic
+//!   over, plus [`CsrView`] / [`SplitArena`]: borrowed per-cluster
+//!   subgraph views backed by reusable per-recursion-level scratch
+//!   arenas, so Algorithm 4's recursion never materializes a `CsrGraph`
+//!   per cluster per level.
+//! * [`subgraph`] — the materializing reference split (per-cluster owned
+//!   subgraphs), kept for callers that need owned children and as the
+//!   equivalence baseline for the arena path.
 //!
 //! All traversals are instrumented with the [`psh_pram::Cost`] work/depth
 //! model: work counts edge scans / relaxations, depth counts synchronous
@@ -46,8 +52,10 @@ pub mod quotient;
 pub mod subgraph;
 pub mod traversal;
 pub mod union_find;
+pub mod view;
 
 pub use csr::{CsrGraph, Edge, VertexId, Weight, INF};
 pub use frontier::{drive, BucketQueue, Frontier};
 pub use quotient::QuotientGraph;
 pub use subgraph::SubGraph;
+pub use view::{CsrView, GraphView, SplitArena};

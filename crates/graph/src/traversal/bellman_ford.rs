@@ -1,7 +1,7 @@
 //! Hop-limited Bellman–Ford over a graph plus an optional hopset.
 //!
 //! This computes `dist^h_{E ∪ E'}(s, ·)` — the *h-hop distance* of
-//! Definition 2.4 — and is the query engine Klein–Subramanian [KS97] attach
+//! Definition 2.4 — and is the query engine Klein–Subramanian \[KS97\] attach
 //! to a hopset: once a `(ε, h, m')`-hopset exists, a `(1+ε)`-approximate
 //! shortest path needs only `h` rounds of parallel edge relaxation, giving
 //! the `O(m/ε)` work, `O(h)`-ish depth query of Theorem 1.2.

@@ -1,4 +1,4 @@
-//! Parallel level-synchronous BFS, after Ullman–Yannakakis [UY91], as a
+//! Parallel level-synchronous BFS, after Ullman–Yannakakis \[UY91\], as a
 //! [`Frontier`] driven by the shared engine ([`crate::frontier`]).
 //!
 //! Each claim `(target, parent)` proposes to discover `target` at the
@@ -13,9 +13,10 @@
 //! paper's parallel BFS (the `log* n` CRCW factor is a model constant we
 //! do not multiply in — see the `psh_pram` crate docs).
 
-use crate::csr::{CsrGraph, VertexId, INF};
+use crate::csr::{VertexId, INF};
 use crate::frontier::{drive, BucketQueue, Frontier};
 use crate::traversal::SsspResult;
+use crate::view::GraphView;
 use psh_exec::Executor;
 use psh_pram::Cost;
 
@@ -28,14 +29,14 @@ struct BfsClaim {
     parent: VertexId,
 }
 
-struct Bfs<'a> {
-    g: &'a CsrGraph,
+struct Bfs<'a, G> {
+    g: &'a G,
     dist: Vec<u64>,
     parent: Vec<VertexId>,
     max_levels: u64,
 }
 
-impl Frontier for Bfs<'_> {
+impl<G: GraphView> Frontier for Bfs<'_, G> {
     type Claim = BfsClaim;
 
     fn target(c: &BfsClaim) -> VertexId {
@@ -71,27 +72,31 @@ impl Frontier for Bfs<'_> {
 }
 
 /// BFS from a single source.
-pub fn parallel_bfs(g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
+pub fn parallel_bfs<G: GraphView>(g: &G, src: VertexId) -> (SsspResult, Cost) {
     parallel_bfs_bounded_with(&Executor::current(), g, &[src], usize::MAX)
 }
 
 /// [`parallel_bfs`] on an explicit executor.
-pub fn parallel_bfs_with(exec: &Executor, g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
+pub fn parallel_bfs_with<G: GraphView>(
+    exec: &Executor,
+    g: &G,
+    src: VertexId,
+) -> (SsspResult, Cost) {
     parallel_bfs_bounded_with(exec, g, &[src], usize::MAX)
 }
 
 /// BFS from a set of sources, all at distance 0. `max_levels` bounds how
 /// far the search runs via [`parallel_bfs_bounded`]; this entry point runs
 /// to exhaustion.
-pub fn parallel_bfs_multi(g: &CsrGraph, sources: &[VertexId]) -> (SsspResult, Cost) {
+pub fn parallel_bfs_multi<G: GraphView>(g: &G, sources: &[VertexId]) -> (SsspResult, Cost) {
     parallel_bfs_bounded_with(&Executor::current(), g, sources, usize::MAX)
 }
 
 /// BFS from `sources`, stopping after `max_levels` levels (vertices further
 /// away keep `dist == INF`). Used by Algorithm 4's clique-edge computation,
 /// which only needs distances within a bounded-diameter piece.
-pub fn parallel_bfs_bounded(
-    g: &CsrGraph,
+pub fn parallel_bfs_bounded<G: GraphView>(
+    g: &G,
     sources: &[VertexId],
     max_levels: usize,
 ) -> (SsspResult, Cost) {
@@ -99,9 +104,9 @@ pub fn parallel_bfs_bounded(
 }
 
 /// [`parallel_bfs_bounded`] on an explicit executor.
-pub fn parallel_bfs_bounded_with(
+pub fn parallel_bfs_bounded_with<G: GraphView>(
     exec: &Executor,
-    g: &CsrGraph,
+    g: &G,
     sources: &[VertexId],
     max_levels: usize,
 ) -> (SsspResult, Cost) {
@@ -135,6 +140,7 @@ pub fn parallel_bfs_bounded_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrGraph;
     use crate::generators;
     use crate::traversal::dijkstra::dijkstra;
     use proptest::prelude::*;

@@ -19,9 +19,10 @@
 //! Depth accounting (engine-measured): one round per (bucket, sub-round)
 //! in which some tentative distance improved.
 
-use crate::csr::{CsrGraph, VertexId, Weight, INF};
+use crate::csr::{VertexId, Weight, INF};
 use crate::frontier::{drive, BucketQueue, Frontier};
 use crate::traversal::SsspResult;
+use crate::view::GraphView;
 use psh_exec::Executor;
 use psh_pram::Cost;
 
@@ -36,14 +37,14 @@ struct DeltaClaim {
     parent: VertexId,
 }
 
-struct DeltaStepping<'a> {
-    g: &'a CsrGraph,
+struct DeltaStepping<'a, G> {
+    g: &'a G,
     dist: Vec<Weight>,
     parent: Vec<VertexId>,
     delta: Weight,
 }
 
-impl Frontier for DeltaStepping<'_> {
+impl<G: GraphView> Frontier for DeltaStepping<'_, G> {
     type Claim = DeltaClaim;
 
     fn target(c: &DeltaClaim) -> VertexId {
@@ -78,14 +79,14 @@ impl Frontier for DeltaStepping<'_> {
 }
 
 /// Δ-stepping SSSP from `src` with bucket width `delta >= 1`.
-pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> (SsspResult, Cost) {
+pub fn delta_stepping<G: GraphView>(g: &G, src: VertexId, delta: Weight) -> (SsspResult, Cost) {
     delta_stepping_with(&Executor::current(), g, src, delta)
 }
 
 /// [`delta_stepping`] on an explicit executor.
-pub fn delta_stepping_with(
+pub fn delta_stepping_with<G: GraphView>(
     exec: &Executor,
-    g: &CsrGraph,
+    g: &G,
     src: VertexId,
     delta: Weight,
 ) -> (SsspResult, Cost) {
@@ -119,7 +120,7 @@ pub fn delta_stepping_with(
 /// A reasonable default bucket width: the mean edge weight (≥ 1), the
 /// standard heuristic balancing light-phase re-relaxations against the
 /// number of buckets.
-pub fn default_delta(g: &CsrGraph) -> Weight {
+pub fn default_delta<G: GraphView>(g: &G) -> Weight {
     if g.m() == 0 {
         return 1;
     }
@@ -129,6 +130,7 @@ pub fn default_delta(g: &CsrGraph) -> Weight {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrGraph;
     use crate::generators;
     use crate::traversal::dijkstra::dijkstra;
     use proptest::prelude::*;

@@ -1,7 +1,7 @@
 //! Bucketed integer-weight SSSP — the paper's "weighted parallel BFS" —
 //! as a [`Frontier`] driven by the shared engine ([`crate::frontier`]).
 //!
-//! Klein–Subramanian [KS97] (and §5 of the paper) run shortest-path
+//! Klein–Subramanian \[KS97\] (and §5 of the paper) run shortest-path
 //! searches on integer-weight graphs by processing distance values in
 //! increasing order: all vertices settled at the same distance form one
 //! parallel round, so the *depth* of a search is the number of distinct
@@ -17,9 +17,10 @@
 //! weighted spokes (the ESTC implementation of Appendix A, Lemma 2.1) is
 //! expressed without materializing the extra vertex.
 
-use crate::csr::{CsrGraph, VertexId, Weight, INF};
+use crate::csr::{VertexId, Weight, INF};
 use crate::frontier::{drive, BucketQueue, Frontier};
 use crate::traversal::SsspResult;
+use crate::view::GraphView;
 use psh_exec::Executor;
 use psh_pram::Cost;
 
@@ -31,15 +32,15 @@ struct DialClaim {
     parent: VertexId,
 }
 
-struct Dial<'a> {
-    g: &'a CsrGraph,
+struct Dial<'a, G> {
+    g: &'a G,
     dist: Vec<Weight>,
     parent: Vec<VertexId>,
     settled: Vec<bool>,
     bound: Weight,
 }
 
-impl Frontier for Dial<'_> {
+impl<G: GraphView> Frontier for Dial<'_, G> {
     type Claim = DialClaim;
 
     fn target(c: &DialClaim) -> VertexId {
@@ -74,25 +75,28 @@ impl Frontier for Dial<'_> {
 }
 
 /// Single-source exact SSSP on integer weights.
-pub fn dial_sssp(g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
+pub fn dial_sssp<G: GraphView>(g: &G, src: VertexId) -> (SsspResult, Cost) {
     dial_sssp_bounded_with(&Executor::current(), g, &[(src, 0)], INF)
 }
 
 /// [`dial_sssp`] on an explicit executor.
-pub fn dial_sssp_with(exec: &Executor, g: &CsrGraph, src: VertexId) -> (SsspResult, Cost) {
+pub fn dial_sssp_with<G: GraphView>(exec: &Executor, g: &G, src: VertexId) -> (SsspResult, Cost) {
     dial_sssp_bounded_with(exec, g, &[(src, 0)], INF)
 }
 
 /// Multi-source SSSP where source `s` starts at distance `offset`.
-pub fn dial_sssp_offsets(g: &CsrGraph, sources: &[(VertexId, Weight)]) -> (SsspResult, Cost) {
+pub fn dial_sssp_offsets<G: GraphView>(
+    g: &G,
+    sources: &[(VertexId, Weight)],
+) -> (SsspResult, Cost) {
     dial_sssp_bounded_with(&Executor::current(), g, sources, INF)
 }
 
 /// Multi-source SSSP ignoring distances beyond `bound` (those vertices
 /// keep `dist == INF`). Bounded searches are what Algorithm 4 runs inside
 /// its bounded-diameter recursive pieces.
-pub fn dial_sssp_bounded(
-    g: &CsrGraph,
+pub fn dial_sssp_bounded<G: GraphView>(
+    g: &G,
     sources: &[(VertexId, Weight)],
     bound: Weight,
 ) -> (SsspResult, Cost) {
@@ -100,9 +104,9 @@ pub fn dial_sssp_bounded(
 }
 
 /// [`dial_sssp_bounded`] on an explicit executor.
-pub fn dial_sssp_bounded_with(
+pub fn dial_sssp_bounded_with<G: GraphView>(
     exec: &Executor,
-    g: &CsrGraph,
+    g: &G,
     sources: &[(VertexId, Weight)],
     bound: Weight,
 ) -> (SsspResult, Cost) {
@@ -139,6 +143,7 @@ pub fn dial_sssp_bounded_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrGraph;
     use crate::csr::Edge;
     use crate::generators;
     use crate::traversal::dijkstra::dijkstra;

@@ -5,19 +5,20 @@
 //! distances in tests and experiments. Not instrumented with the cost
 //! model: it is the *referee*, not a contestant.
 
-use crate::csr::{CsrGraph, VertexId, Weight, INF};
+use crate::csr::{VertexId, Weight, INF};
 use crate::traversal::SsspResult;
+use crate::view::GraphView;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Exact single-source shortest paths.
-pub fn dijkstra(g: &CsrGraph, src: VertexId) -> SsspResult {
+pub fn dijkstra<G: GraphView>(g: &G, src: VertexId) -> SsspResult {
     dijkstra_bounded(g, src, INF)
 }
 
 /// Dijkstra that abandons vertices further than `limit` (their distance
 /// stays [`INF`]). Useful for the greedy spanner's pruned searches.
-pub fn dijkstra_bounded(g: &CsrGraph, src: VertexId, limit: Weight) -> SsspResult {
+pub fn dijkstra_bounded<G: GraphView>(g: &G, src: VertexId, limit: Weight) -> SsspResult {
     let n = g.n();
     let mut dist = vec![INF; n];
     let mut parent = vec![u32::MAX; n];
@@ -42,7 +43,7 @@ pub fn dijkstra_bounded(g: &CsrGraph, src: VertexId, limit: Weight) -> SsspResul
 }
 
 /// Exact `s`–`t` distance with early exit once `t` is settled.
-pub fn dijkstra_pair(g: &CsrGraph, s: VertexId, t: VertexId) -> Weight {
+pub fn dijkstra_pair<G: GraphView>(g: &G, s: VertexId, t: VertexId) -> Weight {
     if s == t {
         return 0;
     }
@@ -72,6 +73,7 @@ pub fn dijkstra_pair(g: &CsrGraph, s: VertexId, t: VertexId) -> Weight {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrGraph;
     use crate::csr::Edge;
     use crate::generators;
     use proptest::prelude::*;

@@ -1,14 +1,14 @@
 //! Search engines.
 //!
-//! * [`bfs`] — parallel level-synchronous BFS [UY91]: the engine behind the
+//! * [`bfs`] — parallel level-synchronous BFS \[UY91\]: the engine behind the
 //!   unweighted ESTC and the clique-edge distance computations of
 //!   Algorithm 4. Depth = number of BFS levels.
 //! * [`dial`] — bucketed integer-weight SSSP ("weighted parallel BFS" in
-//!   the paper, after [KS97]): processes distance values in increasing
+//!   the paper, after \[KS97\]): processes distance values in increasing
 //!   order, one parallel round per distinct settled distance. Depth =
 //!   number of distinct distance levels, which the rounding scheme of
 //!   Lemma 5.2 keeps small.
-//! * [`dijkstra`] — sequential exact SSSP; the verification oracle.
+//! * [`mod@dijkstra`] — sequential exact SSSP; the verification oracle.
 //! * [`bellman_ford`] — hop-limited relaxation over the graph plus an
 //!   optional hopset: computes `dist^h_{E ∪ E'}`, the quantity hopsets are
 //!   about (Definition 2.4), and serves as the query engine of Theorem 1.2.

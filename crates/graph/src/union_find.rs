@@ -98,7 +98,7 @@ impl UnionFind {
 
 /// Lock-free concurrent union-find (Anderson–Woll style hooking with CAS),
 /// suitable for processing edge lists from rayon parallel iterators. This is
-/// the shape used by the linear-work parallel connectivity of [SDB14] that
+/// the shape used by the linear-work parallel connectivity of \[SDB14\] that
 /// the paper cites.
 #[derive(Debug)]
 pub struct AtomicUnionFind {

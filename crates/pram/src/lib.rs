@@ -18,7 +18,7 @@
 //!   that execute "in parallel".
 //!
 //! The model constants the paper carries symbolically (the `O(log* n)`
-//! CRCW-emulation factor of [GMV91]) are *not* multiplied in: Appendix A of
+//! CRCW-emulation factor of \[GMV91\]) are *not* multiplied in: Appendix A of
 //! the paper notes that factor is model-dependent and `O(1)` in the
 //! OR-CRCW PRAM. We count raw rounds.
 //!

@@ -6,7 +6,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`psh_exec`] | the real parallel execution layer: thread pool, deterministic combinators, [`ExecutionPolicy`](psh_exec::ExecutionPolicy) |
-//! | [`psh_graph`] | CSR graphs, generators, the shared frontier engine, parallel BFS / bucketed SSSP / Δ-stepping / hop-limited Bellman–Ford, connectivity, quotient graphs |
+//! | [`psh_graph`] | CSR graphs and the `GraphView` abstraction (arena-backed `CsrView`s), generators, the shared frontier engine, parallel BFS / bucketed SSSP / Δ-stepping / hop-limited Bellman–Ford, connectivity, quotient graphs |
 //! | [`psh_pram`] | the work/depth (PRAM) cost model every algorithm reports in |
 //! | [`psh_cluster`] | exponential start time clustering (Algorithm 1) |
 //! | [`psh_core`] | spanners (Theorem 1.1), hopsets (Theorem 1.2), the approximate-distance oracle, Appendices B–C |
@@ -59,7 +59,9 @@ pub mod prelude {
     pub use psh_core::snapshot::{self, OracleMeta, SnapshotError};
     pub use psh_core::spanner::Spanner;
     pub use psh_exec::{ExecutionPolicy, Executor};
-    pub use psh_graph::{generators, CsrGraph, Edge, VertexId, Weight, INF};
+    pub use psh_graph::{
+        generators, CsrGraph, CsrView, Edge, GraphView, SplitArena, VertexId, Weight, INF,
+    };
     pub use psh_pram::Cost;
 }
 

@@ -54,8 +54,10 @@
 //!
 //! The pre-builder free functions (`est_cluster`, `unweighted_spanner`,
 //! `weighted_spanner`, `build_hopset`, the `ApproxShortestPaths`
-//! constructors) still exist as deprecated wrappers that delegate here,
-//! so downstream code migrates incrementally.
+//! constructors) are gone: the builders are the single construction
+//! surface. Callers that thread their own RNG use each builder's
+//! `build_with_rng` spine, which the `builder_equivalence` suite proves
+//! byte-identical to seeded `build` calls.
 
 pub use psh_cluster::api::{ClusterBuilder, Run, Seed};
 pub use psh_cluster::error::ClusterError;

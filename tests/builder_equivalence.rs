@@ -1,15 +1,12 @@
-//! Builder ↔ legacy equivalence: driving the pipeline builders with
-//! `Seed(s)` produces byte-identical artifacts and costs to the deprecated
-//! free functions driven by `StdRng::seed_from_u64(s)` — the guarantee
-//! that makes incremental migration safe and lets recorded experiment
-//! numbers survive the API change. Plus: invalid parameters come back as
-//! typed [`PshError`]/[`ClusterError`] values where the legacy functions
-//! panicked.
+//! Builder provenance equivalence: `.seed(Seed(s)).build(g)` is exactly
+//! sugar for driving the builder's RNG spine (`build_with_rng`) with
+//! `StdRng::seed_from_u64(s)` — byte-identical artifacts and costs. This
+//! is the guarantee that makes the recorded seed in every [`Run`] an
+//! honest replay handle, and lets callers that thread one RNG through a
+//! composite construction trust they get the same bytes a seeded build
+//! would produce. Plus: invalid parameters come back as typed
+//! [`PshError`]/[`ClusterError`] values instead of panics.
 
-#![allow(deprecated)] // the whole point of this file is to compare against the legacy API
-
-use psh::core::hopset::build_hopset;
-use psh::core::spanner::{unweighted_spanner, weighted_spanner};
 use psh::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,47 +33,53 @@ fn params() -> HopsetParams {
 }
 
 #[test]
-fn cluster_builder_matches_est_cluster() {
+fn cluster_build_matches_rng_spine() {
     let g = unit_graph();
     for seed in [0u64, 1, 42, 20150625] {
         let run = ClusterBuilder::new(0.3).seed(Seed(seed)).build(&g).unwrap();
-        let (legacy, legacy_cost) =
-            psh::cluster::est_cluster(&g, 0.3, &mut StdRng::seed_from_u64(seed));
-        assert_eq!(run.artifact, legacy, "seed {seed}");
-        assert_eq!(run.cost, legacy_cost, "seed {seed}");
+        let (spine, spine_cost) = ClusterBuilder::new(0.3)
+            .build_with_rng(&g, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(run.artifact, spine, "seed {seed}");
+        assert_eq!(run.cost, spine_cost, "seed {seed}");
+        assert_eq!(run.seed, Seed(seed));
     }
 }
 
 #[test]
-fn spanner_builder_matches_unweighted_spanner() {
+fn unweighted_spanner_build_matches_rng_spine() {
     let g = unit_graph();
     for seed in [0u64, 7, 99] {
         let run = SpannerBuilder::unweighted(3.0)
             .seed(Seed(seed))
             .build(&g)
             .unwrap();
-        let (legacy, legacy_cost) = unweighted_spanner(&g, 3.0, &mut StdRng::seed_from_u64(seed));
-        assert_eq!(run.artifact, legacy, "seed {seed}");
-        assert_eq!(run.cost, legacy_cost, "seed {seed}");
+        let (spine, spine_cost) = SpannerBuilder::unweighted(3.0)
+            .build_with_rng(&g, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(run.artifact, spine, "seed {seed}");
+        assert_eq!(run.cost, spine_cost, "seed {seed}");
     }
 }
 
 #[test]
-fn spanner_builder_matches_weighted_spanner() {
+fn weighted_spanner_build_matches_rng_spine() {
     let g = weighted_graph();
     for seed in [0u64, 5, 123] {
         let run = SpannerBuilder::weighted(2.0)
             .seed(Seed(seed))
             .build(&g)
             .unwrap();
-        let (legacy, legacy_cost) = weighted_spanner(&g, 2.0, &mut StdRng::seed_from_u64(seed));
-        assert_eq!(run.artifact, legacy, "seed {seed}");
-        assert_eq!(run.cost, legacy_cost, "seed {seed}");
+        let (spine, spine_cost) = SpannerBuilder::weighted(2.0)
+            .build_with_rng(&g, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(run.artifact, spine, "seed {seed}");
+        assert_eq!(run.cost, spine_cost, "seed {seed}");
     }
 }
 
 #[test]
-fn hopset_builder_matches_build_hopset() {
+fn hopset_build_matches_rng_spine() {
     let g = unit_graph();
     for seed in [0u64, 3, 888] {
         let run = HopsetBuilder::unweighted()
@@ -84,27 +87,36 @@ fn hopset_builder_matches_build_hopset() {
             .seed(Seed(seed))
             .build(&g)
             .unwrap();
-        let (legacy, legacy_cost) = build_hopset(&g, &params(), &mut StdRng::seed_from_u64(seed));
-        assert_eq!(run.artifact.into_single(), legacy, "seed {seed}");
-        assert_eq!(run.cost, legacy_cost, "seed {seed}");
+        let (spine, spine_cost) = HopsetBuilder::unweighted()
+            .params(params())
+            .build_with_rng(&g, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(
+            run.artifact.into_single(),
+            spine.into_single(),
+            "seed {seed}"
+        );
+        assert_eq!(run.cost, spine_cost, "seed {seed}");
     }
 }
 
 #[test]
-fn oracle_builder_matches_legacy_constructors() {
+fn oracle_build_matches_rng_spine() {
     let g = generators::grid(12, 12);
     let run = OracleBuilder::new()
         .params(params())
         .seed(Seed(4))
         .build(&g)
         .unwrap();
-    let (legacy, legacy_cost) =
-        ApproxShortestPaths::build_unweighted(&g, &params(), &mut StdRng::seed_from_u64(4));
-    assert_eq!(run.cost, legacy_cost);
-    assert_eq!(run.artifact.hopset_size(), legacy.hopset_size());
-    assert_eq!(run.artifact.hop_budget(), legacy.hop_budget());
+    let (spine, spine_cost) = OracleBuilder::new()
+        .params(params())
+        .build_with_rng(&g, &mut StdRng::seed_from_u64(4))
+        .unwrap();
+    assert_eq!(run.cost, spine_cost);
+    assert_eq!(run.artifact.hopset_size(), spine.hopset_size());
+    assert_eq!(run.artifact.hop_budget(), spine.hop_budget());
     for (s, t) in [(0u32, 143u32), (10, 100), (7, 7)] {
-        assert_eq!(run.artifact.query(s, t), legacy.query(s, t));
+        assert_eq!(run.artifact.query(s, t), spine.query(s, t));
     }
 
     let mut wrng = StdRng::seed_from_u64(5);
@@ -115,17 +127,20 @@ fn oracle_builder_matches_legacy_constructors() {
         .seed(Seed(6))
         .build(&wg)
         .unwrap();
-    let (wlegacy, wlegacy_cost) =
-        ApproxShortestPaths::build_weighted(&wg, &params(), 0.4, &mut StdRng::seed_from_u64(6));
-    assert_eq!(wrun.cost, wlegacy_cost);
-    assert_eq!(wrun.artifact.hopset_size(), wlegacy.hopset_size());
+    let (wspine, wspine_cost) = OracleBuilder::new()
+        .params(params())
+        .eta(0.4)
+        .build_with_rng(&wg, &mut StdRng::seed_from_u64(6))
+        .unwrap();
+    assert_eq!(wrun.cost, wspine_cost);
+    assert_eq!(wrun.artifact.hopset_size(), wspine.hopset_size());
     for (s, t) in [(0u32, 143u32), (31, 97)] {
-        assert_eq!(wrun.artifact.query(s, t), wlegacy.query(s, t));
+        assert_eq!(wrun.artifact.query(s, t), wspine.query(s, t));
     }
 }
 
 #[test]
-fn invalid_params_error_where_legacy_panicked() {
+fn invalid_params_are_typed_errors() {
     let g = unit_graph();
     // stretch below 1
     assert!(matches!(
