@@ -1,0 +1,281 @@
+//! `benchsuite` — the canonical serving-benchmark matrix, run after run.
+//!
+//! One binary that measures the whole Theorem 1.2 bargain — parallel
+//! preprocessing cost, snapshot round trip, and concurrent query serving
+//! — over a fixed scenario matrix, and emits a single schema-versioned
+//! JSON document (`BENCH_5.json` by default) so the perf trajectory can
+//! accumulate across commits:
+//!
+//! * **graph families** × **weighting**: {gnp, rmat, grid2d} ×
+//!   {unweighted, weighted (log-uniform, ratio 64)} — six oracle builds,
+//!   each measured for wall-clock, work/depth [`psh_pram::Cost`], **peak allocated
+//!   bytes** (the counting allocator shared with `recursion_memory`),
+//!   hopset size, and snapshot size;
+//! * **serving cells** per build: {fresh, snapshot-loaded oracle} ×
+//!   {Sequential, Parallel{2,4,8}} × {1, 8, 32 client threads}, each
+//!   cell driving the shared [`psh_core::service::OracleService`]
+//!   admission queue from that many OS threads and reporting qps plus
+//!   p50/p99/p999 per-request latency from
+//!   [`psh_core::service::ServiceStats`].
+//!
+//! Every cell's answers are compared against the sequential per-pair
+//! reference (`oracle.query(s, t)` on the fresh build); the binary
+//! **exits non-zero on any divergence** — this is the serving
+//! determinism gate the CI `bench` job runs (with `--quick`, which
+//! shrinks the policy axis to {Sequential, Parallel{4}} and the client
+//! axis to {1, 32} at a smaller n).
+//!
+//! Usage: `cargo run --release -p psh-bench --bin benchsuite \
+//!             [--quick] [--n N] [--queries Q] [--seed S] [--json PATH]`
+//!
+//! The JSON schema (`meta.schema_version = 1`): the standard
+//! [`psh_bench::Report`] envelope (`bin`, `threads`, `policy`, `wall_clock_s`,
+//! `meta`, `tables`) with a `build` table (one row per family ×
+//! weighting) and a `serve` table (one row per scenario cell). Rows are
+//! stringly-typed table cells; `meta` carries the numeric knobs.
+
+use psh_bench::alloc::{live_bytes, peak_above, reset_peak, CountingAlloc};
+use psh_bench::json::{has_flag, parse_flag};
+use psh_bench::table::{fmt_f, fmt_u, Table};
+use psh_bench::workloads::{random_pairs, Family};
+use psh_bench::Report;
+use psh_core::api::{OracleBuilder, Seed};
+use psh_core::oracle::QueryResult;
+use psh_core::service::{OracleService, ServiceConfig};
+use psh_core::snapshot::{read_oracle, write_oracle, OracleMeta};
+use psh_core::HopsetParams;
+use psh_exec::ExecutionPolicy;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Bump on any change to the document layout (table names, columns, or
+/// meta keys) so longitudinal consumers can dispatch on it.
+const SCHEMA_VERSION: u64 = 1;
+
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("benchsuite: {msg}");
+    std::process::exit(1);
+}
+
+/// Drive `clients` OS threads of interleaved queries through one shared
+/// service; returns the answers indexed like `pairs`.
+fn run_clients(service: &OracleService, pairs: &[(u32, u32)], clients: usize) -> Vec<QueryResult> {
+    let indexed: Vec<(usize, QueryResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|k| {
+                scope.spawn(move || {
+                    pairs
+                        .iter()
+                        .enumerate()
+                        .skip(k)
+                        .step_by(clients)
+                        .map(|(i, &(s, t))| (i, service.query(s, t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let mut answers: Vec<Option<QueryResult>> = vec![None; pairs.len()];
+    for (i, a) in indexed {
+        answers[i] = Some(a);
+    }
+    answers
+        .into_iter()
+        .map(|a| a.expect("every index covered"))
+        .collect()
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let n: usize = parse_flag("--n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 256 } else { 800 });
+    let queries: usize = parse_flag("--queries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 160 } else { 512 });
+    let seed: u64 = parse_flag("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20150625);
+    let json_path = parse_flag("--json").unwrap_or_else(|| "BENCH_5.json".into());
+    let mut report = Report::new("benchsuite", Some(PathBuf::from(&json_path)));
+
+    // The scenario axes. "gnp" is the connected Erdős–Rényi-ish family
+    // (`Family::Random` in the workload registry).
+    let families = [
+        (Family::Random, "gnp"),
+        (Family::Rmat, "rmat"),
+        (Family::Grid2d, "grid2d"),
+    ];
+    let weightings: [(&str, Option<f64>); 2] = [("unweighted", None), ("weighted", Some(64.0))];
+    let policies: Vec<ExecutionPolicy> = if quick {
+        vec![
+            ExecutionPolicy::Sequential,
+            ExecutionPolicy::Parallel { threads: 4 },
+        ]
+    } else {
+        vec![
+            ExecutionPolicy::Sequential,
+            ExecutionPolicy::Parallel { threads: 2 },
+            ExecutionPolicy::Parallel { threads: 4 },
+            ExecutionPolicy::Parallel { threads: 8 },
+        ]
+    };
+    let client_counts: Vec<usize> = if quick { vec![1, 32] } else { vec![1, 8, 32] };
+
+    println!(
+        "# benchsuite — {} × {} × {} policies × {{fresh, snapshot}} × {:?} clients | n≈{n}, {queries} queries{}\n",
+        families.map(|(_, f)| f).join("/"),
+        weightings.map(|(w, _)| w).join("/"),
+        policies.len(),
+        client_counts,
+        if quick { " (--quick)" } else { "" },
+    );
+
+    let mut build_table = Table::new([
+        "family",
+        "weights",
+        "n",
+        "m",
+        "build (s)",
+        "work",
+        "depth",
+        "peak bytes",
+        "hopset",
+        "snapshot bytes",
+    ]);
+    let mut serve_table = Table::new([
+        "family",
+        "weights",
+        "source",
+        "policy",
+        "clients",
+        "qps",
+        "p50 (ms)",
+        "p99 (ms)",
+        "p999 (ms)",
+        "batches",
+        "largest",
+        "identical",
+    ]);
+    let mut mismatches = 0usize;
+    let mut cells = 0usize;
+
+    for (fi, (family, fname)) in families.into_iter().enumerate() {
+        for (wname, ratio) in weightings {
+            let gseed = seed
+                .wrapping_add(fi as u64 * 1009)
+                .wrapping_add(if ratio.is_some() { 499 } else { 0 });
+            let g = match ratio {
+                Some(u) => family.instantiate_weighted(n, u, gseed),
+                None => family.instantiate(n, gseed),
+            };
+            let params = HopsetParams::default();
+
+            // --- build, measured ------------------------------------------
+            reset_peak();
+            let base = live_bytes();
+            let start = Instant::now();
+            let run = OracleBuilder::new()
+                .params(params)
+                .seed(Seed(gseed))
+                .build(&g)
+                .unwrap_or_else(|e| {
+                    die(format_args!("{fname}/{wname}: preprocessing failed: {e}"))
+                });
+            let build_s = start.elapsed().as_secs_f64();
+            let peak_bytes = peak_above(base);
+
+            // --- snapshot round trip --------------------------------------
+            let meta = OracleMeta::of_run(&run, params);
+            let mut buf = Vec::new();
+            write_oracle(&mut buf, &run.artifact, &meta)
+                .unwrap_or_else(|e| die(format_args!("{fname}/{wname}: snapshot write: {e}")));
+            let (loaded, _) = read_oracle(buf.as_slice())
+                .unwrap_or_else(|e| die(format_args!("{fname}/{wname}: snapshot reload: {e}")));
+
+            build_table.row([
+                fname.to_string(),
+                wname.to_string(),
+                fmt_u(g.n() as u64),
+                fmt_u(g.m() as u64),
+                fmt_f(build_s),
+                fmt_u(run.cost.work),
+                fmt_u(run.cost.depth),
+                fmt_u(peak_bytes as u64),
+                fmt_u(run.artifact.hopset_size() as u64),
+                fmt_u(buf.len() as u64),
+            ]);
+
+            // --- the sequential per-pair reference ------------------------
+            let fresh = Arc::new(run.artifact);
+            let loaded = Arc::new(loaded);
+            let pairs = random_pairs(g.n(), queries, gseed ^ 0x5E2A11CE);
+            let reference: Vec<QueryResult> =
+                pairs.iter().map(|&(s, t)| fresh.query(s, t).0).collect();
+
+            // --- serving cells --------------------------------------------
+            for (sname, oracle) in [("fresh", &fresh), ("snapshot", &loaded)] {
+                for &policy in &policies {
+                    for &clients in &client_counts {
+                        let service = OracleService::from_arc(
+                            Arc::clone(oracle),
+                            ServiceConfig::with_policy(policy),
+                        );
+                        let answers = run_clients(&service, &pairs, clients);
+                        let identical = answers == reference;
+                        mismatches += usize::from(!identical);
+                        cells += 1;
+                        let stats = service.stats();
+                        serve_table.row([
+                            fname.to_string(),
+                            wname.to_string(),
+                            sname.to_string(),
+                            policy.to_string(),
+                            fmt_u(clients as u64),
+                            fmt_f(stats.qps),
+                            fmt_f(stats.p50_ms),
+                            fmt_f(stats.p99_ms),
+                            fmt_f(stats.p999_ms),
+                            fmt_u(stats.batches),
+                            fmt_u(stats.largest_batch as u64),
+                            if identical { "yes" } else { "NO" }.to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+
+    println!("## preprocessing\n");
+    build_table.print();
+    println!("\n## serving matrix\n");
+    serve_table.print();
+
+    report
+        .meta("schema_version", SCHEMA_VERSION)
+        .meta("quick", quick)
+        .meta("n", n)
+        .meta("queries", queries)
+        .meta("seed", seed)
+        .meta("cells", cells)
+        .meta("mismatches", mismatches);
+    report.push_table("build", &build_table);
+    report.push_table("serve", &serve_table);
+    report.finish();
+
+    if mismatches > 0 {
+        eprintln!(
+            "\nFAIL: {mismatches}/{cells} scenario cell(s) diverged from the sequential reference"
+        );
+        std::process::exit(1);
+    }
+    println!("\nall {cells} scenario cells byte-identical to the sequential reference ✓");
+}

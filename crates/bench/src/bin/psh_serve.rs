@@ -15,15 +15,25 @@
 //!           [--weights U]            # log-uniform weights of ratio U
 //!           [--graph PATH]           # text edge list instead of --family
 //!           [--snapshot PATH]        # load if present, else build + save
+//!           [--fresh-snapshot]       # ignore an existing snapshot: rebuild
+//!                                    # and overwrite it (atomic tmp+rename)
+//!           [--cleanup-snapshot]     # delete the snapshot file on exit
+//!           [--max-seconds S]        # stop replaying batches after S secs
 //!           [--workload PATH]        # 'q s t' lines; default: random pairs
 //!           [--queries Q] [--batch B] [--threads K] [--seed S]
 //!           [--json PATH]
 //! ```
 //!
+//! `--fresh-snapshot`/`--cleanup-snapshot` make the CI smoke self-
+//! contained: the first run rebuilds and overwrites any stale snapshot
+//! (no manual `rm` needed — saves go through a temp file and an atomic
+//! rename), the last run cleans the file up; `--max-seconds` bounds the
+//! replay so a smoke can never hang a pipeline.
+//!
 //! Exits non-zero on unusable input (unreadable graph/workload/snapshot,
 //! out-of-range query ids) — never panics on malformed files.
 
-use psh_bench::json::parse_flag;
+use psh_bench::json::{has_flag, parse_flag};
 use psh_bench::stats::percentile;
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::{random_pairs, read_pairs, Family};
@@ -71,7 +81,10 @@ fn load_graph(seed: u64) -> CsrGraph {
 /// existing snapshot touches nothing but the snapshot file.
 fn obtain_oracle(seed: u64) -> (ApproxShortestPaths, OracleMeta, bool, f64) {
     let snapshot: Option<PathBuf> = parse_flag("--snapshot").map(PathBuf::from);
-    if let Some(path) = snapshot.as_ref().filter(|p| p.exists()) {
+    // --fresh-snapshot skips the load path: the oracle is rebuilt and the
+    // save below atomically overwrites whatever file is already there.
+    let fresh_requested = has_flag("--fresh-snapshot");
+    if let Some(path) = snapshot.as_ref().filter(|p| !fresh_requested && p.exists()) {
         let start = Instant::now();
         let (oracle, meta) = load_oracle(path)
             .unwrap_or_else(|e| die(format_args!("cannot load {}: {e}", path.display())));
@@ -121,6 +134,18 @@ fn main() {
         .unwrap_or(20150625);
     let mut report = Report::from_args("psh-serve");
 
+    // Runtime guard for smoke/CI use, validated before the (potentially
+    // long) preprocessing so a typo fails fast: stop issuing batches
+    // once the cap is reached (the in-flight batch finishes;
+    // preprocessing itself is not interruptible and counts separately).
+    let max_seconds: Option<f64> = match parse_flag("--max-seconds") {
+        None => None,
+        Some(s) => match s.trim().parse::<f64>() {
+            Ok(v) if v > 0.0 => Some(v),
+            _ => die(format_args!("bad --max-seconds '{s}' (want seconds > 0)")),
+        },
+    };
+
     let (oracle, meta, loaded, prep_s) = obtain_oracle(seed);
     let n = oracle.graph().n();
     if n == 0 {
@@ -161,9 +186,14 @@ fn main() {
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(pairs.len().div_ceil(batch));
     let mut served = 0usize;
     let mut reachable = 0usize;
+    let mut truncated = false;
     let mut total_cost = Cost::ZERO;
     let replay_start = Instant::now();
     for chunk in pairs.chunks(batch) {
+        if max_seconds.is_some_and(|cap| replay_start.elapsed().as_secs_f64() >= cap) {
+            truncated = true;
+            break;
+        }
         let start = Instant::now();
         let (answers, cost) = oracle.query_batch(chunk, policy);
         latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
@@ -172,6 +202,13 @@ fn main() {
         total_cost = total_cost.then(cost);
     }
     let replay_s = replay_start.elapsed().as_secs_f64();
+    if truncated {
+        println!(
+            "--max-seconds {} reached: served {served}/{} queries before stopping",
+            max_seconds.unwrap_or_default(),
+            pairs.len()
+        );
+    }
     let qps = served as f64 / replay_s.max(1e-12);
     let p50 = percentile(&latencies_ms, 50.0);
     let p99 = percentile(&latencies_ms, 99.0);
@@ -220,6 +257,7 @@ fn main() {
         .meta("batch", batch)
         .meta("policy", policy.to_string())
         .meta("loaded_snapshot", loaded)
+        .meta("truncated", truncated)
         .meta("seed", meta.seed.0)
         .meta("preprocess_s", prep_s)
         .meta("qps", qps)
@@ -227,4 +265,13 @@ fn main() {
         .meta("p99_ms", p99);
     report.push_table("serve", &t);
     report.finish();
+
+    if has_flag("--cleanup-snapshot") {
+        if let Some(path) = parse_flag("--snapshot").map(PathBuf::from) {
+            match std::fs::remove_file(&path) {
+                Ok(()) => println!("snapshot {} removed (--cleanup-snapshot)", path.display()),
+                Err(e) => die(format_args!("cannot remove {}: {e}", path.display())),
+            }
+        }
+    }
 }

@@ -21,10 +21,7 @@
 //! Usage: `cargo run --release -p psh-bench --bin recursion_memory \
 //!             [--n N] [--threads K] [--json PATH]`
 
-// The counting allocator must implement GlobalAlloc, which is an unsafe
-// trait; everything else in the workspace stays safe.
-#![allow(unsafe_code)]
-
+use psh_bench::alloc::{live_bytes, peak_above, reset_peak, CountingAlloc};
 use psh_bench::json::parse_flag;
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::Report;
@@ -36,62 +33,10 @@ use psh_graph::generators;
 use psh_pram::Cost;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
-
-/// System allocator wrapper tracking live and peak bytes. Peak tracking
-/// uses a CAS loop so concurrent allocations from pool workers are
-/// counted exactly.
-struct CountingAlloc;
-
-static LIVE: AtomicUsize = AtomicUsize::new(0);
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-
-fn note_alloc(size: usize) {
-    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
-    let mut peak = PEAK.load(Ordering::Relaxed);
-    while live > peak {
-        match PEAK.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
-            Ok(_) => break,
-            Err(seen) => peak = seen,
-        }
-    }
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        note_alloc(layout.size());
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if new_size >= layout.size() {
-            note_alloc(new_size - layout.size());
-        } else {
-            LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
-        }
-        System.realloc(ptr, layout, new_size)
-    }
-}
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
-
-/// Reset the high-water mark to the current live volume.
-fn reset_peak() {
-    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
-}
-
-/// Peak bytes allocated above the level at the last [`reset_peak`].
-fn peak_above(base: usize) -> usize {
-    PEAK.load(Ordering::Relaxed).saturating_sub(base)
-}
 
 struct Measured {
     hopset: Hopset,
@@ -117,7 +62,7 @@ fn run(
     let exec = Executor::new(policy);
     exec.par_map(&[0u32; 64], 1, |&x| x);
     psh_graph::view::drain_arena_pool();
-    let base = LIVE.load(Ordering::Relaxed);
+    let base = live_bytes();
     reset_peak();
     let start = Instant::now();
     let (hopset, cost) = build_hopset_with_strategy_on(

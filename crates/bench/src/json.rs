@@ -67,6 +67,13 @@ impl From<String> for JsonValue {
     }
 }
 
+/// True when the bare flag `name` appears in the process arguments
+/// (`--quick`, `--fresh-snapshot`, …) — the boolean companion to
+/// [`parse_flag`].
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == name)
+}
+
 /// Read `--name VALUE` / `--name=VALUE` from the process arguments —
 /// the one argv scanner shared by every experiment binary.
 pub fn parse_flag(name: &str) -> Option<String> {

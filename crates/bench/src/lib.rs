@@ -8,6 +8,7 @@
 //! [`json::Report`] (rows + n/m/params metadata + wall-clock + thread
 //! count) for longitudinal tracking.
 
+pub mod alloc;
 pub mod json;
 pub mod stats;
 pub mod table;

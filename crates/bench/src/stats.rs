@@ -44,16 +44,14 @@ impl Summary {
 }
 
 /// Nearest-rank percentile (`p ∈ [0, 100]`) of a sample — the serving
-/// binaries report p50/p99 batch latency with this. Empty samples give 0.
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+/// binaries report p50/p99/p999 latency with this. Empty samples give 0.
+///
+/// The implementation lives in [`psh_core::service`] (the serving layer's
+/// [`ServiceStats`](psh_core::service::ServiceStats) computes its
+/// percentiles with the same function); this re-export keeps the
+/// historical `psh_bench::stats::percentile` path — and its tests —
+/// working.
+pub use psh_core::service::percentile;
 
 /// Log-log regression slope of `y` against `x` — the tool for checking the
 /// paper's size exponents (`n^{1+1/k}` shows up as slope `1 + 1/k`).

@@ -20,6 +20,12 @@
 //! * [`snapshot`] — versioned binary snapshots of hopsets, spanners, and
 //!   full oracles, so preprocessing and serving run as separate
 //!   processes.
+//! * [`service`] — the concurrent serving front: an [`Arc`]-shared
+//!   oracle behind an admission queue that coalesces simultaneously
+//!   arriving queries into `query_batch` calls, with per-request latency
+//!   capture and [`service::ServiceStats`].
+//!
+//! [`Arc`]: std::sync::Arc
 //!
 //! Everything is instrumented with the [`psh_pram::Cost`] work/depth model
 //! and is deterministic given an RNG seed.
@@ -28,6 +34,7 @@ pub mod api;
 pub mod error;
 pub mod hopset;
 pub mod oracle;
+pub mod service;
 pub mod snapshot;
 pub mod spanner;
 
@@ -38,4 +45,5 @@ pub use api::{
 pub use error::PshError;
 pub use hopset::{Hopset, HopsetParams};
 pub use oracle::ApproxShortestPaths;
+pub use service::{OracleService, ServiceConfig, ServiceStats};
 pub use spanner::Spanner;

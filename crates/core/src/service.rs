@@ -1,0 +1,668 @@
+//! Concurrent query serving: many clients, one shared oracle.
+//!
+//! [`ApproxShortestPaths`] is immutable after preprocessing, so any number
+//! of threads may query it simultaneously — but a thread-per-query free
+//!-for-all wastes the batch fan-out that [`ApproxShortestPaths::query_batch`]
+//! already provides. [`OracleService`] closes that gap with an **admission
+//! queue**: concurrently-arriving queries are coalesced into batches and
+//! served together through `query_batch` on the psh-exec pool.
+//!
+//! ## The leader–follower protocol
+//!
+//! Every call to [`OracleService::query`] enqueues its pair and then either
+//!
+//! * becomes the **leader** (no batch is in flight): it drains up to
+//!   [`ServiceConfig::max_batch`] queued requests — its own plus everything
+//!   that accumulated while the previous batch was being served — runs one
+//!   `query_batch`, publishes the answers, and wakes all waiters; or
+//! * **follows**: a leader is already serving, so the caller blocks until
+//!   woken, then either finds its answer published or takes leadership of
+//!   the requests that queued up in the meantime.
+//!
+//! Batch boundaries therefore depend on arrival timing — but **answers do
+//! not**: `query_batch` maps every pair independently through
+//! [`ApproxShortestPaths::query`], so each answer is byte-identical to a
+//! single-threaded `query(s, t)` no matter how requests were coalesced,
+//! which thread served them, or which [`ExecutionPolicy`] fanned the batch
+//! out (the `service_stress` integration suite pins this at 32 client
+//! threads).
+//!
+//! ## Thread-safety audit
+//!
+//! Sharing one oracle across OS threads is sound because the whole serving
+//! state is built from plain owned buffers: `CsrGraph`, [`Hopset`],
+//! `ExtraEdges`, and [`WeightedHopsets`] are `Vec`s of POD values with no
+//! interior mutability, so `ApproxShortestPaths` is auto-`Send + Sync`.
+//! The compile-time assertions at the bottom of this module turn that
+//! property into a build failure if a future refactor introduces an
+//! `Rc`/`RefCell`/raw-pointer field anywhere in the oracle, hopset, or
+//! snapshot types.
+//!
+//! ```
+//! use psh_core::api::{OracleBuilder, Seed};
+//! use psh_core::service::{OracleService, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let g = psh_graph::generators::grid(8, 8);
+//! let run = OracleBuilder::new().seed(Seed(7)).build(&g).unwrap();
+//! let service = Arc::new(OracleService::new(run.artifact, ServiceConfig::default()));
+//!
+//! let svc = Arc::clone(&service);
+//! let worker = std::thread::spawn(move || svc.query(0, 63));
+//! let here = service.query(63, 0);
+//! assert_eq!(worker.join().unwrap(), here, "symmetric pair, same distance");
+//! let stats = service.stats();
+//! assert_eq!(stats.served, 2);
+//! ```
+
+use crate::hopset::weighted::{EstimateBand, WeightedHopsets};
+use crate::hopset::{Hopset, HopsetParams};
+use crate::oracle::{ApproxShortestPaths, QueryResult};
+use crate::snapshot::OracleMeta;
+use crate::spanner::Spanner;
+use psh_exec::ExecutionPolicy;
+use psh_graph::traversal::bellman_ford::ExtraEdges;
+use psh_graph::{CsrGraph, VertexId};
+use psh_pram::Cost;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Nearest-rank percentile (`p ∈ [0, 100]`) of a sample — the serving
+/// layer reports p50/p99/p999 request latency with this. Empty samples
+/// give 0. (Hosted here so both [`ServiceStats`] and the experiment
+/// harness share one implementation; `psh_bench::stats::percentile`
+/// re-exports it.)
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// How an [`OracleService`] serves its batches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// Execution policy for each coalesced `query_batch` call (default:
+    /// [`ExecutionPolicy::from_env`]). Answers are byte-identical for
+    /// every policy; only wall-clock changes.
+    pub policy: ExecutionPolicy,
+    /// Largest batch one leader drains at a time (default 256). Requests
+    /// beyond the cap stay queued for the next leader, bounding per-batch
+    /// latency under bursts. Must be at least 1.
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            policy: ExecutionPolicy::from_env(),
+            max_batch: 256,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config with an explicit execution policy (default batch cap).
+    pub fn with_policy(policy: ExecutionPolicy) -> Self {
+        ServiceConfig {
+            policy,
+            ..Default::default()
+        }
+    }
+}
+
+/// A point-in-time snapshot of a service's serving statistics.
+///
+/// Latency is measured per request, from admission (the moment
+/// [`OracleService::query`] enqueued the pair) to answer publication —
+/// so it includes queueing delay, which is the number a client actually
+/// experiences under contention. Percentiles use [`percentile`]
+/// (nearest-rank); `qps` divides served requests by the span from the
+/// first admission to the last publication.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests answered so far.
+    pub served: u64,
+    /// `query_batch` calls issued (≥ 1 request each).
+    pub batches: u64,
+    /// Largest coalesced batch observed.
+    pub largest_batch: usize,
+    /// First-admission → last-publication span, in seconds.
+    pub elapsed_s: f64,
+    /// Requests per second over `elapsed_s` (0 until something is served).
+    pub qps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile request latency, milliseconds.
+    pub p999_ms: f64,
+    /// Work/depth spent answering, composed batch-after-batch.
+    pub total_cost: Cost,
+    /// Raw per-request latencies in publication order (for custom
+    /// aggregation; cleared by [`OracleService::reset_stats`]).
+    pub latencies_ms: Vec<f64>,
+}
+
+/// One queued request: its pair, admission time, and ticket id.
+struct Pending {
+    id: u64,
+    pair: (VertexId, VertexId),
+    admitted: Instant,
+}
+
+/// Everything behind the service mutex: the admission queue, the
+/// published answers, the leader flag, and the latency log. A single
+/// mutex keeps the check-then-wait transitions race-free (no lost
+/// wakeups between "is my answer published?" and the condvar wait).
+struct Shared {
+    next_id: u64,
+    queue: VecDeque<Pending>,
+    answers: HashMap<u64, QueryResult>,
+    /// Tickets whose serving leader panicked (e.g. an out-of-range
+    /// vertex id in the coalesced batch): their waiters re-raise the
+    /// failure instead of blocking forever.
+    abandoned: HashSet<u64>,
+    /// Tickets whose waiter unwound while the ticket was in a leader's
+    /// in-flight batch: the publisher drops their answers instead of
+    /// storing them for a collector that will never come.
+    dead: HashSet<u64>,
+    leader_active: bool,
+    // --- stats ---
+    served: u64,
+    batches: u64,
+    largest_batch: usize,
+    first_admission: Option<Instant>,
+    last_publication: Option<Instant>,
+    total_cost: Cost,
+    latencies_ms: Vec<f64>,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            next_id: 0,
+            queue: VecDeque::new(),
+            answers: HashMap::new(),
+            abandoned: HashSet::new(),
+            dead: HashSet::new(),
+            leader_active: false,
+            served: 0,
+            batches: 0,
+            largest_batch: 0,
+            first_admission: None,
+            last_publication: None,
+            total_cost: Cost::ZERO,
+            latencies_ms: Vec::new(),
+        }
+    }
+
+    fn admit(&mut self, pair: (VertexId, VertexId)) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let now = Instant::now();
+        self.first_admission.get_or_insert(now);
+        self.queue.push_back(Pending {
+            id,
+            pair,
+            admitted: now,
+        });
+        id
+    }
+}
+
+/// A thread-safe serving front for one shared, immutable oracle.
+///
+/// Clone-free sharing: wrap the service in an [`Arc`] and hand it to as
+/// many client threads as you like — see the module docs for the
+/// coalescing protocol and the determinism contract.
+pub struct OracleService {
+    oracle: Arc<ApproxShortestPaths>,
+    config: ServiceConfig,
+    shared: Mutex<Shared>,
+    wakeup: Condvar,
+}
+
+impl std::fmt::Debug for OracleService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OracleService")
+            .field("oracle", &self.oracle)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OracleService {
+    /// Wrap a preprocessed oracle for concurrent serving.
+    pub fn new(oracle: ApproxShortestPaths, config: ServiceConfig) -> OracleService {
+        OracleService::from_arc(Arc::new(oracle), config)
+    }
+
+    /// Wrap an oracle that is already shared (e.g. also referenced by a
+    /// snapshot writer or a second service with a different policy).
+    pub fn from_arc(oracle: Arc<ApproxShortestPaths>, config: ServiceConfig) -> OracleService {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        OracleService {
+            oracle,
+            config,
+            shared: Mutex::new(Shared::new()),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// The oracle this service answers from.
+    pub fn oracle(&self) -> &ApproxShortestPaths {
+        &self.oracle
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Answer one `s`–`t` query, blocking until served.
+    ///
+    /// The answer is byte-identical to
+    /// [`ApproxShortestPaths::query`]`(s, t)` regardless of how the
+    /// request was coalesced. Out-of-range vertex ids panic as `query`
+    /// does — and because requests coalesce, that panic also re-raises
+    /// in any client whose request shared the poisoned batch (the
+    /// service itself stays live for everything else); validate
+    /// untrusted input against [`CsrGraph::n`] first.
+    pub fn query(&self, s: VertexId, t: VertexId) -> QueryResult {
+        let mut sh = self.shared.lock().unwrap();
+        let id = sh.admit((s, t));
+        self.wait_for(sh, &[id])
+            .pop()
+            .expect("one ticket, one answer")
+    }
+
+    /// Answer a batch of queries submitted as one unit, blocking until
+    /// every pair is served. Answers come back **in input order**; under
+    /// concurrency the unit may be coalesced with other clients' requests
+    /// (or split across `max_batch` boundaries) without changing any
+    /// answer.
+    pub fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<QueryResult> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut sh = self.shared.lock().unwrap();
+        let ids: Vec<u64> = pairs.iter().map(|&pair| sh.admit(pair)).collect();
+        self.wait_for(sh, &ids)
+    }
+
+    /// Block until every ticket in `ids` has a published answer, taking
+    /// leadership of queued batches whenever no leader is active. Returns
+    /// the answers in ticket order.
+    fn wait_for<'a>(
+        &'a self,
+        mut sh: std::sync::MutexGuard<'a, Shared>,
+        ids: &[u64],
+    ) -> Vec<QueryResult> {
+        // Whole-ticket-lifetime unwind guard: if this waiter panics (its
+        // batch was poisoned, or its own leader serve panicked), every
+        // one of its tickets is reclaimed — removed from the queue,
+        // `answers`, and `abandoned`, or marked `dead` if a leader has
+        // it in flight — so a long-lived service cannot leak per-panic
+        // state. Forgotten on the success path.
+        let cleanup = TicketCleanup {
+            service: self,
+            ids: ids.to_vec(),
+        };
+        loop {
+            if ids.iter().any(|id| sh.abandoned.contains(id)) {
+                drop(sh);
+                // `cleanup` reclaims all of this waiter's tickets
+                panic!(
+                    "OracleService: the leader serving this request's batch panicked \
+                     (was an out-of-range vertex id coalesced into it?)"
+                );
+            }
+            if ids.iter().all(|id| sh.answers.contains_key(id)) {
+                let out = ids
+                    .iter()
+                    .map(|id| sh.answers.remove(id).expect("checked above"))
+                    .collect();
+                std::mem::forget(cleanup);
+                return out;
+            }
+            if !sh.leader_active && !sh.queue.is_empty() {
+                // Become the leader: drain one batch, then serve it with
+                // the admission lock *released* — arrivals during the
+                // service window queue up and form the next batch (that
+                // concurrency is the coalescing window).
+                sh.leader_active = true;
+                let take = sh.queue.len().min(self.config.max_batch);
+                let batch: Vec<Pending> = sh.queue.drain(..take).collect();
+                drop(sh);
+
+                let pairs: Vec<(VertexId, VertexId)> = batch.iter().map(|p| p.pair).collect();
+                // If query_batch panics (out-of-range ids), this guard
+                // releases leadership, marks the drained tickets
+                // abandoned (their waiters re-raise instead of blocking
+                // forever), and wakes everyone, so requests outside the
+                // poisoned batch still make progress.
+                let reset = LeaderReset {
+                    service: self,
+                    batch_ids: batch.iter().map(|p| p.id).collect(),
+                };
+                let (answers, cost) = self.oracle.query_batch(&pairs, self.config.policy);
+                std::mem::forget(reset);
+
+                sh = self.shared.lock().unwrap();
+                let published = Instant::now();
+                let mut live = 0u64;
+                for (pending, answer) in batch.iter().zip(&answers) {
+                    if sh.dead.remove(&pending.id) {
+                        // the waiter unwound mid-flight; nobody will
+                        // ever collect this answer
+                        continue;
+                    }
+                    live += 1;
+                    sh.answers.insert(pending.id, *answer);
+                    sh.latencies_ms
+                        .push(published.duration_since(pending.admitted).as_secs_f64() * 1e3);
+                }
+                sh.served += live;
+                sh.batches += 1;
+                sh.largest_batch = sh.largest_batch.max(batch.len());
+                sh.last_publication = Some(published);
+                sh.total_cost = sh.total_cost.then(cost);
+                sh.leader_active = false;
+                self.wakeup.notify_all();
+                // Loop: our tickets may have been in the batch we just
+                // served — or still be queued behind the max_batch cap.
+                continue;
+            }
+            sh = self.wakeup.wait(sh).unwrap();
+        }
+    }
+
+    /// Snapshot the serving statistics accumulated since construction (or
+    /// the last [`OracleService::reset_stats`]).
+    pub fn stats(&self) -> ServiceStats {
+        let sh = self.shared.lock().unwrap();
+        let elapsed_s = match (sh.first_admission, sh.last_publication) {
+            (Some(a), Some(b)) => b.duration_since(a).as_secs_f64(),
+            _ => 0.0,
+        };
+        ServiceStats {
+            served: sh.served,
+            batches: sh.batches,
+            largest_batch: sh.largest_batch,
+            elapsed_s,
+            qps: if elapsed_s > 0.0 {
+                sh.served as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            p50_ms: percentile(&sh.latencies_ms, 50.0),
+            p99_ms: percentile(&sh.latencies_ms, 99.0),
+            p999_ms: percentile(&sh.latencies_ms, 99.9),
+            total_cost: sh.total_cost,
+            latencies_ms: sh.latencies_ms.clone(),
+        }
+    }
+
+    /// Clear the statistics (e.g. between benchmark scenario cells).
+    /// In-flight requests are unaffected; their latencies land in the
+    /// fresh window.
+    pub fn reset_stats(&self) {
+        let mut sh = self.shared.lock().unwrap();
+        sh.served = 0;
+        sh.batches = 0;
+        sh.largest_batch = 0;
+        sh.first_admission = None;
+        sh.last_publication = None;
+        sh.total_cost = Cost::ZERO;
+        sh.latencies_ms.clear();
+    }
+}
+
+/// Unwind guard: if a leader panics mid-service, release leadership,
+/// mark every ticket of the drained batch abandoned (its waiters
+/// re-raise the failure — the batch's answers are unrecoverable and
+/// must not deadlock), and wake everyone so requests outside the
+/// poisoned batch keep flowing. `mem::forget` on the success path makes
+/// this a no-op normally.
+struct LeaderReset<'a> {
+    service: &'a OracleService,
+    batch_ids: Vec<u64>,
+}
+
+impl Drop for LeaderReset<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut sh) = self.service.shared.lock() {
+            for id in &self.batch_ids {
+                // a ticket whose waiter already unwound needs no
+                // abandonment marker — nobody is left to observe it
+                if !sh.dead.remove(id) {
+                    sh.abandoned.insert(*id);
+                }
+            }
+            sh.leader_active = false;
+        }
+        self.service.wakeup.notify_all();
+    }
+}
+
+/// Unwind guard for a *waiter*: reclaims every ticket the unwinding
+/// client submitted, wherever it currently is — still queued (removed
+/// before any leader drains it), already answered or abandoned (entries
+/// dropped), or in a leader's in-flight batch (marked dead so the
+/// publisher discards the answer). `mem::forget` on the success path.
+struct TicketCleanup<'a> {
+    service: &'a OracleService,
+    ids: Vec<u64>,
+}
+
+impl Drop for TicketCleanup<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut sh) = self.service.shared.lock() {
+            for id in &self.ids {
+                if let Some(pos) = sh.queue.iter().position(|p| p.id == *id) {
+                    sh.queue.remove(pos);
+                } else if sh.answers.remove(id).is_none() && !sh.abandoned.remove(id) {
+                    sh.dead.insert(*id);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Send/Sync audit (see the module docs). These are compile-time
+// proofs: if any field of the serving stack loses auto-Send/Sync (an
+// `Rc`, a `RefCell`, a raw pointer), the workspace stops building here
+// with a named type instead of failing obscurely at a spawn site.
+// ---------------------------------------------------------------------------
+
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    // the shared oracle and everything inside it
+    assert_send_sync::<ApproxShortestPaths>();
+    assert_send_sync::<CsrGraph>();
+    assert_send_sync::<Hopset>();
+    assert_send_sync::<ExtraEdges>();
+    assert_send_sync::<WeightedHopsets>();
+    assert_send_sync::<EstimateBand>();
+    assert_send_sync::<Spanner>();
+    // snapshot provenance travels between build and serve threads
+    assert_send_sync::<OracleMeta>();
+    assert_send_sync::<HopsetParams>();
+    assert_send_sync::<QueryResult>();
+    assert_send_sync::<Cost>();
+    // and the service itself is shared by reference across clients
+    assert_send_sync::<OracleService>();
+    assert_send_sync::<ServiceConfig>();
+    assert_send_sync::<ServiceStats>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{OracleBuilder, Seed};
+    use psh_graph::generators;
+
+    fn test_oracle(seed: u64) -> ApproxShortestPaths {
+        let g = generators::grid(10, 10);
+        OracleBuilder::new()
+            .params(HopsetParams {
+                epsilon: 0.5,
+                delta: 1.5,
+                gamma1: 0.25,
+                gamma2: 0.75,
+                k_conf: 1.0,
+            })
+            .seed(Seed(seed))
+            .build(&g)
+            .unwrap()
+            .artifact
+    }
+
+    #[test]
+    fn single_threaded_service_matches_direct_queries() {
+        let oracle = test_oracle(1);
+        let service = OracleService::new(oracle, ServiceConfig::default());
+        for (s, t) in [(0u32, 99u32), (5, 50), (42, 42), (99, 0)] {
+            let expect = service.oracle().query(s, t).0;
+            assert_eq!(service.query(s, t), expect, "({s},{t})");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served, 4);
+        assert_eq!(stats.batches, 4, "uncontended queries serve one-by-one");
+        assert_eq!(stats.latencies_ms.len(), 4);
+        assert!(stats.qps > 0.0);
+        assert!(stats.p50_ms <= stats.p99_ms && stats.p99_ms <= stats.p999_ms);
+    }
+
+    #[test]
+    fn batch_submission_preserves_input_order() {
+        let oracle = test_oracle(2);
+        let pairs: Vec<(u32, u32)> = (0..40u32).map(|i| (i, 99 - i)).collect();
+        let expect: Vec<QueryResult> = pairs.iter().map(|&(s, t)| oracle.query(s, t).0).collect();
+        let service = OracleService::new(oracle, ServiceConfig::default());
+        assert_eq!(service.query_batch(&pairs), expect);
+        assert!(service.query_batch(&[]).is_empty());
+        let stats = service.stats();
+        assert_eq!(stats.served, 40);
+        assert_eq!(stats.batches, 1, "one submission, one coalesced batch");
+        assert_eq!(stats.largest_batch, 40);
+    }
+
+    #[test]
+    fn max_batch_splits_oversized_submissions() {
+        let oracle = test_oracle(3);
+        let pairs: Vec<(u32, u32)> = (0..10u32).map(|i| (i, i + 80)).collect();
+        let expect: Vec<QueryResult> = pairs.iter().map(|&(s, t)| oracle.query(s, t).0).collect();
+        let service = OracleService::new(
+            oracle,
+            ServiceConfig {
+                policy: ExecutionPolicy::Sequential,
+                max_batch: 4,
+            },
+        );
+        assert_eq!(service.query_batch(&pairs), expect);
+        let stats = service.stats();
+        assert_eq!(stats.served, 10);
+        assert_eq!(stats.batches, 3, "10 requests under a cap of 4");
+        assert_eq!(stats.largest_batch, 4);
+    }
+
+    #[test]
+    fn concurrent_clients_coalesce_and_stay_byte_identical() {
+        let oracle = test_oracle(4);
+        let pairs: Vec<(u32, u32)> = (0..64u32).map(|i| (i % 100, (i * 7) % 100)).collect();
+        let expect: Vec<QueryResult> = pairs.iter().map(|&(s, t)| oracle.query(s, t).0).collect();
+        let service = OracleService::new(
+            oracle,
+            ServiceConfig::with_policy(ExecutionPolicy::Parallel { threads: 2 }),
+        );
+        let answers: Vec<(usize, QueryResult)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..8usize {
+                let service = &service;
+                let pairs = &pairs;
+                handles.push(scope.spawn(move || {
+                    let mut got = Vec::new();
+                    for (i, &(s, t)) in pairs.iter().enumerate().skip(worker).step_by(8) {
+                        got.push((i, service.query(s, t)));
+                    }
+                    got
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (i, answer) in answers {
+            assert_eq!(answer, expect[i], "query #{i}");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served, 64);
+        assert!(stats.batches <= 64);
+        service.reset_stats();
+        assert_eq!(service.stats(), ServiceStats::default());
+    }
+
+    #[test]
+    fn stats_percentiles_use_nearest_rank() {
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 500.0);
+        assert_eq!(percentile(&xs, 99.0), 990.0);
+        // 99.9/100 * 1000 lands just above 999 in binary floating point,
+        // so nearest-rank rounds up to the maximum — fine for a tail
+        // percentile (it can only over-report, never under-report).
+        assert_eq!(percentile(&xs, 99.9), 1000.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn leader_panic_abandons_its_batch_but_the_service_stays_live() {
+        let oracle = test_oracle(6);
+        let service = OracleService::new(
+            oracle,
+            ServiceConfig {
+                policy: ExecutionPolicy::Sequential,
+                max_batch: 4,
+            },
+        );
+        // An out-of-range id panics inside the leader's query_batch; the
+        // unwind guards must release leadership so later requests are
+        // served (not deadlocked), and reclaim every ticket the
+        // panicking client submitted — including the two still queued
+        // beyond the max_batch cap.
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.query_batch(&[(0, 1), (0, 10_000), (1, 2), (2, 3), (3, 4), (4, 5)])
+        }));
+        assert!(poisoned.is_err(), "out-of-range id must panic");
+        {
+            let sh = service.shared.lock().unwrap();
+            assert!(sh.queue.is_empty(), "queued tickets reclaimed");
+            assert!(sh.answers.is_empty(), "no orphaned answers");
+            assert!(sh.abandoned.is_empty(), "no lingering abandonment markers");
+            assert!(sh.dead.is_empty(), "no lingering dead markers");
+        }
+        let expect = service.oracle().query(3, 42).0;
+        assert_eq!(service.query(3, 42), expect, "service is still live");
+        assert_eq!(service.stats().served, 1, "only the live query counts");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_is_rejected() {
+        let oracle = test_oracle(5);
+        let _ = OracleService::new(
+            oracle,
+            ServiceConfig {
+                policy: ExecutionPolicy::Sequential,
+                max_batch: 0,
+            },
+        );
+    }
+}

@@ -365,14 +365,44 @@ pub fn read_oracle<R: Read>(inp: R) -> Result<(ApproxShortestPaths, OracleMeta),
     ))
 }
 
-/// Save an oracle snapshot to `path` (buffered).
+/// Save an oracle snapshot to `path` (buffered, overwrite-safe).
+///
+/// The bytes are written to a `.tmp` sibling in the same directory and
+/// atomically renamed over `path`, so a concurrent or crashed save can
+/// never leave a truncated snapshot behind: readers see either the old
+/// complete file or the new complete file. Overwriting an existing
+/// snapshot needs no prior `rm`.
 pub fn save_oracle(
     path: impl AsRef<Path>,
     oracle: &ApproxShortestPaths,
     meta: &OracleMeta,
 ) -> Result<(), SnapshotError> {
-    let file = std::fs::File::create(path)?;
-    write_oracle(BufWriter::new(file), oracle, meta)
+    // The temp sibling's name is unique per process and per call, so
+    // concurrent saves to the same path cannot interleave writes into
+    // one temp file — each writes its own and the last rename wins with
+    // a complete snapshot either way.
+    static SAVE_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let serial = SAVE_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}.{serial}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut writer = BufWriter::new(file);
+        write_oracle(&mut writer, oracle, meta)?;
+        writer.flush()?;
+        // Force the bytes to disk before the rename: some filesystems
+        // journal the rename ahead of the data, and a power loss in that
+        // window would otherwise install an empty/truncated snapshot.
+        writer.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Load an oracle snapshot from `path` (buffered).
@@ -581,6 +611,19 @@ mod tests {
         let (_, fresh, meta) = oracle_bytes(false);
         let path = std::env::temp_dir().join("psh_snapshot_unit_test.snap");
         save_oracle(&path, &fresh, &meta).unwrap();
+        // overwrite-safe: saving over an existing snapshot needs no rm,
+        // and the unique temp siblings used for the atomic rename are gone
+        save_oracle(&path, &fresh, &meta).unwrap();
+        let leftovers = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("psh_snapshot_unit_test.snap.")
+            })
+            .count();
+        assert_eq!(leftovers, 0, "temp siblings must be renamed away");
         let (served, meta2) = load_oracle(&path).unwrap();
         assert_eq!(meta, meta2);
         assert_eq!(served.query(0, 80), fresh.query(0, 80));

@@ -46,8 +46,9 @@ pub mod pipeline;
 /// The common working set: graph types and generators, the pipeline
 /// builders with their `Seed`/`Run`/error vocabulary, the execution
 /// policy that selects sequential vs pooled execution, the artifact
-/// types the builders produce, the snapshot serving layer, and the cost
-/// model.
+/// types the builders produce, the snapshot serving layer, the
+/// concurrent [`OracleService`](psh_core::service::OracleService)
+/// front, and the cost model.
 pub mod prelude {
     pub use crate::pipeline::{
         ClusterBuilder, ClusterError, HopsetArtifact, HopsetBuilder, HopsetKind, OracleBuilder,
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use psh_cluster::{Clustering, ExponentialShifts};
     pub use psh_core::hopset::{Hopset, HopsetParams, WeightClassDecomposition};
     pub use psh_core::oracle::{ApproxShortestPaths, QueryResult};
+    pub use psh_core::service::{OracleService, ServiceConfig, ServiceStats};
     pub use psh_core::snapshot::{self, OracleMeta, SnapshotError};
     pub use psh_core::spanner::Spanner;
     pub use psh_exec::{ExecutionPolicy, Executor};

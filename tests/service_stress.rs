@@ -1,0 +1,231 @@
+//! The concurrent-serving contract under real OS-thread contention:
+//! 32 client threads hammer one shared [`OracleService`] with
+//! interleaved queries and every answer must be **byte-identical** to
+//! the single-threaded `query` / `query_batch` reference — under both
+//! `ExecutionPolicy` variants, on unweighted and weighted oracles, and
+//! with mixed single/batch submission. This is the integration-level
+//! proof behind `psh_core::service`'s determinism claim (PR 5's
+//! acceptance criterion).
+
+use psh::core::service::{OracleService, ServiceConfig};
+use psh::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const CLIENTS: usize = 32;
+
+fn test_params() -> HopsetParams {
+    HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    }
+}
+
+fn service_policies() -> [ExecutionPolicy; 2] {
+    [
+        ExecutionPolicy::Sequential,
+        ExecutionPolicy::Parallel { threads: 4 },
+    ]
+}
+
+/// Far pairs, neighbors, self-pairs, repeats — everything a real
+/// workload interleaves.
+fn workload(n: usize, q: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..q)
+        .map(|i| {
+            if i % 9 == 0 {
+                let v = rng.random_range(0..n as u32);
+                (v, v)
+            } else {
+                (rng.random_range(0..n as u32), rng.random_range(0..n as u32))
+            }
+        })
+        .collect()
+}
+
+fn build_oracle(weighted: bool, seed: u64) -> ApproxShortestPaths {
+    let base = generators::grid(12, 12);
+    let g = if weighted {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::with_uniform_weights(&base, 1, 20, &mut rng)
+    } else {
+        base
+    };
+    OracleBuilder::new()
+        .params(test_params())
+        .seed(Seed(seed))
+        .build(&g)
+        .unwrap()
+        .artifact
+}
+
+/// Fan `pairs` over `CLIENTS` OS threads (thread `k` takes indices
+/// `k, k+CLIENTS, …`, preserving per-thread submission order) and
+/// reassemble the answers in workload order.
+fn hammer(service: &OracleService, pairs: &[(u32, u32)]) -> Vec<QueryResult> {
+    let indexed: Vec<(usize, QueryResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|k| {
+                scope.spawn(move || {
+                    pairs
+                        .iter()
+                        .enumerate()
+                        .skip(k)
+                        .step_by(CLIENTS)
+                        .map(|(i, &(s, t))| (i, service.query(s, t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread survived"))
+            .collect()
+    });
+    let mut answers = vec![None; pairs.len()];
+    for (i, a) in indexed {
+        answers[i] = Some(a);
+    }
+    answers.into_iter().map(|a| a.unwrap()).collect()
+}
+
+/// The acceptance criterion: 32 interleaved client threads, every answer
+/// byte-identical to the single-threaded reference, both policies, both
+/// oracle modes.
+#[test]
+fn thirty_two_clients_serve_byte_identically() {
+    for weighted in [false, true] {
+        let oracle = build_oracle(weighted, 42);
+        let n = oracle.graph().n();
+        let pairs = workload(n, 384, 7);
+        // single-threaded references: one-at-a-time `query`, and one
+        // `query_batch` call (they must agree with each other first)
+        let reference: Vec<QueryResult> =
+            pairs.iter().map(|&(s, t)| oracle.query(s, t).0).collect();
+        let (batch_ref, _) = oracle.query_batch(&pairs, ExecutionPolicy::Sequential);
+        assert_eq!(
+            batch_ref, reference,
+            "query_batch ≡ query (weighted={weighted})"
+        );
+
+        let shared = Arc::new(oracle);
+        for policy in service_policies() {
+            let service =
+                OracleService::from_arc(Arc::clone(&shared), ServiceConfig::with_policy(policy));
+            let answers = hammer(&service, &pairs);
+            assert_eq!(
+                answers, reference,
+                "32-client answers diverged (weighted={weighted}, {policy})"
+            );
+            let stats = service.stats();
+            assert_eq!(stats.served, pairs.len() as u64);
+            assert_eq!(stats.latencies_ms.len(), pairs.len());
+            assert!(stats.batches >= 1 && stats.batches <= pairs.len() as u64);
+            assert!(stats.largest_batch >= 1 && stats.largest_batch <= 256);
+            assert!(stats.qps > 0.0, "elapsed window must be positive");
+            assert!(stats.p50_ms <= stats.p999_ms);
+        }
+    }
+}
+
+/// Mixed submission shapes: some clients send single queries, others
+/// whole batches — coalescing may merge them arbitrarily, answers must
+/// not change, and batch answers must come back in input order.
+#[test]
+fn mixed_single_and_batch_clients_stay_consistent() {
+    let oracle = build_oracle(false, 9);
+    let n = oracle.graph().n();
+    let pairs = workload(n, 320, 11);
+    let reference: Vec<QueryResult> = pairs.iter().map(|&(s, t)| oracle.query(s, t).0).collect();
+
+    for policy in service_policies() {
+        // same seed ⇒ byte-identical oracle, so the reference above applies
+        let service =
+            OracleService::new(build_oracle(false, 9), ServiceConfig::with_policy(policy));
+        let chunk = pairs.len() / CLIENTS;
+        let answers: Vec<(usize, Vec<QueryResult>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|k| {
+                    let service = &service;
+                    let slice = &pairs[k * chunk..(k + 1) * chunk];
+                    scope.spawn(move || {
+                        if k % 2 == 0 {
+                            // batch client: one submission for its slice
+                            (k, service.query_batch(slice))
+                        } else {
+                            // single-query client: one call per pair
+                            (k, slice.iter().map(|&(s, t)| service.query(s, t)).collect())
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (k, got) in answers {
+            assert_eq!(
+                got,
+                reference[k * chunk..(k + 1) * chunk],
+                "client {k} diverged under {policy}"
+            );
+        }
+        assert_eq!(service.stats().served, (chunk * CLIENTS) as u64);
+    }
+}
+
+/// Contended batch caps: a small `max_batch` forces every large burst
+/// through many leader rotations without changing any answer.
+#[test]
+fn tiny_batch_cap_under_contention_is_still_identical() {
+    let oracle = build_oracle(false, 13);
+    let n = oracle.graph().n();
+    let pairs = workload(n, 256, 17);
+    let reference: Vec<QueryResult> = pairs.iter().map(|&(s, t)| oracle.query(s, t).0).collect();
+    let shared = Arc::new(oracle);
+    for policy in service_policies() {
+        let service = OracleService::from_arc(
+            Arc::clone(&shared),
+            ServiceConfig {
+                policy,
+                max_batch: 3,
+            },
+        );
+        let answers = hammer(&service, &pairs);
+        assert_eq!(answers, reference, "max_batch=3 diverged under {policy}");
+        let stats = service.stats();
+        assert!(
+            stats.largest_batch <= 3,
+            "cap violated: {}",
+            stats.largest_batch
+        );
+        assert!(stats.batches >= (pairs.len() / 3) as u64);
+    }
+}
+
+/// Repeated runs against the same shared oracle reuse it safely — the
+/// service holds an `Arc`, so several services (different policies) can
+/// serve one oracle simultaneously.
+#[test]
+fn two_services_one_oracle_agree() {
+    let shared = Arc::new(build_oracle(true, 21));
+    let pairs = workload(shared.graph().n(), 192, 23);
+    let reference: Vec<QueryResult> = pairs.iter().map(|&(s, t)| shared.query(s, t).0).collect();
+    let seq = OracleService::from_arc(
+        Arc::clone(&shared),
+        ServiceConfig::with_policy(ExecutionPolicy::Sequential),
+    );
+    let par = OracleService::from_arc(
+        Arc::clone(&shared),
+        ServiceConfig::with_policy(ExecutionPolicy::Parallel { threads: 4 }),
+    );
+    std::thread::scope(|scope| {
+        let a = scope.spawn(|| hammer(&seq, &pairs));
+        let b = scope.spawn(|| hammer(&par, &pairs));
+        assert_eq!(a.join().unwrap(), reference);
+        assert_eq!(b.join().unwrap(), reference);
+    });
+}
