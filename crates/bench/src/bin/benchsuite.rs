@@ -1,10 +1,10 @@
 //! `benchsuite` — the canonical serving-benchmark matrix, run after run.
 //!
 //! One binary that measures the whole Theorem 1.2 bargain — parallel
-//! preprocessing cost, snapshot round trip, and concurrent query serving
-//! — over a fixed scenario matrix, and emits a single schema-versioned
-//! JSON document (`BENCH_5.json` by default) so the perf trajectory can
-//! accumulate across commits:
+//! preprocessing cost, snapshot round trip, concurrent query serving,
+//! and serving over the TCP wire — over a fixed scenario matrix, and
+//! emits a single schema-versioned JSON document (`BENCH_6.json` by
+//! default) so the perf trajectory can accumulate across commits:
 //!
 //! * **graph families** × **weighting**: {gnp, rmat, grid2d} ×
 //!   {unweighted, weighted (log-uniform, ratio 64)} — six oracle builds,
@@ -16,10 +16,17 @@
 //!   cell driving the shared [`psh_core::service::OracleService`]
 //!   admission queue from that many OS threads and reporting qps plus
 //!   p50/p99/p999 per-request latency from
-//!   [`psh_core::service::ServiceStats`].
+//!   [`psh_core::service::ServiceStats`];
+//! * **wire cells** per build: {Sequential, Parallel{4}} × {1, 8 net
+//!   clients}, each cell binding a loopback [`psh_net::NetServer`] and
+//!   driving it through that many [`psh_net::NetClient`] sockets — the
+//!   same workload measured *through the wire*, reporting
+//!   client-observed qps/latency plus the largest batch the server
+//!   coalesced across sockets.
 //!
-//! Every cell's answers are compared against the sequential per-pair
-//! reference (`oracle.query(s, t)` on the fresh build); the binary
+//! Every cell's answers — in-process and over-the-wire alike — are
+//! compared against the sequential per-pair reference
+//! (`oracle.query(s, t)` on the fresh build); the binary
 //! **exits non-zero on any divergence** — this is the serving
 //! determinism gate the CI `bench` job runs (with `--quick`, which
 //! shrinks the policy axis to {Sequential, Parallel{4}} and the client
@@ -31,8 +38,10 @@
 //! The JSON schema (`meta.schema_version = 1`): the standard
 //! [`psh_bench::Report`] envelope (`bin`, `threads`, `policy`, `wall_clock_s`,
 //! `meta`, `tables`) with a `build` table (one row per family ×
-//! weighting) and a `serve` table (one row per scenario cell). Rows are
-//! stringly-typed table cells; `meta` carries the numeric knobs.
+//! weighting), a `serve` table (one row per in-process scenario cell),
+//! and a `serve_net` table (one row per wire cell). Rows are
+//! stringly-typed table cells; `meta` carries the numeric knobs. The
+//! `serve_net` table is additive — documents keep `schema_version` 1.
 
 use psh_bench::alloc::{live_bytes, peak_above, reset_peak, CountingAlloc};
 use psh_bench::json::{has_flag, parse_flag};
@@ -41,10 +50,13 @@ use psh_bench::workloads::{random_pairs, Family};
 use psh_bench::Report;
 use psh_core::api::{OracleBuilder, Seed};
 use psh_core::oracle::QueryResult;
-use psh_core::service::{OracleService, ServiceConfig};
+use psh_core::service::{OracleService, ServiceConfig, ServiceStats};
 use psh_core::snapshot::{read_oracle, write_oracle, OracleMeta};
 use psh_core::HopsetParams;
 use psh_exec::ExecutionPolicy;
+use psh_net::{NetClient, NetServer, ServerConfig};
+use psh_pram::Cost;
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -93,6 +105,69 @@ fn run_clients(service: &OracleService, pairs: &[(u32, u32)], clients: usize) ->
         .collect()
 }
 
+/// Drive `clients` loopback sockets of strided `query_batch` round
+/// trips (32 pairs each) through a bound server; returns the answers
+/// indexed like `pairs` plus client-side stats rebuilt from the
+/// per-round-trip latency samples.
+/// One worker's share: answers tagged with their `pairs` index, plus
+/// per-round-trip latencies in milliseconds.
+type ClientShare = (Vec<(usize, QueryResult)>, Vec<f64>);
+
+fn run_net_clients(
+    addr: SocketAddr,
+    pairs: &[(u32, u32)],
+    clients: usize,
+) -> (Vec<QueryResult>, ServiceStats) {
+    const TRIP: usize = 32;
+    let start = Instant::now();
+    let per_client: Vec<ClientShare> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|k| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).expect("loopback connect");
+                    let mine: Vec<(usize, (u32, u32))> = pairs
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .skip(k)
+                        .step_by(clients)
+                        .collect();
+                    let mut indexed = Vec::with_capacity(mine.len());
+                    let mut lats = Vec::new();
+                    for trip in mine.chunks(TRIP) {
+                        let ask: Vec<(u32, u32)> = trip.iter().map(|&(_, p)| p).collect();
+                        let t0 = Instant::now();
+                        let got = client.query_batch(&ask).expect("loopback batch");
+                        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                        indexed.extend(trip.iter().map(|&(i, _)| i).zip(got));
+                    }
+                    (indexed, lats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("net client thread panicked"))
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut answers: Vec<Option<QueryResult>> = vec![None; pairs.len()];
+    let mut lats = Vec::new();
+    for (indexed, l) in per_client {
+        for (i, a) in indexed {
+            answers[i] = Some(a);
+        }
+        lats.extend(l);
+    }
+    let trips = lats.len() as u64;
+    let stats = ServiceStats::from_samples(lats, elapsed_s, trips, TRIP, Cost::ZERO);
+    let answers = answers
+        .into_iter()
+        .map(|a| a.expect("every index covered"))
+        .collect();
+    (answers, stats)
+}
+
 fn main() {
     let quick = has_flag("--quick");
     let n: usize = parse_flag("--n")
@@ -104,7 +179,7 @@ fn main() {
     let seed: u64 = parse_flag("--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20150625);
-    let json_path = parse_flag("--json").unwrap_or_else(|| "BENCH_5.json".into());
+    let json_path = parse_flag("--json").unwrap_or_else(|| "BENCH_6.json".into());
     let mut report = Report::new("benchsuite", Some(PathBuf::from(&json_path)));
 
     // The scenario axes. "gnp" is the connected Erdős–Rényi-ish family
@@ -165,6 +240,24 @@ fn main() {
         "largest",
         "identical",
     ]);
+    let mut serve_net_table = Table::new([
+        "family",
+        "weights",
+        "policy",
+        "clients",
+        "qps",
+        "p50 (ms)",
+        "p99 (ms)",
+        "trips",
+        "coalesced",
+        "identical",
+    ]);
+    // the wire axis stays small — each cell pays real TCP round trips
+    let net_policies = [
+        ExecutionPolicy::Sequential,
+        ExecutionPolicy::Parallel { threads: 4 },
+    ];
+    let net_clients = [1usize, 8];
     let mut mismatches = 0usize;
     let mut cells = 0usize;
 
@@ -251,6 +344,40 @@ fn main() {
                     }
                 }
             }
+
+            // --- wire cells: the same workload through loopback TCP -------
+            for &policy in &net_policies {
+                for &clients in &net_clients {
+                    let service = Arc::new(OracleService::from_arc(
+                        Arc::clone(&fresh),
+                        ServiceConfig::with_policy(policy),
+                    ));
+                    let mut server = NetServer::bind(
+                        "127.0.0.1:0",
+                        Arc::clone(&service),
+                        ServerConfig::default(),
+                    )
+                    .unwrap_or_else(|e| die(format_args!("{fname}/{wname}: bind: {e}")));
+                    let (answers, wire) = run_net_clients(server.local_addr(), &pairs, clients);
+                    server.shutdown();
+                    let identical = answers == reference;
+                    mismatches += usize::from(!identical);
+                    cells += 1;
+                    let coalesced = service.stats().largest_batch;
+                    serve_net_table.row([
+                        fname.to_string(),
+                        wname.to_string(),
+                        policy.to_string(),
+                        fmt_u(clients as u64),
+                        fmt_f(wire.qps),
+                        fmt_f(wire.p50_ms),
+                        fmt_f(wire.p99_ms),
+                        fmt_u(wire.batches),
+                        fmt_u(coalesced as u64),
+                        if identical { "yes" } else { "NO" }.to_string(),
+                    ]);
+                }
+            }
         }
     }
 
@@ -258,6 +385,8 @@ fn main() {
     build_table.print();
     println!("\n## serving matrix\n");
     serve_table.print();
+    println!("\n## wire serving matrix (loopback TCP)\n");
+    serve_net_table.print();
 
     report
         .meta("schema_version", SCHEMA_VERSION)
@@ -269,6 +398,7 @@ fn main() {
         .meta("mismatches", mismatches);
     report.push_table("build", &build_table);
     report.push_table("serve", &serve_table);
+    report.push_table("serve_net", &serve_net_table);
     report.finish();
 
     if mismatches > 0 {

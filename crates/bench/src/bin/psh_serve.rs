@@ -19,7 +19,8 @@
 //!                                    # and overwrite it (atomic tmp+rename)
 //!           [--cleanup-snapshot]     # delete the snapshot file on exit
 //!           [--max-seconds S]        # stop replaying batches after S secs
-//!           [--workload PATH]        # 'q s t' lines; default: random pairs
+//!           [--workload PATH]        # 'q s t' lines; default: generated pairs
+//!           [--workload-dist D]      # uniform (default) or zipf:<theta>
 //!           [--queries Q] [--batch B] [--threads K] [--seed S]
 //!           [--json PATH]
 //! ```
@@ -34,98 +35,20 @@
 //! out-of-range query ids) — never panics on malformed files.
 
 use psh_bench::json::{has_flag, parse_flag};
+use psh_bench::serving::{obtain_oracle, parse_max_seconds, parse_policy};
 use psh_bench::stats::percentile;
 use psh_bench::table::{fmt_f, fmt_u, Table};
-use psh_bench::workloads::{random_pairs, read_pairs, Family};
+use psh_bench::workloads::{read_pairs, WorkloadDist};
 use psh_bench::Report;
-use psh_core::api::{OracleBuilder, Seed};
-use psh_core::oracle::ApproxShortestPaths;
-use psh_core::snapshot::{load_oracle, save_oracle, OracleMeta};
-use psh_core::HopsetParams;
-use psh_exec::ExecutionPolicy;
-use psh_graph::CsrGraph;
 use psh_pram::Cost;
 use std::io::BufReader;
 use std::path::PathBuf;
 use std::time::Instant;
 
+const PROG: &str = "psh-serve";
+
 fn die(msg: impl std::fmt::Display) -> ! {
-    eprintln!("psh-serve: {msg}");
-    std::process::exit(1);
-}
-
-fn load_graph(seed: u64) -> CsrGraph {
-    if let Some(path) = parse_flag("--graph") {
-        let file = std::fs::File::open(&path)
-            .unwrap_or_else(|e| die(format_args!("cannot open {path}: {e}")));
-        return psh_graph::io::read_graph(BufReader::new(file))
-            .unwrap_or_else(|e| die(format_args!("bad graph file {path}: {e}")));
-    }
-    let n: usize = parse_flag("--n")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2500);
-    let family = parse_flag("--family").unwrap_or_else(|| "grid".into());
-    let family = Family::ALL
-        .into_iter()
-        .find(|f| f.name() == family)
-        .unwrap_or_else(|| die(format_args!("unknown family '{family}'")));
-    match parse_flag("--weights").and_then(|s| s.parse::<f64>().ok()) {
-        Some(u) => family.instantiate_weighted(n, u, seed),
-        None => family.instantiate(n, seed),
-    }
-}
-
-/// Build or load the oracle; returns it with its meta and whether the
-/// snapshot path was used for loading. The input graph is only parsed or
-/// generated when the oracle must actually be built — serving from an
-/// existing snapshot touches nothing but the snapshot file.
-fn obtain_oracle(seed: u64) -> (ApproxShortestPaths, OracleMeta, bool, f64) {
-    let snapshot: Option<PathBuf> = parse_flag("--snapshot").map(PathBuf::from);
-    // --fresh-snapshot skips the load path: the oracle is rebuilt and the
-    // save below atomically overwrites whatever file is already there.
-    let fresh_requested = has_flag("--fresh-snapshot");
-    if let Some(path) = snapshot.as_ref().filter(|p| !fresh_requested && p.exists()) {
-        let start = Instant::now();
-        let (oracle, meta) = load_oracle(path)
-            .unwrap_or_else(|e| die(format_args!("cannot load {}: {e}", path.display())));
-        let secs = start.elapsed().as_secs_f64();
-        println!(
-            "loaded snapshot {} ({} vertices, hopset size {}) in {:.3}s",
-            path.display(),
-            oracle.graph().n(),
-            oracle.hopset_size(),
-            secs
-        );
-        return (oracle, meta, true, secs);
-    }
-    let g = load_graph(seed);
-    let params = HopsetParams::default();
-    let start = Instant::now();
-    let run = OracleBuilder::new()
-        .params(params)
-        .seed(Seed(seed))
-        .build(&g)
-        .unwrap_or_else(|e| die(format_args!("preprocessing failed: {e}")));
-    let secs = start.elapsed().as_secs_f64();
-    let meta = OracleMeta::of_run(&run, params);
-    println!(
-        "preprocessed n={} m={} (hopset size {}, {}) in {:.3}s",
-        g.n(),
-        g.m(),
-        run.artifact.hopset_size(),
-        run.cost,
-        secs
-    );
-    if let Some(path) = snapshot {
-        save_oracle(&path, &run.artifact, &meta)
-            .unwrap_or_else(|e| die(format_args!("cannot save {}: {e}", path.display())));
-        println!("snapshot saved to {}", path.display());
-    }
-    // Preprocessing is over: release the build-time split scratch this
-    // thread's arena pool retained, so the long-lived serving process
-    // doesn't carry O(n + m) recursion buffers into its steady state.
-    psh_graph::view::drain_arena_pool();
-    (run.artifact, meta, false, secs)
+    psh_bench::serving::die(PROG, msg)
 }
 
 fn main() {
@@ -138,20 +61,18 @@ fn main() {
     // long) preprocessing so a typo fails fast: stop issuing batches
     // once the cap is reached (the in-flight batch finishes;
     // preprocessing itself is not interruptible and counts separately).
-    let max_seconds: Option<f64> = match parse_flag("--max-seconds") {
-        None => None,
-        Some(s) => match s.trim().parse::<f64>() {
-            Ok(v) if v > 0.0 => Some(v),
-            _ => die(format_args!("bad --max-seconds '{s}' (want seconds > 0)")),
-        },
-    };
+    let max_seconds = parse_max_seconds(PROG);
 
-    let (oracle, meta, loaded, prep_s) = obtain_oracle(seed);
+    let (oracle, meta, loaded, prep_s) = obtain_oracle(PROG, seed);
     let n = oracle.graph().n();
     if n == 0 {
         die("the graph has no vertices to query");
     }
 
+    let dist = match parse_flag("--workload-dist") {
+        None => WorkloadDist::Uniform,
+        Some(s) => WorkloadDist::parse(&s).unwrap_or_else(|e| die(e)),
+    };
     let pairs: Vec<(u32, u32)> = match parse_flag("--workload") {
         Some(path) => {
             let file = std::fs::File::open(&path)
@@ -163,24 +84,14 @@ fn main() {
             let q: usize = parse_flag("--queries")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1000);
-            random_pairs(n, q, seed ^ 0xC0FFEE)
+            dist.pairs(n, q, seed ^ 0xC0FFEE)
         }
     };
     let batch: usize = parse_flag("--batch")
         .and_then(|s| s.parse().ok())
         .filter(|&b| b > 0)
         .unwrap_or(256);
-    // strict parse: a typo must not silently fall back to the env policy
-    let policy = match parse_flag("--threads") {
-        None => ExecutionPolicy::from_env(),
-        Some(s) => match s.trim().parse::<usize>() {
-            Ok(0 | 1) => ExecutionPolicy::Sequential,
-            Ok(k) => ExecutionPolicy::Parallel { threads: k },
-            Err(_) => die(format_args!(
-                "bad --threads '{s}' (want a single thread count, e.g. 4)"
-            )),
-        },
-    };
+    let policy = parse_policy(PROG);
 
     // --- replay -----------------------------------------------------------
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(pairs.len().div_ceil(batch));
@@ -256,6 +167,7 @@ fn main() {
         .meta("queries", served)
         .meta("batch", batch)
         .meta("policy", policy.to_string())
+        .meta("workload_dist", dist.name())
         .meta("loaded_snapshot", loaded)
         .meta("truncated", truncated)
         .meta("seed", meta.seed.0)

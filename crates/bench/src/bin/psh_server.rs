@@ -1,0 +1,185 @@
+//! `psh-server` — serve an oracle over TCP.
+//!
+//! The long-running half of the wire tier: build or load an oracle
+//! snapshot (same `--family`/`--graph`/`--snapshot` vocabulary as
+//! `psh-serve`), bind a listener, and answer `psh-client` (or any
+//! `psh_net::NetClient`) until asked to stop. Queries arriving on
+//! different sockets coalesce into shared `query_batch` calls through
+//! the `OracleService` admission queue, so wire-side throughput scales
+//! with concurrent clients just like in-process threads do.
+//!
+//! Usage:
+//! ```text
+//! psh-server [--family F] [--n N] [--weights U] [--graph PATH]
+//!            [--snapshot PATH] [--fresh-snapshot]
+//!            [--addr HOST:PORT]      # default $PSH_ADDR, else 127.0.0.1:7471
+//!                                    # (use :0 for an ephemeral port)
+//!            [--port-file PATH]      # write the bound addr for scripts
+//!            [--max-conns C] [--max-conn-requests Q] [--max-requests Q]
+//!            [--timeout-secs S]      # per-socket read/write timeout
+//!            [--batch B] [--threads K] [--seed S]
+//!            [--max-seconds S]       # hard deadline, then shut down
+//!            [--json PATH]
+//! ```
+//!
+//! The server stops when any of these fires, then drains and exits 0:
+//! a client sends the shutdown op (`psh-client --shutdown`), stdin
+//! reaches EOF (close the pipe that feeds it — the no-signal-crate
+//! stand-in for SIGTERM), or `--max-seconds` elapses. On exit it prints
+//! connection- and query-level statistics (the same `ServiceStats`
+//! vocabulary as `psh-serve`).
+
+use psh_bench::json::parse_flag;
+use psh_bench::serving::{obtain_oracle, parse_max_seconds, parse_policy};
+use psh_bench::table::{fmt_f, fmt_u, Table};
+use psh_bench::Report;
+use psh_core::service::{OracleService, ServiceConfig};
+use psh_net::server::env_addr;
+use psh_net::{NetServer, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PROG: &str = "psh-server";
+
+fn die(msg: impl std::fmt::Display) -> ! {
+    psh_bench::serving::die(PROG, msg)
+}
+
+fn parse_u64_flag(name: &str, default: u64) -> u64 {
+    match parse_flag(name) {
+        None => default,
+        Some(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| die(format_args!("bad {name} '{s}' (want a count)"))),
+    }
+}
+
+fn main() {
+    let seed: u64 = parse_flag("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20150625);
+    let mut report = Report::from_args(PROG);
+
+    // validate every knob before the (potentially long) preprocessing
+    let addr = parse_flag("--addr").unwrap_or_else(env_addr);
+    let max_seconds = parse_max_seconds(PROG);
+    let policy = parse_policy(PROG);
+    let max_batch: usize = parse_flag("--batch")
+        .and_then(|s| s.parse().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(256);
+    let config = ServerConfig {
+        max_conns: parse_u64_flag("--max-conns", 64) as usize,
+        max_conn_requests: parse_u64_flag("--max-conn-requests", u64::MAX),
+        max_total_requests: parse_u64_flag("--max-requests", u64::MAX),
+        read_timeout: Some(Duration::from_secs(parse_u64_flag("--timeout-secs", 30))),
+        write_timeout: Some(Duration::from_secs(parse_u64_flag("--timeout-secs", 30))),
+        seed,
+    };
+
+    let (oracle, meta, loaded, prep_s) = obtain_oracle(PROG, seed);
+    let n = oracle.graph().n();
+    let m = oracle.graph().m();
+    if n == 0 {
+        die("the graph has no vertices to serve");
+    }
+
+    let service = Arc::new(OracleService::new(
+        oracle,
+        ServiceConfig { policy, max_batch },
+    ));
+    let mut server = NetServer::bind(&addr, Arc::clone(&service), config)
+        .unwrap_or_else(|e| die(format_args!("cannot bind {addr}: {e}")));
+    let bound = server.local_addr();
+    println!("serving n={n} m={m} on {bound} | {policy} | batches of ≤{max_batch}");
+
+    if let Some(path) = parse_flag("--port-file") {
+        std::fs::write(&path, format!("{bound}\n"))
+            .unwrap_or_else(|e| die(format_args!("cannot write {path}: {e}")));
+    }
+
+    // Shutdown triggers. There is no signal crate in this workspace, so
+    // SIGTERM cannot be caught directly; instead the watcher thread
+    // treats stdin EOF as the stop request (supervisors close the pipe),
+    // alongside the wire-side shutdown op and the --max-seconds cap.
+    let stdin_closed = Arc::new(AtomicBool::new(false));
+    {
+        let stdin_closed = Arc::clone(&stdin_closed);
+        std::thread::Builder::new()
+            .name("psh-server-stdin".into())
+            .spawn(move || {
+                let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
+                stdin_closed.store(true, Ordering::SeqCst);
+            })
+            .expect("spawn stdin watcher");
+    }
+
+    let start = Instant::now();
+    let why = loop {
+        if server.stopping() {
+            break "wire shutdown request";
+        }
+        if stdin_closed.load(Ordering::SeqCst) {
+            break "stdin closed";
+        }
+        if max_seconds.is_some_and(|cap| start.elapsed().as_secs_f64() >= cap) {
+            break "--max-seconds elapsed";
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    println!("shutting down ({why})");
+    let server_stats = server.shutdown();
+    let stats = service.stats();
+
+    println!("\n# psh-server — n={n} m={m} | served from {bound} | {policy}\n");
+    let mut t = Table::new([
+        "conns", "rejected", "queries", "batches", "largest", "qps", "p50 (ms)", "p99 (ms)",
+    ]);
+    t.row([
+        fmt_u(server_stats.conns_accepted),
+        fmt_u(server_stats.conns_rejected),
+        fmt_u(stats.served),
+        fmt_u(stats.batches),
+        fmt_u(stats.largest_batch as u64),
+        fmt_f(stats.qps),
+        fmt_f(stats.p50_ms),
+        fmt_f(stats.p99_ms),
+    ]);
+    t.print();
+    println!(
+        "\nframes in/out: {}/{} | query cost: {} | preprocessing: {} ({}) {:.3}s",
+        server_stats.frames_in,
+        server_stats.frames_out,
+        stats.total_cost,
+        if loaded {
+            "loaded from snapshot"
+        } else {
+            "built fresh"
+        },
+        meta.seed,
+        prep_s,
+    );
+
+    report
+        .meta("n", n)
+        .meta("m", m)
+        .meta("addr", bound.to_string())
+        .meta("stop_reason", why)
+        .meta("policy", policy.to_string())
+        .meta("loaded_snapshot", loaded)
+        .meta("seed", meta.seed.0)
+        .meta("preprocess_s", prep_s)
+        .meta("conns_accepted", server_stats.conns_accepted)
+        .meta("conns_rejected", server_stats.conns_rejected)
+        .meta("queries_served", server_stats.queries_served)
+        .meta("queries_rejected", server_stats.queries_rejected)
+        .meta("frames_in", server_stats.frames_in)
+        .meta("frames_out", server_stats.frames_out)
+        .meta("qps", stats.qps)
+        .meta("p50_ms", stats.p50_ms)
+        .meta("p99_ms", stats.p99_ms);
+    report.push_table("server", &t);
+    report.finish();
+}

@@ -10,6 +10,7 @@
 
 pub mod alloc;
 pub mod json;
+pub mod serving;
 pub mod stats;
 pub mod table;
 pub mod workloads;

@@ -100,6 +100,95 @@ pub fn random_pairs(n: usize, q: usize, seed: u64) -> Vec<(u32, u32)> {
         .collect()
 }
 
+/// Draw `q` Zipf-distributed `s`–`t` pairs over `0..n` — the realistic
+/// millions-of-users shape, where a few hot endpoints dominate traffic.
+///
+/// Both endpoints are drawn independently from a Zipf(`theta`) rank
+/// distribution (`P(rank r) ∝ 1/(r+1)^theta`), and ranks are mapped to
+/// vertex ids through a seeded random permutation so the hot set is not
+/// correlated with generator structure (vertex 0 of a grid is a corner;
+/// a hot vertex should be an arbitrary one). `theta = 0` degenerates to
+/// the uniform distribution; typical web-traffic skew is `theta ≈ 0.9`.
+/// Deterministic in `seed`; self-pairs allowed, as in [`random_pairs`].
+pub fn zipf_pairs(n: usize, q: usize, theta: f64, seed: u64) -> Vec<(u32, u32)> {
+    assert!(n > 0, "cannot draw query pairs from an empty vertex set");
+    assert!(
+        theta.is_finite() && theta >= 0.0,
+        "zipf skew must be finite and non-negative, got {theta}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // cumulative rank weights: cum[r] = Σ_{i ≤ r} 1/(i+1)^theta
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for rank in 0..n {
+        total += 1.0 / ((rank + 1) as f64).powf(theta);
+        cum.push(total);
+    }
+    // rank → vertex: a seeded Fisher–Yates permutation
+    let mut vertex_of: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        vertex_of.swap(i, j);
+    }
+    let draw = |rng: &mut StdRng| -> u32 {
+        let u: f64 = rng.random::<f64>() * total;
+        // first rank whose cumulative weight exceeds the draw
+        let rank = cum.partition_point(|&c| c <= u).min(n - 1);
+        vertex_of[rank]
+    };
+    (0..q).map(|_| (draw(&mut rng), draw(&mut rng))).collect()
+}
+
+/// How a generated query workload distributes its `s`–`t` endpoints.
+/// Parsed from the `--workload-dist` flag the serving binaries share.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorkloadDist {
+    /// Endpoints uniform over `0..n` ([`random_pairs`]).
+    Uniform,
+    /// Zipf-skewed hot pairs with skew `theta` ([`zipf_pairs`]).
+    Zipf {
+        /// The skew exponent (`0` = uniform, `≈ 0.9` web-like).
+        theta: f64,
+    },
+}
+
+impl WorkloadDist {
+    /// Parse a `--workload-dist` argument: `uniform` or `zipf:<theta>`.
+    pub fn parse(s: &str) -> Result<WorkloadDist, String> {
+        let s = s.trim();
+        if s == "uniform" {
+            return Ok(WorkloadDist::Uniform);
+        }
+        if let Some(theta) = s.strip_prefix("zipf:") {
+            return match theta.parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => Ok(WorkloadDist::Zipf { theta: t }),
+                _ => Err(format!(
+                    "bad zipf skew '{theta}' (want a non-negative number, e.g. zipf:0.9)"
+                )),
+            };
+        }
+        Err(format!(
+            "unknown workload distribution '{s}' (want 'uniform' or 'zipf:<theta>')"
+        ))
+    }
+
+    /// Name for table rows and reports (`uniform`, `zipf(0.9)`).
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadDist::Uniform => "uniform".into(),
+            WorkloadDist::Zipf { theta } => format!("zipf({theta})"),
+        }
+    }
+
+    /// Draw `q` pairs over `0..n`, deterministically from `seed`.
+    pub fn pairs(&self, n: usize, q: usize, seed: u64) -> Vec<(u32, u32)> {
+        match self {
+            WorkloadDist::Uniform => random_pairs(n, q, seed),
+            WorkloadDist::Zipf { theta } => zipf_pairs(n, q, *theta, seed),
+        }
+    }
+}
+
 /// Write a query workload: one `q <s> <t>` line per pair (comments `c`,
 /// blank lines ignored on read — same conventions as the edge-list
 /// format).
@@ -187,6 +276,58 @@ mod tests {
         assert!(read_pairs("q 1\n".as_bytes(), 10).is_err());
         let commented = read_pairs("c hi\n\nq 1 2\n".as_bytes(), 10).unwrap();
         assert_eq!(commented, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn zipf_pairs_skew_and_determinism() {
+        let n = 200;
+        let q = 4000;
+        let pairs = zipf_pairs(n, q, 1.2, 11);
+        assert_eq!(pairs, zipf_pairs(n, q, 1.2, 11), "deterministic");
+        assert!(pairs
+            .iter()
+            .all(|&(s, t)| (s as usize) < n && (t as usize) < n));
+        // the hottest endpoint should dominate well beyond a uniform
+        // draw's expected q*2/n ≈ 40 hits
+        let mut hits = vec![0usize; n];
+        for &(s, t) in &pairs {
+            hits[s as usize] += 1;
+            hits[t as usize] += 1;
+        }
+        let hottest = *hits.iter().max().unwrap();
+        assert!(
+            hottest > 4 * (2 * q / n),
+            "zipf(1.2) hottest endpoint only got {hottest} of {} draws",
+            2 * q
+        );
+        // theta = 0 degenerates to (permuted) uniform: no such hot spot
+        let mut uni_hits = vec![0usize; n];
+        for (s, t) in zipf_pairs(n, q, 0.0, 11) {
+            uni_hits[s as usize] += 1;
+            uni_hits[t as usize] += 1;
+        }
+        assert!(*uni_hits.iter().max().unwrap() < 4 * (2 * q / n));
+    }
+
+    #[test]
+    fn workload_dist_parses_and_draws() {
+        assert_eq!(WorkloadDist::parse("uniform"), Ok(WorkloadDist::Uniform));
+        assert_eq!(
+            WorkloadDist::parse(" zipf:0.9 "),
+            Ok(WorkloadDist::Zipf { theta: 0.9 })
+        );
+        assert_eq!(WorkloadDist::Zipf { theta: 0.9 }.name(), "zipf(0.9)");
+        assert!(WorkloadDist::parse("zipf:-1").is_err());
+        assert!(WorkloadDist::parse("zipf:nan").is_err());
+        assert!(WorkloadDist::parse("hotcold").is_err());
+        assert_eq!(
+            WorkloadDist::Uniform.pairs(50, 10, 3),
+            random_pairs(50, 10, 3)
+        );
+        assert_eq!(
+            WorkloadDist::Zipf { theta: 1.0 }.pairs(50, 10, 3),
+            zipf_pairs(50, 10, 1.0, 3)
+        );
     }
 
     #[test]

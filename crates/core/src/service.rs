@@ -148,6 +148,45 @@ pub struct ServiceStats {
     pub latencies_ms: Vec<f64>,
 }
 
+impl ServiceStats {
+    /// Build a stats snapshot from raw per-request latency samples — the
+    /// hook for **connection-level** collectors that observe latencies
+    /// without owning an `OracleService`: the `psh-net` server's
+    /// per-connection windows and the `psh-client` load driver report
+    /// ServiceStats-compatible numbers through this, so wire-side and
+    /// in-process measurements stay comparable column for column.
+    ///
+    /// `served` is `latencies_ms.len()`; `qps` divides it by
+    /// `elapsed_s` (0 when the span is empty); percentiles use
+    /// [`percentile`] (nearest-rank), exactly as [`OracleService::stats`]
+    /// does.
+    pub fn from_samples(
+        latencies_ms: Vec<f64>,
+        elapsed_s: f64,
+        batches: u64,
+        largest_batch: usize,
+        total_cost: Cost,
+    ) -> ServiceStats {
+        let served = latencies_ms.len() as u64;
+        ServiceStats {
+            served,
+            batches,
+            largest_batch,
+            elapsed_s,
+            qps: if elapsed_s > 0.0 {
+                served as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            p50_ms: percentile(&latencies_ms, 50.0),
+            p99_ms: percentile(&latencies_ms, 99.0),
+            p999_ms: percentile(&latencies_ms, 99.9),
+            total_cost,
+            latencies_ms,
+        }
+    }
+}
+
 /// One queued request: its pair, admission time, and ticket id.
 struct Pending {
     id: u64,
@@ -608,6 +647,26 @@ mod tests {
         assert!(stats.batches <= 64);
         service.reset_stats();
         assert_eq!(service.stats(), ServiceStats::default());
+    }
+
+    #[test]
+    fn from_samples_matches_a_live_service_column_for_column() {
+        let oracle = test_oracle(7);
+        let service = OracleService::new(oracle, ServiceConfig::default());
+        for (s, t) in [(0u32, 99u32), (5, 50), (42, 42)] {
+            service.query(s, t);
+        }
+        let live = service.stats();
+        let rebuilt = ServiceStats::from_samples(
+            live.latencies_ms.clone(),
+            live.elapsed_s,
+            live.batches,
+            live.largest_batch,
+            live.total_cost,
+        );
+        assert_eq!(rebuilt, live, "the hook reproduces the live snapshot");
+        let empty = ServiceStats::from_samples(Vec::new(), 0.0, 0, 0, Cost::ZERO);
+        assert_eq!(empty, ServiceStats::default());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | [`psh_cluster`] | exponential start time clustering (Algorithm 1) |
 //! | [`psh_core`] | spanners (Theorem 1.1), hopsets (Theorem 1.2), the approximate-distance oracle, Appendices B–C |
 //! | [`psh_baselines`] | greedy spanner, Baswana–Sen, sampled-clique and sampled-hierarchy hopsets |
+//! | [`psh_net`] | the TCP serving tier: length-prefixed wire protocol, multi-threaded [`NetServer`](psh_net::NetServer) feeding the shared `OracleService`, blocking [`NetClient`](psh_net::NetClient) |
 //!
 //! ## The pipeline API
 //!
@@ -39,6 +40,7 @@ pub use psh_cluster as cluster;
 pub use psh_core as core;
 pub use psh_exec as exec;
 pub use psh_graph as graph;
+pub use psh_net as net;
 pub use psh_pram as pram;
 
 pub mod pipeline;
@@ -48,7 +50,7 @@ pub mod pipeline;
 /// policy that selects sequential vs pooled execution, the artifact
 /// types the builders produce, the snapshot serving layer, the
 /// concurrent [`OracleService`](psh_core::service::OracleService)
-/// front, and the cost model.
+/// front, the TCP tier's client/server pair, and the cost model.
 pub mod prelude {
     pub use crate::pipeline::{
         ClusterBuilder, ClusterError, HopsetArtifact, HopsetBuilder, HopsetKind, OracleBuilder,
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use psh_graph::{
         generators, CsrGraph, CsrView, Edge, GraphView, SplitArena, VertexId, Weight, INF,
     };
+    pub use psh_net::{NetClient, NetServer, ProtocolError, ServerConfig, ServerStats, WireStats};
     pub use psh_pram::Cost;
 }
 

@@ -1,0 +1,193 @@
+//! Fuzzing the wire decoder: arbitrary bytes, truncations, oversized
+//! length prefixes, and header mutations through [`read_frame`] /
+//! [`Request::decode`] / [`Response::decode`] must always come back as
+//! a typed [`ProtocolError`] or a valid value — **never** a panic, and
+//! never an allocation sized by an attacker-controlled length prefix
+//! (the length is validated against [`MAX_FRAME_BYTES`] before any
+//! buffer grows, so a frame claiming 4 GiB fails as `Oversized` even
+//! though no such bytes exist).
+
+use proptest::prelude::*;
+use psh::net::protocol::{
+    read_frame, write_frame, Frame, ProtocolError, Request, Response, HEADER_BYTES,
+    MAX_FRAME_BYTES, OP_ANSWER, OP_ERROR, OP_INFO_REPLY, OP_QUERY, OP_QUERY_BATCH, OP_STATS_REPLY,
+    OP_STREAM, OP_STREAM_END, OP_SUBSCRIBE, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+};
+
+fn bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u16..256, 0..max_len)
+        .prop_map(|v| v.into_iter().map(|b| b as u8).collect())
+}
+
+/// A syntactically well-formed header (magic/version/op/len fields laid
+/// out little-endian) with arbitrary field values.
+fn header(magic: [u8; 4], version: u16, op: u16, len: u32) -> Vec<u8> {
+    let mut h = Vec::with_capacity(HEADER_BYTES);
+    h.extend_from_slice(&magic);
+    h.extend_from_slice(&version.to_le_bytes());
+    h.extend_from_slice(&op.to_le_bytes());
+    h.extend_from_slice(&len.to_le_bytes());
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Raw garbage never panics the frame reader: every outcome is a
+    /// frame (if the bytes happen to spell one) or a typed error.
+    #[test]
+    fn prop_arbitrary_bytes_never_panic_read_frame(data in bytes(256)) {
+        match read_frame(&mut data.as_slice()) {
+            Ok(frame) => prop_assert!(frame.body.len() <= data.len()),
+            Err(e) => {
+                let rendered = format!("{e}");
+                prop_assert!(!rendered.is_empty(), "errors must describe themselves");
+            }
+        }
+    }
+
+    /// Any valid frame cut off at any point is `Closed` (clean EOF at
+    /// offset 0) or `Truncated` — and re-reading the whole thing works.
+    #[test]
+    fn prop_truncation_at_every_prefix_is_typed(
+        op_pick in 0usize..4,
+        body in bytes(48),
+        keep_permille in 0u32..1000,
+    ) {
+        let ops = [OP_QUERY, OP_QUERY_BATCH, OP_ANSWER, OP_ERROR];
+        let mut encoded = Vec::new();
+        write_frame(&mut encoded, ops[op_pick], &body).unwrap();
+        let keep = (encoded.len() - 1) * keep_permille as usize / 1000;
+        match read_frame(&mut &encoded[..keep]) {
+            Err(ProtocolError::Closed) => prop_assert_eq!(keep, 0),
+            Err(ProtocolError::Truncated { .. }) => prop_assert!(keep > 0),
+            other => prop_assert!(false, "cut at {}/{}: {:?}", keep, encoded.len(), other),
+        }
+        let full = read_frame(&mut encoded.as_slice()).unwrap();
+        prop_assert_eq!(full.op, ops[op_pick]);
+        prop_assert_eq!(full.body, body);
+    }
+
+    /// An attacker-controlled length prefix above the cap is rejected as
+    /// `Oversized` before any body bytes are read or allocated — the
+    /// reader never waits for (or reserves) the claimed gigabytes.
+    #[test]
+    fn prop_oversized_length_prefix_rejected_before_allocation(
+        excess in 1u32..1_000_000,
+        trailing in bytes(32),
+    ) {
+        let len = MAX_FRAME_BYTES as u32 + excess;
+        let mut data = header(PROTOCOL_MAGIC, PROTOCOL_VERSION, OP_QUERY, len);
+        data.extend_from_slice(&trailing); // far fewer than `len` bytes exist
+        match read_frame(&mut data.as_slice()) {
+            Err(ProtocolError::Oversized { len: l, .. }) => prop_assert_eq!(l, u64::from(len)),
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+
+    /// Header validation is ordered and typed: wrong magic beats wrong
+    /// version beats unknown op.
+    #[test]
+    fn prop_header_mutations_yield_the_right_error(
+        magic in (0u16..256, 0u16..256, 0u16..256, 0u16..256),
+        version in 0u16..1024,
+        op in 0u16..1024,
+    ) {
+        let magic = [magic.0 as u8, magic.1 as u8, magic.2 as u8, magic.3 as u8];
+        let data = header(magic, version, op, 0);
+        match read_frame(&mut data.as_slice()) {
+            Err(ProtocolError::BadMagic { found }) => {
+                prop_assert_ne!(magic, PROTOCOL_MAGIC);
+                prop_assert_eq!(found, magic);
+            }
+            Err(ProtocolError::UnsupportedVersion { found, .. }) => {
+                prop_assert_eq!(magic, PROTOCOL_MAGIC);
+                prop_assert_ne!(version, PROTOCOL_VERSION);
+                prop_assert_eq!(found, version);
+            }
+            Err(ProtocolError::UnknownOp { found }) => {
+                prop_assert_eq!(magic, PROTOCOL_MAGIC);
+                prop_assert_eq!(version, PROTOCOL_VERSION);
+                prop_assert_eq!(found, op);
+            }
+            Ok(frame) => {
+                prop_assert_eq!(magic, PROTOCOL_MAGIC);
+                prop_assert_eq!(version, PROTOCOL_VERSION);
+                prop_assert_eq!(frame.op, op);
+                prop_assert_eq!(frame.body.len(), 0);
+            }
+            other => prop_assert!(false, "unexpected outcome: {:?}", other),
+        }
+    }
+
+    /// Arbitrary bodies under every known op decode to a value or a
+    /// typed error — both directions, never a panic.
+    #[test]
+    fn prop_arbitrary_bodies_never_panic_decoders(
+        op_pick in 0usize..9,
+        body in bytes(128),
+    ) {
+        let ops = [
+            OP_QUERY, OP_QUERY_BATCH, OP_SUBSCRIBE,
+            OP_ANSWER, OP_STREAM, OP_STREAM_END,
+            OP_STATS_REPLY, OP_INFO_REPLY, OP_ERROR,
+        ];
+        let frame = Frame { op: ops[op_pick], body };
+        // request ops decode as requests, response ops as responses;
+        // the wrong direction must also fail typed, not panic
+        for outcome in [
+            Request::decode(&frame).map(|_| ()),
+            Response::decode(&frame).map(|_| ()),
+        ] {
+            if let Err(e) = outcome {
+                let rendered = format!("{e}");
+                prop_assert!(!rendered.is_empty());
+            }
+        }
+    }
+
+    /// Round trip: every request survives encode → frame → decode, and
+    /// answers carry arbitrary `f64` bit patterns through unchanged
+    /// (compared as bits — NaN payloads included).
+    #[test]
+    fn prop_request_and_answer_round_trip(
+        s in 0u32..1_000_000, t in 0u32..1_000_000,
+        pairs in proptest::collection::vec((0u32..9999, 0u32..9999), 0..40),
+        chunk in 1u32..512,
+        bits in proptest::collection::vec((0u64..u64::MAX, 0u16..2), 0..40),
+    ) {
+        let requests = [
+            Request::Query { s, t },
+            Request::QueryBatch(pairs.clone()),
+            Request::Subscribe { chunk, pairs },
+        ];
+        for req in requests {
+            let (op, body) = req.encode();
+            let mut wire = Vec::new();
+            write_frame(&mut wire, op, &body).unwrap();
+            let back = Request::decode(&read_frame(&mut wire.as_slice()).unwrap()).unwrap();
+            prop_assert_eq!(&back, &req);
+        }
+
+        let answers: Vec<psh::prelude::QueryResult> = bits
+            .iter()
+            .map(|&(b, ub)| psh::prelude::QueryResult {
+                distance: f64::from_bits(b),
+                upper_bound: ub == 1,
+            })
+            .collect();
+        let (op, body) = Response::Answer(answers.clone()).encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, op, &body).unwrap();
+        match Response::decode(&read_frame(&mut wire.as_slice()).unwrap()).unwrap() {
+            Response::Answer(back) => {
+                prop_assert_eq!(back.len(), answers.len());
+                for (b, a) in back.iter().zip(&answers) {
+                    prop_assert_eq!(b.distance.to_bits(), a.distance.to_bits());
+                    prop_assert_eq!(b.upper_bound, a.upper_bound);
+                }
+            }
+            other => prop_assert!(false, "expected an answer, got {:?}", other),
+        }
+    }
+}
