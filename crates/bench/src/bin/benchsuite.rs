@@ -1,10 +1,12 @@
 //! `benchsuite` — the canonical serving-benchmark matrix, run after run.
 //!
 //! One binary that measures the whole Theorem 1.2 bargain — parallel
-//! preprocessing cost, snapshot round trip, concurrent query serving,
-//! and serving over the TCP wire — over a fixed scenario matrix, and
-//! emits a single schema-versioned JSON document (`BENCH_6.json` by
-//! default) so the perf trajectory can accumulate across commits:
+//! preprocessing cost, snapshot round trip, snapshot *load* latency,
+//! concurrent query serving (cached and uncached), serving over the TCP
+//! wire, and an exact-baseline head-to-head — over a fixed scenario
+//! matrix, and emits a single schema-versioned JSON document
+//! (`BENCH_7.json` by default) so the perf trajectory can accumulate
+//! across commits:
 //!
 //! * **graph families** × **weighting**: {gnp, rmat, grid2d} ×
 //!   {unweighted, weighted (log-uniform, ratio 64)} — six oracle builds,
@@ -22,7 +24,24 @@
 //!   driving it through that many [`psh_net::NetClient`] sockets — the
 //!   same workload measured *through the wire*, reporting
 //!   client-observed qps/latency plus the largest batch the server
-//!   coalesced across sockets.
+//!   coalesced across sockets;
+//! * **load cells** per build, plus one deliberately large build
+//!   (`--load-n`, default 120 000 vertices): open latency (file →
+//!   oracle ready to serve, validation included) for the three snapshot
+//!   paths — v1 stream decode, v2 `mmap`, and the v2 portable read
+//!   fallback — plus the first-query latency on the mapped path (which
+//!   absorbs the page faults the lazy open deferred; the probe answer
+//!   feeds the divergence gate on every path) and the v1/v2-mmap open
+//!   speedup in the last column (the zero-copy layout's headline
+//!   number: the big row is where `mmap` must win by ≥10×);
+//! * **cached serving cells** per build: the {Sequential, Parallel{4}}
+//!   policies with the bounded answer cache enabled, replaying the
+//!   workload twice through one service — the second pass measures the
+//!   hit path, and both passes feed the divergence gate;
+//! * **baseline head-to-head** per build: the oracle's `query_batch`
+//!   against exact per-pair Dijkstra on the same pairs (both
+//!   sequential), reporting both throughputs and the observed stretch
+//!   (max and mean of approx/exact over reachable pairs).
 //!
 //! Every cell's answers — in-process and over-the-wire alike — are
 //! compared against the sequential per-pair reference
@@ -33,7 +52,8 @@
 //! axis to {1, 32} at a smaller n).
 //!
 //! Usage: `cargo run --release -p psh-bench --bin benchsuite \
-//!             [--quick] [--n N] [--queries Q] [--seed S] [--json PATH]`
+//!             [--quick] [--n N] [--queries Q] [--load-n N] [--seed S]
+//!             [--json PATH]`
 //!
 //! The JSON schema (`meta.schema_version = 1`): the standard
 //! [`psh_bench::Report`] envelope (`bin`, `threads`, `policy`, `wall_clock_s`,
@@ -41,7 +61,10 @@
 //! weighting), a `serve` table (one row per in-process scenario cell),
 //! and a `serve_net` table (one row per wire cell). Rows are
 //! stringly-typed table cells; `meta` carries the numeric knobs. The
-//! `serve_net` table is additive — documents keep `schema_version` 1.
+//! `serve_net`, `load`, `serve_cached`, and `baselines` tables are
+//! additive — documents keep `schema_version` 1, and `bench-compare`
+//! diffs two documents table-by-table (tables present in only one side
+//! are skipped, so old baselines stay comparable).
 
 use psh_bench::alloc::{live_bytes, peak_above, reset_peak, CountingAlloc};
 use psh_bench::json::{has_flag, parse_flag};
@@ -49,15 +72,19 @@ use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::{random_pairs, Family};
 use psh_bench::Report;
 use psh_core::api::{OracleBuilder, Seed};
-use psh_core::oracle::QueryResult;
-use psh_core::service::{OracleService, ServiceConfig, ServiceStats};
-use psh_core::snapshot::{read_oracle, write_oracle, OracleMeta};
+use psh_core::oracle::{ApproxShortestPaths, QueryResult};
+use psh_core::service::{CacheConfig, OracleService, ServiceConfig, ServiceStats};
+use psh_core::snapshot::{
+    load_oracle, load_oracle_v2, read_oracle, save_oracle_v2, write_oracle, OracleMeta,
+};
 use psh_core::HopsetParams;
 use psh_exec::ExecutionPolicy;
+use psh_graph::traversal::dijkstra::dijkstra_pair;
+use psh_graph::{CsrGraph, LoadMode, INF};
 use psh_net::{NetClient, NetServer, ServerConfig};
 use psh_pram::Cost;
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -168,6 +195,131 @@ fn run_net_clients(
     (answers, stats)
 }
 
+/// Load-path latencies need more resolution than the generic table
+/// formatter gives (sub-10 ms cells would all print as `0.00`).
+fn fmt_s(seconds: f64) -> String {
+    format!("{seconds:.5}")
+}
+
+/// One load-path measurement: open a snapshot file (validation
+/// included — that is what an operator waits for before the service can
+/// accept queries), then answer one probe pair. The two spans are timed
+/// separately: the open span is where the snapshot format matters; the
+/// probe span is identical query work on every path — except that on
+/// the `mmap` path it also absorbs the lazy page faults the open
+/// deferred, which is why it is recorded too.
+fn first_answer<F>(what: &str, load: F, probe: (u32, u32)) -> (f64, f64, QueryResult)
+where
+    F: FnOnce() -> Result<(ApproxShortestPaths, OracleMeta), psh_core::snapshot::SnapshotError>,
+{
+    let start = Instant::now();
+    let (oracle, _) = load().unwrap_or_else(|e| die(format_args!("{what}: {e}")));
+    let open_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let answer = oracle.query(probe.0, probe.1).0;
+    (open_s, start.elapsed().as_secs_f64(), answer)
+}
+
+/// The three open measurements of one oracle — v1 stream decode, v2
+/// `mmap`, v2 aligned-read fallback — plus the first-query latency on
+/// the mapped path (page faults included).
+struct LoadCell {
+    v1_bytes: u64,
+    v2_bytes: u64,
+    v1_s: f64,
+    mmap_s: f64,
+    read_s: f64,
+    mmap_query_s: f64,
+    answers: [QueryResult; 3],
+}
+
+fn measure_loads(
+    tag: &str,
+    v1_bytes: &[u8],
+    oracle: &ApproxShortestPaths,
+    meta: &OracleMeta,
+    probe: (u32, u32),
+) -> LoadCell {
+    let dir = std::env::temp_dir();
+    let v1_path = dir.join(format!("{tag}.{}.v1.snap", std::process::id()));
+    let v2_path = dir.join(format!("{tag}.{}.v2.snap", std::process::id()));
+    std::fs::write(&v1_path, v1_bytes)
+        .unwrap_or_else(|e| die(format_args!("{tag}: cannot stage v1 snapshot: {e}")));
+    save_oracle_v2(&v2_path, oracle, meta)
+        .unwrap_or_else(|e| die(format_args!("{tag}: cannot stage v2 snapshot: {e}")));
+    let v2_bytes = std::fs::metadata(&v2_path).map(|m| m.len()).unwrap_or(0);
+    let v1 = |p: &Path| load_oracle(p);
+    let (v1_s, _, a1) = first_answer("v1 decode", || v1(&v1_path), probe);
+    let (mmap_s, mmap_query_s, a2) = first_answer(
+        "v2 mmap",
+        || load_oracle_v2(&v2_path, LoadMode::Mmap),
+        probe,
+    );
+    let (read_s, _, a3) = first_answer(
+        "v2 read",
+        || load_oracle_v2(&v2_path, LoadMode::Read),
+        probe,
+    );
+    let _ = std::fs::remove_file(&v1_path);
+    let _ = std::fs::remove_file(&v2_path);
+    LoadCell {
+        v1_bytes: v1_bytes.len() as u64,
+        v2_bytes,
+        v1_s,
+        mmap_s,
+        read_s,
+        mmap_query_s,
+        answers: [a1, a2, a3],
+    }
+}
+
+/// Oracle `query_batch` vs exact per-pair Dijkstra on the same pairs,
+/// both sequential. Returns (oracle qps, dijkstra qps, max stretch,
+/// mean stretch over reachable s ≠ t pairs).
+fn head_to_head(
+    g: &CsrGraph,
+    oracle: &ApproxShortestPaths,
+    pairs: &[(u32, u32)],
+    reference: &[QueryResult],
+) -> (f64, f64, f64, f64) {
+    let start = Instant::now();
+    let (answers, _) = oracle.query_batch(pairs, ExecutionPolicy::Sequential);
+    let oracle_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let exact: Vec<u64> = pairs.iter().map(|&(s, t)| dijkstra_pair(g, s, t)).collect();
+    let exact_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        answers, *reference,
+        "head-to-head cell must match the reference"
+    );
+
+    let (mut max_stretch, mut sum, mut count) = (0.0f64, 0.0f64, 0usize);
+    for (answer, &d) in answers.iter().zip(&exact) {
+        if d == INF {
+            assert!(
+                !answer.distance.is_finite(),
+                "oracle reports a distance on an unreachable pair"
+            );
+            continue;
+        }
+        if d == 0 {
+            continue; // s == t
+        }
+        let stretch = answer.distance / d as f64;
+        assert!(stretch >= 1.0 - 1e-9, "oracle beat the exact distance");
+        max_stretch = max_stretch.max(stretch);
+        sum += stretch;
+        count += 1;
+    }
+    let q = pairs.len() as f64;
+    (
+        q / oracle_s.max(1e-12),
+        q / exact_s.max(1e-12),
+        max_stretch,
+        if count > 0 { sum / count as f64 } else { 0.0 },
+    )
+}
+
 fn main() {
     let quick = has_flag("--quick");
     let n: usize = parse_flag("--n")
@@ -179,7 +331,10 @@ fn main() {
     let seed: u64 = parse_flag("--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20150625);
-    let json_path = parse_flag("--json").unwrap_or_else(|| "BENCH_6.json".into());
+    let load_n: usize = parse_flag("--load-n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000);
+    let json_path = parse_flag("--json").unwrap_or_else(|| "BENCH_7.json".into());
     let mut report = Report::new("benchsuite", Some(PathBuf::from(&json_path)));
 
     // The scenario axes. "gnp" is the connected Erdős–Rényi-ish family
@@ -251,6 +406,37 @@ fn main() {
         "trips",
         "coalesced",
         "identical",
+    ]);
+    let mut load_table = Table::new([
+        "family",
+        "weights",
+        "n",
+        "v1 bytes",
+        "v2 bytes",
+        "v1 decode (s)",
+        "v2 mmap (s)",
+        "v2 read (s)",
+        "first query (s)",
+        "mmap speedup",
+    ]);
+    let mut cached_table = Table::new([
+        "family",
+        "weights",
+        "policy",
+        "clients",
+        "qps warm",
+        "qps cached",
+        "hits",
+        "identical",
+    ]);
+    let mut baselines_table = Table::new([
+        "family",
+        "weights",
+        "oracle qps",
+        "dijkstra qps",
+        "speedup",
+        "max stretch",
+        "mean stretch",
     ]);
     // the wire axis stays small — each cell pays real TCP round trips
     let net_policies = [
@@ -378,27 +564,160 @@ fn main() {
                     ]);
                 }
             }
+
+            // --- load cells: v1 decode vs v2 mmap vs v2 read --------------
+            let probe = pairs.first().copied().unwrap_or((0, 0));
+            let expect_probe = fresh.query(probe.0, probe.1).0;
+            let cell = measure_loads(
+                &format!("psh_benchsuite_{fname}_{wname}"),
+                &buf,
+                &fresh,
+                &meta,
+                probe,
+            );
+            for answer in cell.answers {
+                mismatches += usize::from(answer != expect_probe);
+                cells += 1;
+            }
+            load_table.row([
+                fname.to_string(),
+                wname.to_string(),
+                fmt_u(g.n() as u64),
+                fmt_u(cell.v1_bytes),
+                fmt_u(cell.v2_bytes),
+                fmt_s(cell.v1_s),
+                fmt_s(cell.mmap_s),
+                fmt_s(cell.read_s),
+                fmt_s(cell.mmap_query_s),
+                fmt_f(cell.v1_s / cell.mmap_s.max(1e-12)),
+            ]);
+
+            // --- cached serving cells -------------------------------------
+            for &policy in &net_policies {
+                let service = OracleService::from_arc(
+                    Arc::clone(&fresh),
+                    ServiceConfig {
+                        policy,
+                        max_batch: 256,
+                        cache: Some(CacheConfig {
+                            capacity: 1024,
+                            seed: gseed,
+                        }),
+                    },
+                );
+                let warm = run_clients(&service, &pairs, 8);
+                let warm_qps = service.stats().qps;
+                service.reset_stats();
+                let hot = run_clients(&service, &pairs, 8);
+                let hot_stats = service.stats();
+                let identical = warm == reference && hot == reference;
+                mismatches += usize::from(!identical);
+                cells += 1;
+                cached_table.row([
+                    fname.to_string(),
+                    wname.to_string(),
+                    policy.to_string(),
+                    fmt_u(8),
+                    fmt_f(warm_qps),
+                    fmt_f(hot_stats.qps),
+                    fmt_u(hot_stats.cache_hits),
+                    if identical { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+
+            // --- exact-baseline head-to-head ------------------------------
+            let (oracle_qps, exact_qps, max_stretch, mean_stretch) =
+                head_to_head(&g, &fresh, &pairs, &reference);
+            baselines_table.row([
+                fname.to_string(),
+                wname.to_string(),
+                fmt_f(oracle_qps),
+                fmt_f(exact_qps),
+                fmt_f(oracle_qps / exact_qps.max(1e-12)),
+                fmt_f(max_stretch),
+                fmt_f(mean_stretch),
+            ]);
         }
     }
 
-    println!("## preprocessing\n");
+    // --- the big load row: where the zero-copy layout must win ------------
+    println!("building the n={load_n} load-latency oracle …");
+    let big_seed = seed ^ 0xB16;
+    let g_big = Family::Grid2d.instantiate(load_n, big_seed);
+    let params = HopsetParams::default();
+    let run_big = OracleBuilder::new()
+        .params(params)
+        .seed(Seed(big_seed))
+        .build(&g_big)
+        .unwrap_or_else(|e| die(format_args!("load-n build failed: {e}")));
+    let meta_big = OracleMeta::of_run(&run_big, params);
+    let mut buf_big = Vec::new();
+    write_oracle(&mut buf_big, &run_big.artifact, &meta_big)
+        .unwrap_or_else(|e| die(format_args!("load-n snapshot write: {e}")));
+    let probe_big = (0u32, (g_big.n() - 1) as u32);
+    let expect_big = run_big.artifact.query(probe_big.0, probe_big.1).0;
+    let cell = measure_loads(
+        "psh_benchsuite_big",
+        &buf_big,
+        &run_big.artifact,
+        &meta_big,
+        probe_big,
+    );
+    for answer in cell.answers {
+        mismatches += usize::from(answer != expect_big);
+        cells += 1;
+    }
+    let big_speedup = cell.v1_s / cell.mmap_s.max(1e-12);
+    load_table.row([
+        "grid2d".to_string(),
+        "unweighted".to_string(),
+        fmt_u(g_big.n() as u64),
+        fmt_u(cell.v1_bytes),
+        fmt_u(cell.v2_bytes),
+        fmt_s(cell.v1_s),
+        fmt_s(cell.mmap_s),
+        fmt_s(cell.read_s),
+        fmt_s(cell.mmap_query_s),
+        fmt_f(big_speedup),
+    ]);
+    println!(
+        "load latency at n={}: v1 decode {:.4}s → v2 mmap open {:.4}s ({big_speedup:.1}× faster; first mapped query {:.4}s)",
+        g_big.n(),
+        cell.v1_s,
+        cell.mmap_s,
+        cell.mmap_query_s,
+    );
+    drop((run_big, g_big, buf_big));
+
+    println!("\n## preprocessing\n");
     build_table.print();
     println!("\n## serving matrix\n");
     serve_table.print();
     println!("\n## wire serving matrix (loopback TCP)\n");
     serve_net_table.print();
+    println!("\n## snapshot load latency (open, then first query)\n");
+    load_table.print();
+    println!("\n## cached serving matrix (answer cache on)\n");
+    cached_table.print();
+    println!("\n## exact-baseline head-to-head (sequential)\n");
+    baselines_table.print();
 
     report
         .meta("schema_version", SCHEMA_VERSION)
         .meta("quick", quick)
         .meta("n", n)
         .meta("queries", queries)
+        .meta("load_n", load_n)
         .meta("seed", seed)
+        .meta("mmap_speedup_big", big_speedup)
         .meta("cells", cells)
         .meta("mismatches", mismatches);
     report.push_table("build", &build_table);
     report.push_table("serve", &serve_table);
     report.push_table("serve_net", &serve_net_table);
+    report.push_table("load", &load_table);
+    report.push_table("serve_cached", &cached_table);
+    report.push_table("baselines", &baselines_table);
     report.finish();
 
     if mismatches > 0 {

@@ -18,6 +18,7 @@
 //!            [--max-conns C] [--max-conn-requests Q] [--max-requests Q]
 //!            [--timeout-secs S]      # per-socket read/write timeout
 //!            [--batch B] [--threads K] [--seed S]
+//!            [--cache SLOTS]         # bounded answer cache (off by default)
 //!            [--max-seconds S]       # hard deadline, then shut down
 //!            [--json PATH]
 //! ```
@@ -33,7 +34,7 @@ use psh_bench::json::parse_flag;
 use psh_bench::serving::{obtain_oracle, parse_max_seconds, parse_policy};
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::Report;
-use psh_core::service::{OracleService, ServiceConfig};
+use psh_core::service::{CacheConfig, OracleService, ServiceConfig};
 use psh_net::server::env_addr;
 use psh_net::{NetServer, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -70,6 +71,12 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .filter(|&b| b > 0)
         .unwrap_or(256);
+    let cache = parse_flag("--cache").map(|s| match s.trim().parse::<usize>() {
+        Ok(capacity) if capacity > 0 => CacheConfig { capacity, seed },
+        _ => die(format_args!(
+            "bad --cache '{s}' (want a positive slot count)"
+        )),
+    });
     let config = ServerConfig {
         max_conns: parse_u64_flag("--max-conns", 64) as usize,
         max_conn_requests: parse_u64_flag("--max-conn-requests", u64::MAX),
@@ -88,7 +95,11 @@ fn main() {
 
     let service = Arc::new(OracleService::new(
         oracle,
-        ServiceConfig { policy, max_batch },
+        ServiceConfig {
+            policy,
+            max_batch,
+            cache,
+        },
     ));
     let mut server = NetServer::bind(&addr, Arc::clone(&service), config)
         .unwrap_or_else(|e| die(format_args!("cannot bind {addr}: {e}")));

@@ -1,0 +1,130 @@
+//! `psh-snap` — snapshot maintenance: inspect and migrate oracle files.
+//!
+//! Usage:
+//! ```text
+//! psh-snap inspect PATH            # version, kind, scalars, section map
+//! psh-snap migrate SRC DST         # re-encode any oracle snapshot as v2
+//! ```
+//!
+//! `inspect` prints a v1 file's header summary, or a v2 file's full
+//! section directory (tag, name, offset, length — every offset 64-byte
+//! aligned by construction) and then deep-verifies the content (the
+//! exact fill-sweep replays the serving fast path skips), so tampering
+//! that `Verify::Bounds` would serve is caught here. `migrate` upgrades a v1 file to the
+//! zero-copy v2 layout (or normalizes an existing v2 file); the logical
+//! content is preserved exactly — re-saving the migrated oracle as v1
+//! reproduces the original bytes, and `psh-serve`/`psh-server` answer
+//! byte-identically from either version.
+//!
+//! Exits non-zero with a one-line error on unusable input; never panics
+//! on malformed files.
+
+use psh_core::snapshot::{
+    inspect_v2, load_oracle, migrate_oracle_file, snapshot_version, verify_oracle_v2,
+    OracleSections,
+};
+use psh_graph::LoadMode;
+
+const PROG: &str = "psh-snap";
+
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("{PROG}: {msg}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!("usage: {PROG} inspect PATH | {PROG} migrate SRC DST");
+    std::process::exit(2);
+}
+
+fn human(len: u64) -> String {
+    if len >= 1 << 20 {
+        format!("{:.1} MiB", len as f64 / (1 << 20) as f64)
+    } else if len >= 1 << 10 {
+        format!("{:.1} KiB", len as f64 / (1 << 10) as f64)
+    } else {
+        format!("{len} B")
+    }
+}
+
+fn inspect(path: &str) {
+    let version =
+        snapshot_version(path).unwrap_or_else(|e| die(format_args!("cannot read {path}: {e}")));
+    match version {
+        1 => {
+            // v1 is a stream: summarize it by decoding (which also
+            // verifies it end to end)
+            let (oracle, meta) =
+                load_oracle(path).unwrap_or_else(|e| die(format_args!("cannot load {path}: {e}")));
+            println!("{path}: v1 oracle snapshot (stream-decoded)");
+            println!(
+                "  n={} m={} | hopset size {} | hop budget {} | seed {}",
+                oracle.graph().n(),
+                oracle.graph().m(),
+                oracle.hopset_size(),
+                oracle
+                    .hop_budget()
+                    .map_or("per-band".to_string(), |h| h.to_string()),
+                meta.seed
+            );
+            println!("  build cost: {}", meta.build_cost);
+            println!("  (run `{PROG} migrate` to upgrade to the zero-copy v2 layout)");
+        }
+        2 => {
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| die(format_args!("cannot read {path}: {e}")));
+            let OracleSections {
+                kind,
+                n,
+                m,
+                mode,
+                bands,
+                sections,
+            } = inspect_v2(&bytes).unwrap_or_else(|e| die(format_args!("bad v2 file {path}: {e}")));
+            println!(
+                "{path}: v2 oracle snapshot (kind {kind}, {}, mmap-able)",
+                human(bytes.len() as u64)
+            );
+            println!(
+                "  n={n} m={m} | mode {} | {bands} band(s)",
+                if mode == 0 { "unweighted" } else { "weighted" }
+            );
+            println!(
+                "  {:>6}  {:<26} {:>12} {:>12}",
+                "tag", "section", "offset", "bytes"
+            );
+            for (tag, name, offset, len) in &sections {
+                println!("  {tag:>6}  {name:<26} {offset:>12} {len:>12}");
+            }
+            // the full content replay serving skips — inspect is where
+            // an operator wants tampering caught
+            match verify_oracle_v2(path, LoadMode::Read) {
+                Ok(_) => println!("  deep verification: ok (content replays byte-identically)"),
+                Err(e) => die(format_args!("{path} fails deep verification: {e}")),
+            }
+        }
+        v => die(format_args!("{path}: unsupported snapshot version {v}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("inspect") => match args.get(1) {
+            Some(path) if args.len() == 2 => inspect(path),
+            _ => usage(),
+        },
+        Some("migrate") => match (args.get(1), args.get(2)) {
+            (Some(src), Some(dst)) if args.len() == 3 => {
+                let (from, meta) = migrate_oracle_file(src, dst)
+                    .unwrap_or_else(|e| die(format_args!("cannot migrate {src}: {e}")));
+                println!(
+                    "{src} (v{from}) -> {dst} (v2) | seed {} | build cost {}",
+                    meta.seed, meta.build_cost
+                );
+            }
+            _ => usage(),
+        },
+        _ => usage(),
+    }
+}

@@ -28,6 +28,8 @@ use std::time::Instant;
 /// A JSON value (the subset the reports need).
 #[derive(Clone, Debug, PartialEq)]
 pub enum JsonValue {
+    /// `null` — written for non-finite floats, read back verbatim.
+    Null,
     Bool(bool),
     U64(u64),
     F64(f64),
@@ -109,6 +111,7 @@ impl JsonValue {
     /// Serialize into `out` (compact, no trailing newline).
     pub fn write(&self, out: &mut String) {
         match self {
+            JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             JsonValue::U64(v) => out.push_str(&v.to_string()),
             JsonValue::F64(v) => {
@@ -149,6 +152,244 @@ impl JsonValue {
         let mut s = String::new();
         self.write(&mut s);
         s
+    }
+
+    /// Parse a JSON document — the reader half that lets `bench-compare`
+    /// diff committed `BENCH_*.json` baselines against fresh runs.
+    /// Accepts exactly what [`JsonValue::write`] emits plus ordinary
+    /// whitespace, signed/exponent numbers, and `\uXXXX` escapes
+    /// (surrogate pairs included). Errors carry a byte offset.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload (`U64` widens losslessly for the magnitudes
+    /// reports hold), if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent state for [`JsonValue::parse`].
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.at), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.at)
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("unrecognized literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.at) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b']') {
+                    self.at += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(JsonValue::Array(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b'}') {
+                    self.at += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(JsonValue::Object(fields));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.at;
+        while matches!(
+            self.bytes.get(self.at),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+        if !text.contains(['.', 'e', 'E', '-', '+']) {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.at += 1;
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair: expect \uXXXX for the low half
+                                if self.bytes[self.at..].starts_with(b"\\u") {
+                                    self.at += 2;
+                                    let lo = self.hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            );
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 character (input is a &str, so
+                    // slicing at char boundaries is safe)
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.at + 4;
+        let digits = self
+            .bytes
+            .get(self.at..end)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(digits, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.at = end;
+        Ok(v)
     }
 }
 
@@ -274,6 +515,69 @@ mod tests {
             v.to_json(),
             r#"{"a":3,"b":[true,"x\"y"],"c":1.5,"inf":null}"#
         );
+    }
+
+    #[test]
+    fn parser_round_trips_what_the_writer_emits() {
+        let v = JsonValue::Object(vec![
+            ("bin".into(), "bench suite".into()),
+            ("threads".into(), JsonValue::U64(4)),
+            ("wall".into(), JsonValue::F64(12.375)),
+            ("neg".into(), JsonValue::F64(-0.5)),
+            ("inf".into(), JsonValue::F64(f64::INFINITY)),
+            ("ok".into(), JsonValue::Bool(true)),
+            (
+                "rows".into(),
+                JsonValue::Array(vec![
+                    JsonValue::Object(vec![("qps".into(), "1,234".into())]),
+                    JsonValue::Array(vec![]),
+                    JsonValue::Object(vec![]),
+                ]),
+            ),
+            ("esc".into(), "quote\" slash\\ tab\t nl\n".into()),
+        ]);
+        let parsed = JsonValue::parse(&v.to_json()).unwrap();
+        // the one lossy cell: Infinity serializes as null
+        let mut expect = v;
+        if let JsonValue::Object(fields) = &mut expect {
+            fields[4].1 = JsonValue::Null;
+        }
+        assert_eq!(parsed, expect);
+    }
+
+    #[test]
+    fn parser_handles_foreign_json() {
+        let parsed = JsonValue::parse(
+            " { \"a\" : [ 1 , -2.5e3 , null ] , \"u\" : \"\\u00e9\\ud83d\\ude00\" } ",
+        )
+        .unwrap();
+        assert_eq!(
+            parsed.get("a").unwrap().as_array().unwrap(),
+            &[JsonValue::U64(1), JsonValue::F64(-2500.0), JsonValue::Null]
+        );
+        assert_eq!(parsed.get("u").unwrap().as_str(), Some("é😀"));
+        assert_eq!(
+            parsed.get("a").unwrap().as_array().unwrap()[0].as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "1.2.3",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

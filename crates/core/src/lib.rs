@@ -45,5 +45,5 @@ pub use api::{
 pub use error::PshError;
 pub use hopset::{Hopset, HopsetParams};
 pub use oracle::ApproxShortestPaths;
-pub use service::{OracleService, ServiceConfig, ServiceStats};
+pub use service::{CacheConfig, OracleService, ServiceConfig, ServiceStats};
 pub use spanner::Spanner;

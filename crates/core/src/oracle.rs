@@ -12,38 +12,57 @@
 //! pairs across the psh-exec pool; a preprocessed oracle can be saved and
 //! reloaded through [`crate::snapshot`], so preprocessing and serving can
 //! run as separate processes.
+//!
+//! ## Storage representations
+//!
+//! An oracle is **owned** (heap `CsrGraph`/`Hopset`/`ExtraEdges` buffers —
+//! what a fresh build or a v1 snapshot decode produces) or **mapped**
+//! (every slab borrowed straight out of a `SNAPSHOT_VERSION = 2` region
+//! opened through [`psh_graph::SnapshotSource`] — see
+//! [`crate::snapshot::load_oracle_v2`]). The two representations answer
+//! every query byte-identically, **costs included**, under every
+//! [`ExecutionPolicy`]: both route through the same generic hop-limited
+//! relaxation, and the mapped slabs are validated at load time to iterate
+//! exactly like the owned structures they mirror.
 
+use crate::hopset::rounding::Rounding;
 use crate::hopset::unweighted::build_hopset_with_beta0_on;
 use crate::hopset::weighted::{build_weighted_hopsets_impl, WeightedHopsets};
 use crate::hopset::{Hopset, HopsetParams};
 use psh_exec::{ExecutionPolicy, Executor};
-use psh_graph::traversal::bellman_ford::{hop_limited_pair, ExtraEdges};
+use psh_graph::traversal::bellman_ford::{hop_limited_pair, hop_limited_pair_on};
 use psh_graph::traversal::dijkstra::dijkstra_pair;
-use psh_graph::{CsrGraph, VertexId, Weight, INF};
+use psh_graph::{CsrGraph, Edge, ExtraSlabsView, GraphView, MmapView, VertexId, Weight, INF};
 use psh_pram::Cost;
 use rand::Rng;
 
 /// A preprocessed graph that answers approximate distance queries.
 pub struct ApproxShortestPaths {
-    pub(crate) graph: CsrGraph,
-    pub(crate) mode: Mode,
+    pub(crate) repr: Repr,
 }
 
 impl std::fmt::Debug for ApproxShortestPaths {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ApproxShortestPaths")
-            .field("n", &self.graph.n())
-            .field("m", &self.graph.m())
+            .field("n", &self.graph().n())
+            .field("m", &self.graph().m())
+            .field("mapped", &matches!(self.repr, Repr::Mapped(_)))
             .field("hopset_size", &self.hopset_size())
             .field("hop_budget", &self.hop_budget())
             .finish()
     }
 }
 
+/// Storage representation: owned heap buffers or borrowed snapshot slabs.
+pub(crate) enum Repr {
+    Owned { graph: CsrGraph, mode: Mode },
+    Mapped(MappedOracle),
+}
+
 pub(crate) enum Mode {
     Unweighted {
         hopset: Hopset,
-        extra: ExtraEdges,
+        extra: psh_graph::traversal::bellman_ford::ExtraEdges,
         /// Hop budget for the worst case `d = n` (queries stop early at
         /// the Bellman–Ford fixpoint anyway).
         h_max: usize,
@@ -51,6 +70,185 @@ pub(crate) enum Mode {
     Weighted {
         hopsets: WeightedHopsets,
     },
+}
+
+/// An oracle whose every slab lives inside one shared
+/// [`psh_graph::SnapshotSource`] — the query-time face of a v2 snapshot.
+/// Constructed only by the v2 loader, which validates all slabs.
+pub(crate) struct MappedOracle {
+    pub(crate) graph: MmapView,
+    pub(crate) mode: MappedMode,
+}
+
+/// Hopset bookkeeping a mapped oracle carries verbatim (the counts the
+/// v1 body stores; needed to re-save as v1 and to answer size queries).
+pub(crate) struct MappedHopset {
+    pub(crate) star_count: usize,
+    pub(crate) clique_count: usize,
+    pub(crate) levels: usize,
+    /// Shortcut edges in construction order, inside the source region.
+    pub(crate) edges: MappedEdges,
+    /// Compiled adjacency over the same edges.
+    pub(crate) extra: ExtraSlabsView,
+}
+
+/// A `&[Edge]` living inside the snapshot region, kept alive by the
+/// views that share its `Arc` (every `MappedHopset` also holds an
+/// `ExtraSlabsView` over the same source).
+pub(crate) struct MappedEdges {
+    ptr: *const Edge,
+    len: usize,
+}
+
+// SAFETY: points into the immutable SnapshotSource kept alive by the
+// sibling ExtraSlabsView/MmapView Arcs in the same MappedOracle.
+unsafe impl Send for MappedEdges {}
+unsafe impl Sync for MappedEdges {}
+
+impl MappedEdges {
+    pub(crate) fn of(edges: &[Edge]) -> MappedEdges {
+        MappedEdges {
+            ptr: edges.as_ptr(),
+            len: edges.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self) -> &[Edge] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+pub(crate) enum MappedMode {
+    Unweighted {
+        hopset: MappedHopset,
+        h_max: usize,
+    },
+    Weighted {
+        eta: f64,
+        epsilon: f64,
+        bands: Vec<MappedBand>,
+    },
+}
+
+/// One distance band of a mapped weighted oracle: the rounded graph as a
+/// view (offsets/targets/eids shared with the base graph; weights and
+/// edge records band-specific) plus the band's hopset.
+pub(crate) struct MappedBand {
+    pub(crate) d: u64,
+    pub(crate) rounding: Rounding,
+    pub(crate) h: usize,
+    pub(crate) graph: MmapView,
+    pub(crate) hopset: MappedHopset,
+}
+
+/// Borrowed view of an oracle's base graph, independent of how the
+/// oracle is stored. All representations expose the same vertex/edge
+/// counts and the same canonical sorted edge list.
+#[derive(Clone, Copy)]
+pub enum OracleGraph<'a> {
+    /// Heap-owned (fresh build or v1 snapshot decode).
+    Owned(&'a CsrGraph),
+    /// Borrowed from a mapped v2 snapshot.
+    Mapped(&'a MmapView),
+}
+
+impl OracleGraph<'_> {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        match self {
+            OracleGraph::Owned(g) => g.n(),
+            OracleGraph::Mapped(g) => g.n(),
+        }
+    }
+
+    /// Number of (undirected, canonical) edges.
+    pub fn m(&self) -> usize {
+        match self {
+            OracleGraph::Owned(g) => g.m(),
+            OracleGraph::Mapped(g) => g.m(),
+        }
+    }
+
+    /// The canonical sorted edge list.
+    pub fn edges(&self) -> &[Edge] {
+        match self {
+            OracleGraph::Owned(g) => g.edges(),
+            OracleGraph::Mapped(g) => g.edges(),
+        }
+    }
+}
+
+impl std::fmt::Debug for OracleGraph<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OracleGraph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("mapped", &matches!(self, OracleGraph::Mapped(_)))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform "parts" access — both snapshot writers (v1 and v2) consume the
+// oracle through these borrowed views, so any representation can be
+// re-saved in any version (that is what makes migration a pure
+// re-encode and keeps round trips byte-identical).
+// ---------------------------------------------------------------------------
+
+/// Borrowed fields of one hopset, whatever its storage.
+pub(crate) struct HopsetParts<'a> {
+    pub(crate) n: usize,
+    pub(crate) star_count: usize,
+    pub(crate) clique_count: usize,
+    pub(crate) levels: usize,
+    pub(crate) edges: &'a [Edge],
+}
+
+/// Borrowed fields of one weighted band, whatever its storage.
+pub(crate) struct BandParts<'a> {
+    pub(crate) d: u64,
+    pub(crate) what: f64,
+    pub(crate) h: usize,
+    pub(crate) hopset: HopsetParts<'a>,
+    /// The band's rounded edge list (same `(u, v)` pairs as the base
+    /// graph, weights `⌈w/ŵ⌉`).
+    pub(crate) band_edges: &'a [Edge],
+}
+
+/// Borrowed mode-specific fields, whatever the storage.
+pub(crate) enum ModeParts<'a> {
+    Unweighted {
+        h_max: usize,
+        hopset: HopsetParts<'a>,
+    },
+    Weighted {
+        eta: f64,
+        epsilon: f64,
+        bands: Vec<BandParts<'a>>,
+    },
+}
+
+impl MappedHopset {
+    fn parts(&self, n: usize) -> HopsetParts<'_> {
+        HopsetParts {
+            n,
+            star_count: self.star_count,
+            clique_count: self.clique_count,
+            levels: self.levels,
+            edges: self.edges.get(),
+        }
+    }
+}
+
+pub(crate) fn owned_hopset_parts(h: &Hopset) -> HopsetParts<'_> {
+    HopsetParts {
+        n: h.n,
+        star_count: h.star_count,
+        clique_count: h.clique_count,
+        levels: h.levels,
+        edges: &h.edges,
+    }
 }
 
 /// A query answer with diagnostics.
@@ -77,11 +275,13 @@ impl ApproxShortestPaths {
         let h_max = params.hop_bound(g.n(), beta0, g.n() as u64);
         (
             ApproxShortestPaths {
-                graph: g.clone(),
-                mode: Mode::Unweighted {
-                    hopset,
-                    extra,
-                    h_max,
+                repr: Repr::Owned {
+                    graph: g.clone(),
+                    mode: Mode::Unweighted {
+                        hopset,
+                        extra,
+                        h_max,
+                    },
                 },
             },
             cost,
@@ -101,8 +301,10 @@ impl ApproxShortestPaths {
             build_weighted_hopsets_impl(exec, g, params, eta, params.beta0_weighted(g.n()), rng);
         (
             ApproxShortestPaths {
-                graph: g.clone(),
-                mode: Mode::Weighted { hopsets },
+                repr: Repr::Owned {
+                    graph: g.clone(),
+                    mode: Mode::Weighted { hopsets },
+                },
             },
             cost,
         )
@@ -119,28 +321,49 @@ impl ApproxShortestPaths {
                 Cost::ZERO,
             );
         }
-        match &self.mode {
-            Mode::Unweighted { extra, h_max, .. } => {
-                let (d, _, cost) = hop_limited_pair(&self.graph, Some(extra), s, t, *h_max);
-                (
-                    QueryResult {
-                        distance: if d == INF { f64::INFINITY } else { d as f64 },
-                        upper_bound: true,
-                    },
-                    cost,
-                )
-            }
-            Mode::Weighted { hopsets } => {
-                let (d, cost) = hopsets.query(s, t);
-                (
-                    QueryResult {
-                        distance: d,
-                        upper_bound: true,
-                    },
-                    cost,
-                )
-            }
-        }
+        let (distance, cost) = match &self.repr {
+            Repr::Owned { graph, mode } => match mode {
+                Mode::Unweighted { extra, h_max, .. } => {
+                    let (d, _, cost) = hop_limited_pair(graph, Some(extra), s, t, *h_max);
+                    (if d == INF { f64::INFINITY } else { d as f64 }, cost)
+                }
+                Mode::Weighted { hopsets } => hopsets.query(s, t),
+            },
+            Repr::Mapped(m) => match &m.mode {
+                MappedMode::Unweighted { hopset, h_max } => {
+                    let (d, _, cost) =
+                        hop_limited_pair_on(&m.graph, Some(hopset.extra.view()), s, t, *h_max);
+                    (if d == INF { f64::INFINITY } else { d as f64 }, cost)
+                }
+                MappedMode::Weighted { bands, .. } => {
+                    // the exact analogue of WeightedHopsets::query: min of
+                    // the unrounded per-band values, costs par-composed
+                    let mut best = f64::INFINITY;
+                    let mut cost = Cost::ZERO;
+                    for band in bands {
+                        let (d, _, c) = hop_limited_pair_on(
+                            &band.graph,
+                            Some(band.hopset.extra.view()),
+                            s,
+                            t,
+                            band.h,
+                        );
+                        cost = cost.par(c);
+                        if d != INF {
+                            best = best.min(band.rounding.unround(d));
+                        }
+                    }
+                    (best, cost)
+                }
+            },
+        };
+        (
+            QueryResult {
+                distance,
+                upper_bound: true,
+            },
+            cost,
+        )
     }
 
     /// Answer a batch of `s`–`t` queries, fanned across the psh-exec pool.
@@ -167,27 +390,105 @@ impl ApproxShortestPaths {
 
     /// Exact reference distance (Dijkstra) — the verification oracle.
     pub fn query_exact(&self, s: VertexId, t: VertexId) -> Weight {
-        dijkstra_pair(&self.graph, s, t)
+        match &self.repr {
+            Repr::Owned { graph, .. } => dijkstra_pair(graph, s, t),
+            Repr::Mapped(m) => dijkstra_pair(&m.graph, s, t),
+        }
     }
 
     /// Number of hopset edges backing this oracle.
     pub fn hopset_size(&self) -> usize {
-        match &self.mode {
-            Mode::Unweighted { hopset, .. } => hopset.size(),
-            Mode::Weighted { hopsets } => hopsets.total_size(),
+        match &self.repr {
+            Repr::Owned { mode, .. } => match mode {
+                Mode::Unweighted { hopset, .. } => hopset.size(),
+                Mode::Weighted { hopsets } => hopsets.total_size(),
+            },
+            Repr::Mapped(m) => match &m.mode {
+                MappedMode::Unweighted { hopset, .. } => hopset.edges.get().len(),
+                MappedMode::Weighted { bands, .. } => {
+                    bands.iter().map(|b| b.hopset.edges.get().len()).sum()
+                }
+            },
         }
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &CsrGraph {
-        &self.graph
+    /// The underlying graph, as a representation-independent view.
+    pub fn graph(&self) -> OracleGraph<'_> {
+        match &self.repr {
+            Repr::Owned { graph, .. } => OracleGraph::Owned(graph),
+            Repr::Mapped(m) => OracleGraph::Mapped(&m.graph),
+        }
+    }
+
+    /// Whether this oracle serves straight off a mapped/loaded snapshot
+    /// region (v2) rather than owned heap buffers.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, Repr::Mapped(_))
     }
 
     /// The query-time hop budget (unweighted mode).
     pub fn hop_budget(&self) -> Option<usize> {
-        match &self.mode {
-            Mode::Unweighted { h_max, .. } => Some(*h_max),
-            Mode::Weighted { .. } => None,
+        match &self.repr {
+            Repr::Owned { mode, .. } => match mode {
+                Mode::Unweighted { h_max, .. } => Some(*h_max),
+                Mode::Weighted { .. } => None,
+            },
+            Repr::Mapped(m) => match &m.mode {
+                MappedMode::Unweighted { h_max, .. } => Some(*h_max),
+                MappedMode::Weighted { .. } => None,
+            },
+        }
+    }
+
+    /// Mode-specific fields as borrowed parts (snapshot writers' view).
+    pub(crate) fn mode_parts(&self) -> ModeParts<'_> {
+        let n = self.graph().n();
+        match &self.repr {
+            Repr::Owned { mode, .. } => match mode {
+                Mode::Unweighted { hopset, h_max, .. } => ModeParts::Unweighted {
+                    h_max: *h_max,
+                    hopset: owned_hopset_parts(hopset),
+                },
+                Mode::Weighted { hopsets } => ModeParts::Weighted {
+                    eta: hopsets.eta,
+                    epsilon: hopsets.epsilon,
+                    bands: hopsets
+                        .bands
+                        .iter()
+                        .map(|b| BandParts {
+                            d: b.d,
+                            what: b.rounding.what,
+                            h: b.h,
+                            hopset: owned_hopset_parts(&b.hopset),
+                            band_edges: b.graph.edges(),
+                        })
+                        .collect(),
+                },
+            },
+            Repr::Mapped(m) => match &m.mode {
+                MappedMode::Unweighted { hopset, h_max } => ModeParts::Unweighted {
+                    h_max: *h_max,
+                    hopset: hopset.parts(n),
+                },
+                MappedMode::Weighted {
+                    eta,
+                    epsilon,
+                    bands,
+                } => ModeParts::Weighted {
+                    eta: *eta,
+                    epsilon: *epsilon,
+                    bands: bands
+                        .iter()
+                        .map(|b| BandParts {
+                            d: b.d,
+                            what: b.rounding.what,
+                            h: b.h,
+                            hopset: b.hopset.parts(n),
+                            band_edges: b.graph.edges(),
+                        })
+                        .collect(),
+                },
+            },
         }
     }
 }
@@ -294,5 +595,6 @@ mod tests {
         let g = generators::path(64);
         let oracle = build_unweighted(&g, &test_params(), 4);
         assert!(oracle.hop_budget().is_some());
+        assert!(!oracle.is_mapped(), "fresh builds are owned");
     }
 }

@@ -27,16 +27,36 @@
 //! out (the `service_stress` integration suite pins this at 32 client
 //! threads).
 //!
+//! ## The answer cache
+//!
+//! [`ServiceConfig::cache`] (off by default) adds a bounded, seeded
+//! direct-mapped answer cache in front of the admission queue: each
+//! `(s, t)` pair hashes — keyed by [`CacheConfig::seed`] — to one of
+//! [`CacheConfig::capacity`] slots, and a colliding insert simply evicts
+//! the slot's previous occupant. The eviction choice is thus a pure
+//! function of the seed, never of arrival order, so a cache-enabled
+//! service stays deterministic: hits return the exact [`QueryResult`]
+//! the oracle published earlier (answers are immutable, so a hit is
+//! byte-identical to a recomputation), misses take the normal
+//! leader–follower path, and [`ServiceStats::cache_hits`] counts the
+//! short-circuits. Cache hits record a 0 ms latency sample — they never
+//! touch the queue.
+//!
 //! ## Thread-safety audit
 //!
 //! Sharing one oracle across OS threads is sound because the whole serving
 //! state is built from plain owned buffers: `CsrGraph`, [`Hopset`],
 //! `ExtraEdges`, and [`WeightedHopsets`] are `Vec`s of POD values with no
-//! interior mutability, so `ApproxShortestPaths` is auto-`Send + Sync`.
-//! The compile-time assertions at the bottom of this module turn that
-//! property into a build failure if a future refactor introduces an
-//! `Rc`/`RefCell`/raw-pointer field anywhere in the oracle, hopset, or
-//! snapshot types.
+//! interior mutability, so `ApproxShortestPaths` is auto-`Send + Sync` in
+//! its owned representation. The mapped representation (a v2 snapshot
+//! served in place through `MmapView`/`ExtraSlabsView`) additionally
+//! holds raw slices into a shared, immutable, never-remapped
+//! [`SnapshotSource`] region — those views carry manual
+//! `unsafe impl Send/Sync` whose soundness argument lives next to the
+//! impls in `psh-graph`. The compile-time assertions at the bottom of
+//! this module turn all of that into a build failure if a future
+//! refactor introduces an `Rc`/`RefCell`/unshareable field anywhere in
+//! the oracle, hopset, or snapshot types.
 //!
 //! ```
 //! use psh_core::api::{OracleBuilder, Seed};
@@ -62,7 +82,7 @@ use crate::snapshot::OracleMeta;
 use crate::spanner::Spanner;
 use psh_exec::ExecutionPolicy;
 use psh_graph::traversal::bellman_ford::ExtraEdges;
-use psh_graph::{CsrGraph, VertexId};
+use psh_graph::{CsrGraph, ExtraSlabsView, MmapView, SnapshotSource, VertexId};
 use psh_pram::Cost;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -83,6 +103,28 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// The bounded answer cache (see the module docs): a direct-mapped slot
+/// array keyed by a seeded hash of the query pair, with
+/// overwrite-on-collision ("seeded eviction") replacement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheConfig {
+    /// Number of slots. Memory is `capacity` × one pair + one
+    /// [`QueryResult`] (~32 bytes). Must be at least 1.
+    pub capacity: usize,
+    /// Seed of the slot hash — fixes which of two colliding pairs
+    /// evicts the other, independent of arrival order.
+    pub seed: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 4096,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
 /// How an [`OracleService`] serves its batches.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServiceConfig {
@@ -94,6 +136,10 @@ pub struct ServiceConfig {
     /// beyond the cap stay queued for the next leader, bounding per-batch
     /// latency under bursts. Must be at least 1.
     pub max_batch: usize,
+    /// Optional answer cache (default `None` — off). Turning it on
+    /// changes wall-clock only, never answers: hits replay a published
+    /// [`QueryResult`] verbatim.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -101,6 +147,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             policy: ExecutionPolicy::from_env(),
             max_batch: 256,
+            cache: None,
         }
     }
 }
@@ -113,6 +160,17 @@ impl ServiceConfig {
             ..Default::default()
         }
     }
+}
+
+/// The slot a pair occupies in a cache of `cfg.capacity` slots — a
+/// splitmix64-style finalizer over the packed pair, keyed by the seed.
+fn cache_slot(cfg: &CacheConfig, pair: (VertexId, VertexId)) -> usize {
+    let mut x = cfg.seed ^ (((pair.0 as u64) << 32) | pair.1 as u64);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % cfg.capacity as u64) as usize
 }
 
 /// A point-in-time snapshot of a service's serving statistics.
@@ -143,6 +201,9 @@ pub struct ServiceStats {
     pub p999_ms: f64,
     /// Work/depth spent answering, composed batch-after-batch.
     pub total_cost: Cost,
+    /// Requests short-circuited by the answer cache (a subset of
+    /// `served`; always 0 when [`ServiceConfig::cache`] is `None`).
+    pub cache_hits: u64,
     /// Raw per-request latencies in publication order (for custom
     /// aggregation; cleared by [`OracleService::reset_stats`]).
     pub latencies_ms: Vec<f64>,
@@ -182,6 +243,9 @@ impl ServiceStats {
             p99_ms: percentile(&latencies_ms, 99.0),
             p999_ms: percentile(&latencies_ms, 99.9),
             total_cost,
+            // wire-side collectors see only latencies; cache state is a
+            // service-internal detail they cannot observe
+            cache_hits: 0,
             latencies_ms,
         }
     }
@@ -211,6 +275,10 @@ struct Shared {
     /// storing them for a collector that will never come.
     dead: HashSet<u64>,
     leader_active: bool,
+    /// The answer cache's slot array (empty when the cache is off).
+    /// Living under the same mutex as the queue keeps lookup-then-admit
+    /// atomic; answers are immutable so stale reads cannot exist.
+    cache: Vec<Option<((VertexId, VertexId), QueryResult)>>,
     // --- stats ---
     served: u64,
     batches: u64,
@@ -218,11 +286,12 @@ struct Shared {
     first_admission: Option<Instant>,
     last_publication: Option<Instant>,
     total_cost: Cost,
+    cache_hits: u64,
     latencies_ms: Vec<f64>,
 }
 
 impl Shared {
-    fn new() -> Shared {
+    fn new(cache_slots: usize) -> Shared {
         Shared {
             next_id: 0,
             queue: VecDeque::new(),
@@ -230,12 +299,14 @@ impl Shared {
             abandoned: HashSet::new(),
             dead: HashSet::new(),
             leader_active: false,
+            cache: vec![None; cache_slots],
             served: 0,
             batches: 0,
             largest_batch: 0,
             first_admission: None,
             last_publication: None,
             total_cost: Cost::ZERO,
+            cache_hits: 0,
             latencies_ms: Vec::new(),
         }
     }
@@ -285,10 +356,14 @@ impl OracleService {
     /// snapshot writer or a second service with a different policy).
     pub fn from_arc(oracle: Arc<ApproxShortestPaths>, config: ServiceConfig) -> OracleService {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        if let Some(cache) = &config.cache {
+            assert!(cache.capacity >= 1, "cache capacity must be at least 1");
+        }
+        let cache_slots = config.cache.map_or(0, |c| c.capacity);
         OracleService {
             oracle,
             config,
-            shared: Mutex::new(Shared::new()),
+            shared: Mutex::new(Shared::new(cache_slots)),
             wakeup: Condvar::new(),
         }
     }
@@ -314,10 +389,39 @@ impl OracleService {
     /// untrusted input against [`CsrGraph::n`] first.
     pub fn query(&self, s: VertexId, t: VertexId) -> QueryResult {
         let mut sh = self.shared.lock().unwrap();
+        if let Some(hit) = self.cache_lookup(&mut sh, (s, t)) {
+            return hit;
+        }
         let id = sh.admit((s, t));
         self.wait_for(sh, &[id])
             .pop()
             .expect("one ticket, one answer")
+    }
+
+    /// Probe the answer cache for `pair` under the admission lock. A hit
+    /// counts as a served request with zero queueing latency.
+    fn cache_lookup(&self, sh: &mut Shared, pair: (VertexId, VertexId)) -> Option<QueryResult> {
+        let cfg = self.config.cache?;
+        match sh.cache[cache_slot(&cfg, pair)] {
+            Some((cached_pair, answer)) if cached_pair == pair => {
+                let now = Instant::now();
+                sh.first_admission.get_or_insert(now);
+                sh.last_publication = Some(now);
+                sh.served += 1;
+                sh.cache_hits += 1;
+                sh.latencies_ms.push(0.0);
+                Some(answer)
+            }
+            _ => None,
+        }
+    }
+
+    /// Publish `pair`'s answer into the cache (overwriting whatever pair
+    /// currently hashes to the same slot — the seeded eviction).
+    fn cache_insert(&self, sh: &mut Shared, pair: (VertexId, VertexId), answer: QueryResult) {
+        if let Some(cfg) = self.config.cache {
+            sh.cache[cache_slot(&cfg, pair)] = Some((pair, answer));
+        }
     }
 
     /// Answer a batch of queries submitted as one unit, blocking until
@@ -330,8 +434,30 @@ impl OracleService {
             return Vec::new();
         }
         let mut sh = self.shared.lock().unwrap();
-        let ids: Vec<u64> = pairs.iter().map(|&pair| sh.admit(pair)).collect();
-        self.wait_for(sh, &ids)
+        // Split hits from misses under one lock hold so the admission
+        // order matches the input order of the missing pairs.
+        let mut out: Vec<Option<QueryResult>> = Vec::with_capacity(pairs.len());
+        let mut miss_pos = Vec::new();
+        let mut miss_ids = Vec::new();
+        for (i, &pair) in pairs.iter().enumerate() {
+            match self.cache_lookup(&mut sh, pair) {
+                Some(hit) => out.push(Some(hit)),
+                None => {
+                    out.push(None);
+                    miss_pos.push(i);
+                    miss_ids.push(sh.admit(pair));
+                }
+            }
+        }
+        if !miss_ids.is_empty() {
+            let answers = self.wait_for(sh, &miss_ids);
+            for (pos, answer) in miss_pos.into_iter().zip(answers) {
+                out[pos] = Some(answer);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every position is a hit or an answered miss"))
+            .collect()
     }
 
     /// Block until every ticket in `ids` has a published answer, taking
@@ -396,6 +522,9 @@ impl OracleService {
                 let published = Instant::now();
                 let mut live = 0u64;
                 for (pending, answer) in batch.iter().zip(&answers) {
+                    // answers are immutable, so even a dead ticket's
+                    // answer is safe to cache for future requests
+                    self.cache_insert(&mut sh, pending.pair, *answer);
                     if sh.dead.remove(&pending.id) {
                         // the waiter unwound mid-flight; nobody will
                         // ever collect this answer
@@ -443,13 +572,16 @@ impl OracleService {
             p99_ms: percentile(&sh.latencies_ms, 99.0),
             p999_ms: percentile(&sh.latencies_ms, 99.9),
             total_cost: sh.total_cost,
+            cache_hits: sh.cache_hits,
             latencies_ms: sh.latencies_ms.clone(),
         }
     }
 
     /// Clear the statistics (e.g. between benchmark scenario cells).
     /// In-flight requests are unaffected; their latencies land in the
-    /// fresh window.
+    /// fresh window. Cached answers are kept — they are immutable, so
+    /// carrying them across windows cannot change any future answer
+    /// (only `cache_hits` counts from zero again).
     pub fn reset_stats(&self) {
         let mut sh = self.shared.lock().unwrap();
         sh.served = 0;
@@ -458,6 +590,7 @@ impl OracleService {
         sh.first_admission = None;
         sh.last_publication = None;
         sh.total_cost = Cost::ZERO;
+        sh.cache_hits = 0;
         sh.latencies_ms.clear();
     }
 }
@@ -530,6 +663,11 @@ const _: () = {
     assert_send_sync::<WeightedHopsets>();
     assert_send_sync::<EstimateBand>();
     assert_send_sync::<Spanner>();
+    // the mapped (zero-copy) representation: raw slices into a shared
+    // immutable snapshot region, shareable by the manual unsafe impls
+    assert_send_sync::<SnapshotSource>();
+    assert_send_sync::<MmapView>();
+    assert_send_sync::<ExtraSlabsView>();
     // snapshot provenance travels between build and serve threads
     assert_send_sync::<OracleMeta>();
     assert_send_sync::<HopsetParams>();
@@ -538,6 +676,7 @@ const _: () = {
     // and the service itself is shared by reference across clients
     assert_send_sync::<OracleService>();
     assert_send_sync::<ServiceConfig>();
+    assert_send_sync::<CacheConfig>();
     assert_send_sync::<ServiceStats>();
 };
 
@@ -603,6 +742,7 @@ mod tests {
             ServiceConfig {
                 policy: ExecutionPolicy::Sequential,
                 max_batch: 4,
+                cache: None,
             },
         );
         assert_eq!(service.query_batch(&pairs), expect);
@@ -689,6 +829,7 @@ mod tests {
             ServiceConfig {
                 policy: ExecutionPolicy::Sequential,
                 max_batch: 4,
+                cache: None,
             },
         );
         // An out-of-range id panics inside the leader's query_batch; the
@@ -713,6 +854,102 @@ mod tests {
     }
 
     #[test]
+    fn answer_cache_hits_are_byte_identical_under_every_policy() {
+        // one pair list with heavy repetition, served by a cached and an
+        // uncached service under Seq and Par{4}: all four answer streams
+        // must be identical, and the cached services must actually hit
+        let pairs: Vec<(u32, u32)> = (0..96u32).map(|i| (i % 7, (i * 3) % 11 + 60)).collect();
+        let mut streams = Vec::new();
+        for policy in [
+            ExecutionPolicy::Sequential,
+            ExecutionPolicy::Parallel { threads: 4 },
+        ] {
+            for cache in [None, Some(CacheConfig::default())] {
+                let service = OracleService::new(
+                    test_oracle(8),
+                    ServiceConfig {
+                        policy,
+                        max_batch: 16,
+                        cache,
+                    },
+                );
+                // mix the entry points: singles first (warming the
+                // cache), then the whole list as one batch submission
+                let mut got: Vec<QueryResult> =
+                    pairs.iter().map(|&(s, t)| service.query(s, t)).collect();
+                got.extend(service.query_batch(&pairs));
+                let stats = service.stats();
+                assert_eq!(stats.served, 2 * pairs.len() as u64);
+                if cache.is_some() {
+                    // 7 × 11 = 77 possible pairs, 192 requests: most repeat
+                    assert!(
+                        stats.cache_hits > 100,
+                        "expected heavy hitting, got {}",
+                        stats.cache_hits
+                    );
+                } else {
+                    assert_eq!(stats.cache_hits, 0);
+                }
+                streams.push(got);
+            }
+        }
+        for s in &streams[1..] {
+            assert_eq!(s, &streams[0], "cache and policy must not change answers");
+        }
+    }
+
+    #[test]
+    fn answer_cache_eviction_is_bounded_and_seeded() {
+        // capacity 1: every insert evicts the previous occupant, so two
+        // alternating pairs never both hit — but answers stay correct
+        let service = OracleService::new(
+            test_oracle(9),
+            ServiceConfig {
+                policy: ExecutionPolicy::Sequential,
+                max_batch: 16,
+                cache: Some(CacheConfig {
+                    capacity: 1,
+                    seed: 42,
+                }),
+            },
+        );
+        let expect_a = service.oracle().query(0, 99).0;
+        let expect_b = service.oracle().query(1, 98).0;
+        for _ in 0..4 {
+            assert_eq!(service.query(0, 99), expect_a);
+            assert_eq!(service.query(1, 98), expect_b);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.served, 8);
+        assert_eq!(stats.cache_hits, 0, "alternation defeats a 1-slot cache");
+        // repeating one pair back-to-back does hit
+        assert_eq!(service.query(0, 99), expect_a);
+        assert_eq!(service.query(0, 99), expect_a);
+        assert_eq!(service.stats().cache_hits, 1);
+        // reset_stats zeroes the counter but keeps the cached answer
+        service.reset_stats();
+        assert_eq!(service.query(0, 99), expect_a);
+        let stats = service.stats();
+        assert_eq!((stats.cache_hits, stats.served), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cache capacity")]
+    fn zero_cache_capacity_is_rejected() {
+        let _ = OracleService::new(
+            test_oracle(5),
+            ServiceConfig {
+                policy: ExecutionPolicy::Sequential,
+                max_batch: 4,
+                cache: Some(CacheConfig {
+                    capacity: 0,
+                    seed: 0,
+                }),
+            },
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "max_batch")]
     fn zero_max_batch_is_rejected() {
         let oracle = test_oracle(5);
@@ -721,6 +958,7 @@ mod tests {
             ServiceConfig {
                 policy: ExecutionPolicy::Sequential,
                 max_batch: 0,
+                cache: None,
             },
         );
     }

@@ -61,7 +61,9 @@ use crate::api::Run;
 use crate::hopset::rounding::Rounding;
 use crate::hopset::weighted::{EstimateBand, WeightedHopsets};
 use crate::hopset::{Hopset, HopsetParams};
-use crate::oracle::{ApproxShortestPaths, Mode};
+use crate::oracle::{
+    owned_hopset_parts, ApproxShortestPaths, HopsetParts, Mode, ModeParts, OracleGraph, Repr,
+};
 use crate::Seed;
 use psh_graph::io::{
     EdgeRules, SnapshotReader, SnapshotWriter, KIND_HOPSET, KIND_ORACLE, KIND_SPANNER,
@@ -70,7 +72,15 @@ use psh_pram::Cost;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+pub mod v2;
+
 pub use psh_graph::io::SnapshotError;
+pub use psh_graph::Verify;
+pub use v2::{
+    inspect_v2, load_oracle_auto, load_oracle_v2, migrate_oracle_file, read_oracle_v2,
+    save_oracle_v2, section_name, snapshot_version, verify_oracle_v2, write_oracle_v2_bytes,
+    OracleSections,
+};
 
 /// Provenance stored alongside an oracle: the parameters and seed that
 /// built it (enough to rebuild it from scratch and get the identical
@@ -131,12 +141,19 @@ fn read_vertex_count(
 // Hopset
 // ---------------------------------------------------------------------------
 
-fn write_hopset_body<W: Write>(w: &mut SnapshotWriter<W>, h: &Hopset) -> Result<(), SnapshotError> {
+fn write_hopset_parts<W: Write>(
+    w: &mut SnapshotWriter<W>,
+    h: &HopsetParts<'_>,
+) -> Result<(), SnapshotError> {
     w.u64(h.n as u64)?;
     w.u64(h.star_count as u64)?;
     w.u64(h.clique_count as u64)?;
     w.u64(h.levels as u64)?;
-    w.edges(&h.edges)
+    w.edges(h.edges)
+}
+
+fn write_hopset_body<W: Write>(w: &mut SnapshotWriter<W>, h: &Hopset) -> Result<(), SnapshotError> {
+    write_hopset_parts(w, &owned_hopset_parts(h))
 }
 
 fn read_hopset_body<R: Read>(r: &mut SnapshotReader<R>) -> Result<Hopset, SnapshotError> {
@@ -213,23 +230,34 @@ pub fn write_oracle<W: Write>(
     w.u64(meta.seed.0)?;
     w.u64(meta.build_cost.work)?;
     w.u64(meta.build_cost.depth)?;
-    w.graph(&oracle.graph)?;
-    match &oracle.mode {
-        Mode::Unweighted { hopset, h_max, .. } => {
+    // parts access makes this writer representation-independent: an
+    // oracle serving off a mapped v2 region re-saves as v1 byte-for-byte
+    // the same way an owned one does (the migration round-trip test
+    // pins this down)
+    match oracle.graph() {
+        OracleGraph::Owned(g) => w.graph(g)?,
+        OracleGraph::Mapped(g) => w.graph(g)?,
+    }
+    match oracle.mode_parts() {
+        ModeParts::Unweighted { h_max, hopset } => {
             w.u8(0)?;
-            w.u64(*h_max as u64)?;
-            write_hopset_body(&mut w, hopset)?;
+            w.u64(h_max as u64)?;
+            write_hopset_parts(&mut w, &hopset)?;
         }
-        Mode::Weighted { hopsets } => {
+        ModeParts::Weighted {
+            eta,
+            epsilon,
+            bands,
+        } => {
             w.u8(1)?;
-            w.f64(hopsets.eta)?;
-            w.f64(hopsets.epsilon)?;
-            w.u64(hopsets.bands.len() as u64)?;
-            for band in &hopsets.bands {
+            w.f64(eta)?;
+            w.f64(epsilon)?;
+            w.u64(bands.len() as u64)?;
+            for band in &bands {
                 w.u64(band.d)?;
-                w.f64(band.rounding.what)?;
+                w.f64(band.what)?;
                 w.u64(band.h as u64)?;
-                write_hopset_body(&mut w, &band.hopset)?;
+                write_hopset_parts(&mut w, &band.hopset)?;
             }
         }
     }
@@ -356,7 +384,9 @@ pub fn read_oracle<R: Read>(inp: R) -> Result<(ApproxShortestPaths, OracleMeta),
     };
     r.expect_eof()?;
     Ok((
-        ApproxShortestPaths { graph, mode },
+        ApproxShortestPaths {
+            repr: Repr::Owned { graph, mode },
+        },
         OracleMeta {
             params,
             seed,
@@ -577,10 +607,10 @@ mod tests {
     fn zeroed_hop_budget_and_band_count_are_rejected() {
         // body offset of the mode byte: header(8) + params(40) + seed(8)
         // + cost(16) + graph body (n u64 + m u64 + 16 bytes per edge)
-        let mode_at = |g: &psh_graph::CsrGraph| 72 + 16 + 16 * g.m();
+        let mode_at = |m: usize| 72 + 16 + 16 * m;
 
         let (buf, fresh, _) = oracle_bytes(false);
-        let at = mode_at(fresh.graph());
+        let at = mode_at(fresh.graph().m());
         assert_eq!(buf[at], 0, "mode byte should be unweighted");
         let mut bad = buf.clone();
         bad[at + 1..at + 9].fill(0); // h_max := 0
@@ -593,7 +623,7 @@ mod tests {
         ));
 
         let (buf, fresh, _) = oracle_bytes(true);
-        let at = mode_at(fresh.graph());
+        let at = mode_at(fresh.graph().m());
         assert_eq!(buf[at], 1, "mode byte should be weighted");
         let mut bad = buf[..at + 1 + 16 + 8].to_vec(); // keep eta + epsilon
         bad[at + 17..at + 25].fill(0); // band count := 0, body ends there

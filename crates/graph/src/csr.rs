@@ -26,7 +26,11 @@ pub type Weight = u64;
 pub const INF: Weight = u64::MAX;
 
 /// A canonical undirected edge: `u < v` always holds after construction.
+/// `repr(C)` pins the field layout (`u32, u32, u64` — 16 bytes, align 8,
+/// no padding) so snapshot slabs can reinterpret mapped bytes as edge
+/// records without a per-element decode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(C)]
 pub struct Edge {
     pub u: VertexId,
     pub v: VertexId,

@@ -65,10 +65,10 @@ impl<T> BucketQueue<T> {
     }
 
     /// Remove and return the non-empty bucket with the smallest key.
+    /// One tree descent (`pop_first`), not a find-then-remove pair —
+    /// this runs once per round in every search engine.
     pub fn pop_min(&mut self) -> Option<(u64, Vec<T>)> {
-        let (&key, _) = self.buckets.first_key_value()?;
-        let items = self.buckets.remove(&key).expect("bucket exists");
-        Some((key, items))
+        self.buckets.pop_first()
     }
 
     /// True when no items are queued.

@@ -62,6 +62,7 @@
 //! in `psh_core::snapshot`, built on the same writer/reader primitives.
 
 use crate::csr::{CsrGraph, Edge};
+use crate::view::GraphView;
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
 
@@ -335,8 +336,10 @@ impl<W: Write> SnapshotWriter<W> {
         Ok(())
     }
 
-    /// Emit a graph body: `n`, then the canonical edge list.
-    pub fn graph(&mut self, g: &CsrGraph) -> Result<(), SnapshotError> {
+    /// Emit a graph body: `n`, then the canonical edge list. Generic over
+    /// [`GraphView`] so owned graphs and mapped v2 views serialize
+    /// identically (the v2 → v1 re-save path depends on this).
+    pub fn graph<G: GraphView>(&mut self, g: &G) -> Result<(), SnapshotError> {
         self.u64(g.n() as u64)?;
         self.edges(g.edges())
     }

@@ -47,8 +47,10 @@ pub mod csr;
 pub mod frontier;
 pub mod generators;
 pub mod io;
+pub mod prefetch;
 pub mod prefix;
 pub mod quotient;
+pub mod source;
 pub mod subgraph;
 pub mod traversal;
 pub mod union_find;
@@ -57,5 +59,6 @@ pub mod view;
 pub use csr::{CsrGraph, Edge, VertexId, Weight, INF};
 pub use frontier::{drive, BucketQueue, Frontier};
 pub use quotient::QuotientGraph;
+pub use source::{ExtraSlabsView, LoadMode, MmapView, SnapshotSource, Verify};
 pub use subgraph::SubGraph;
 pub use view::{CsrView, GraphView, SplitArena};

@@ -11,15 +11,20 @@
 //! the worst-case `h·m`. Relaxations are gathered in parallel and applied
 //! as a deterministic per-target minimum.
 
-use crate::csr::{CsrGraph, Edge, VertexId, Weight, INF};
+use crate::csr::{Edge, VertexId, Weight, INF};
+use crate::prefetch::{lookahead, prefetch_pays, prefetch_read};
+use crate::view::GraphView;
 use psh_pram::Cost;
 use rayon::prelude::*;
 
 /// A set of auxiliary (hopset) edges in CSR form over the same vertex ids
-/// as the base graph. Undirected: both directions are stored.
+/// as the base graph. Undirected: both directions are stored. Offsets are
+/// `u32` (2m' adjacency slots fit the u32 edge-id space by the same bound
+/// the canonical edge list obeys), so the borrowed form ([`ExtraView`])
+/// can alias a mapped snapshot slab directly.
 #[derive(Clone, Debug, Default)]
 pub struct ExtraEdges {
-    offsets: Vec<usize>,
+    offsets: Vec<u32>,
     targets: Vec<VertexId>,
     weights: Vec<Weight>,
     m: usize,
@@ -28,27 +33,28 @@ pub struct ExtraEdges {
 impl ExtraEdges {
     /// Build from an undirected edge list over vertices `0..n`.
     pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
-        let mut degree = vec![0usize; n];
+        assert!(
+            edges.len() as u64 * 2 <= u32::MAX as u64,
+            "extra-edge slots exceed the u32 offset space"
+        );
+        let mut offsets = vec![0u32; n + 1];
         for e in edges {
-            degree[e.u as usize] += 1;
-            degree[e.v as usize] += 1;
+            offsets[e.u as usize + 1] += 1;
+            offsets[e.v as usize + 1] += 1;
         }
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0;
-        offsets.push(0);
-        for d in &degree {
-            acc += d;
-            offsets.push(acc);
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
         }
+        let acc = offsets[n] as usize;
         let mut cursor = offsets.clone();
         let mut targets = vec![0; acc];
         let mut weights = vec![0; acc];
         for e in edges {
-            targets[cursor[e.u as usize]] = e.v;
-            weights[cursor[e.u as usize]] = e.w;
+            targets[cursor[e.u as usize] as usize] = e.v;
+            weights[cursor[e.u as usize] as usize] = e.w;
             cursor[e.u as usize] += 1;
-            targets[cursor[e.v as usize]] = e.u;
-            weights[cursor[e.v as usize]] = e.w;
+            targets[cursor[e.v as usize] as usize] = e.u;
+            weights[cursor[e.v as usize] as usize] = e.w;
             cursor[e.v as usize] += 1;
         }
         ExtraEdges {
@@ -72,15 +78,59 @@ impl ExtraEdges {
     /// Iterate `(neighbor, weight)` of `v` among the extra edges.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
+        self.view().neighbors(v)
+    }
+
+    /// Borrow as the slice-backed form the query cores run on.
+    #[inline]
+    pub fn view(&self) -> ExtraView<'_> {
+        ExtraView {
+            offsets: &self.offsets,
+            targets: &self.targets,
+            weights: &self.weights,
+        }
+    }
+}
+
+/// Borrowed extra-edge adjacency: three slices in the layout
+/// [`ExtraEdges::from_edges`] produces — owned storage and mapped v2
+/// snapshot slabs both hand out this form, so the hop-limited cores
+/// below run identically on either. `Copy`, like [`crate::CsrView`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExtraView<'a> {
+    offsets: &'a [u32],
+    targets: &'a [VertexId],
+    weights: &'a [Weight],
+}
+
+impl<'a> ExtraView<'a> {
+    /// Assemble a view from raw parts (mapped snapshot slabs). `offsets`
+    /// needs one entry per vertex plus a trailing total; the adjacency
+    /// slices hold both directions of every extra edge.
+    pub fn from_raw(offsets: &'a [u32], targets: &'a [VertexId], weights: &'a [Weight]) -> Self {
+        assert!(!offsets.is_empty(), "offsets needs a trailing total");
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert_eq!(targets.len(), weights.len());
+        ExtraView {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Iterate `(neighbor, weight)` of `v` among the extra edges.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + 'a {
+        let range = self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize;
         self.targets[range.clone()]
             .iter()
             .copied()
             .zip(self.weights[range].iter().copied())
     }
 
+    #[inline]
     fn degree(&self, v: VertexId) -> usize {
-        self.offsets[v as usize + 1] - self.offsets[v as usize]
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
     }
 }
 
@@ -99,9 +149,22 @@ pub struct HopQuery {
 }
 
 /// Compute h-hop-limited distances from `sources` over `g` plus `extra`.
-pub fn hop_limited_sssp(
-    g: &CsrGraph,
+pub fn hop_limited_sssp<G: GraphView>(
+    g: &G,
     extra: Option<&ExtraEdges>,
+    sources: &[VertexId],
+    h: usize,
+) -> (HopQuery, Cost) {
+    hop_limited_sssp_on(g, extra.map(ExtraEdges::view), sources, h)
+}
+
+/// [`hop_limited_sssp`] on borrowed extra-edge slices — the core both
+/// the owned and the mapped (v2 snapshot) oracle reprs run, so their
+/// relaxation sequences — and therefore answers and costs — are
+/// identical by construction.
+pub fn hop_limited_sssp_on<G: GraphView>(
+    g: &G,
+    extra: Option<ExtraView<'_>>,
     sources: &[VertexId],
     h: usize,
 ) -> (HopQuery, Cost) {
@@ -123,18 +186,44 @@ pub fn hop_limited_sssp(
             .par_iter()
             .map(|&v| (g.degree(v) + extra.map_or(0, |e| e.degree(v))) as u64)
             .sum();
-        let mut relax: Vec<(VertexId, Weight)> = frontier
-            .par_iter()
-            .flat_map_iter(|&u| {
-                let du = dist[u as usize];
-                let base = g.neighbors(u).map(move |(v, w)| (v, du.saturating_add(w)));
-                let ext = extra
-                    .into_iter()
-                    .flat_map(move |e| e.neighbors(u))
-                    .map(move |(v, w)| (v, du.saturating_add(w)));
-                base.chain(ext).filter(|&(v, nd)| nd < dist[v as usize])
-            })
-            .collect();
+        let dist_ref = &dist;
+        // the dist[v] probe is the random read in this loop; once dist
+        // outgrows L2 ([`prefetch_pays`]), hint it a few candidates
+        // ahead of the filter. The two arms spell out the same loop body
+        // rather than sharing it through a closure: routing the iterator
+        // construction through a shared closure costs ~30% qps on
+        // cache-resident graphs (measured via query_throughput, n=800),
+        // so each arm must stay independently inlinable.
+        let mut relax: Vec<(VertexId, Weight)> = if prefetch_pays(n) {
+            frontier
+                .par_iter()
+                .flat_map_iter(|&u| {
+                    let du = dist_ref[u as usize];
+                    let base = g.neighbors(u).map(move |(v, w)| (v, du.saturating_add(w)));
+                    let ext = extra
+                        .into_iter()
+                        .flat_map(move |e| e.neighbors(u))
+                        .map(move |(v, w)| (v, du.saturating_add(w)));
+                    lookahead(base.chain(ext), |&(v, _)| {
+                        prefetch_read(dist_ref, v as usize);
+                    })
+                    .filter(|&(v, nd)| nd < dist_ref[v as usize])
+                })
+                .collect()
+        } else {
+            frontier
+                .par_iter()
+                .flat_map_iter(|&u| {
+                    let du = dist_ref[u as usize];
+                    let base = g.neighbors(u).map(move |(v, w)| (v, du.saturating_add(w)));
+                    let ext = extra
+                        .into_iter()
+                        .flat_map(move |e| e.neighbors(u))
+                        .map(move |(v, w)| (v, du.saturating_add(w)));
+                    base.chain(ext).filter(|&(v, nd)| nd < dist_ref[v as usize])
+                })
+                .collect()
+        };
         relax.par_sort_unstable();
         let mut next = Vec::new();
         let mut last = u32::MAX;
@@ -164,14 +253,26 @@ pub fn hop_limited_sssp(
 
 /// h-hop-limited `s`–`t` distance. Returns the distance (or [`INF`]) and
 /// the number of hops after which `t`'s distance last improved.
-pub fn hop_limited_pair(
-    g: &CsrGraph,
+pub fn hop_limited_pair<G: GraphView>(
+    g: &G,
     extra: Option<&ExtraEdges>,
     s: VertexId,
     t: VertexId,
     h: usize,
 ) -> (Weight, u32, Cost) {
-    let (q, cost) = hop_limited_sssp(g, extra, &[s], h);
+    hop_limited_pair_on(g, extra.map(ExtraEdges::view), s, t, h)
+}
+
+/// [`hop_limited_pair`] on borrowed extra-edge slices (see
+/// [`hop_limited_sssp_on`]).
+pub fn hop_limited_pair_on<G: GraphView>(
+    g: &G,
+    extra: Option<ExtraView<'_>>,
+    s: VertexId,
+    t: VertexId,
+    h: usize,
+) -> (Weight, u32, Cost) {
+    let (q, cost) = hop_limited_sssp_on(g, extra, &[s], h);
     (q.dist[t as usize], q.hops_settled[t as usize], cost)
 }
 

@@ -21,6 +21,7 @@
 
 use crate::csr::{VertexId, Weight, INF};
 use crate::frontier::{drive, BucketQueue, Frontier};
+use crate::prefetch::{lookahead, prefetch_pays, prefetch_read};
 use crate::traversal::SsspResult;
 use crate::view::GraphView;
 use psh_exec::Executor;
@@ -44,6 +45,33 @@ struct DeltaStepping<'a, G> {
     delta: Weight,
 }
 
+impl<G: GraphView> DeltaStepping<'_, G> {
+    /// Queue every improving neighbor claim; both `expand` arms run this
+    /// exact body so the hint path cannot change the claim sequence.
+    #[inline]
+    fn push_claims(
+        &self,
+        c: &DeltaClaim,
+        out: &mut Vec<(u64, DeltaClaim)>,
+        neighbors: impl Iterator<Item = (VertexId, Weight)>,
+    ) -> u64 {
+        for (w, wt) in neighbors {
+            let nd = c.dist.saturating_add(wt);
+            if nd < self.dist[w as usize] {
+                out.push((
+                    nd / self.delta,
+                    DeltaClaim {
+                        target: w,
+                        dist: nd,
+                        parent: c.target,
+                    },
+                ));
+            }
+        }
+        self.g.degree(c.target) as u64
+    }
+}
+
 impl<G: GraphView> Frontier for DeltaStepping<'_, G> {
     type Claim = DeltaClaim;
 
@@ -61,20 +89,19 @@ impl<G: GraphView> Frontier for DeltaStepping<'_, G> {
     }
 
     fn expand(&self, c: &DeltaClaim, _round: u64, out: &mut Vec<(u64, DeltaClaim)>) -> u64 {
-        for (w, wt) in self.g.neighbors(c.target) {
-            let nd = c.dist.saturating_add(wt);
-            if nd < self.dist[w as usize] {
-                out.push((
-                    nd / self.delta,
-                    DeltaClaim {
-                        target: w,
-                        dist: nd,
-                        parent: c.target,
-                    },
-                ));
-            }
+        // the dist[w] probe is the random read in this loop — once the
+        // array outgrows L2, hint it a few neighbors ahead while the
+        // adjacency slice streams; below that the adapter is pure
+        // overhead, so take the plain loop
+        if prefetch_pays(self.dist.len()) {
+            let dist = &self.dist;
+            let neighbors = lookahead(self.g.neighbors(c.target), |&(w, _)| {
+                prefetch_read(dist, w as usize);
+            });
+            self.push_claims(c, out, neighbors)
+        } else {
+            self.push_claims(c, out, self.g.neighbors(c.target))
         }
-        self.g.degree(c.target) as u64
     }
 }
 

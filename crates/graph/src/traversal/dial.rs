@@ -19,6 +19,7 @@
 
 use crate::csr::{VertexId, Weight, INF};
 use crate::frontier::{drive, BucketQueue, Frontier};
+use crate::prefetch::{lookahead, prefetch_pays, prefetch_read};
 use crate::traversal::SsspResult;
 use crate::view::GraphView;
 use psh_exec::Executor;
@@ -40,6 +41,33 @@ struct Dial<'a, G> {
     bound: Weight,
 }
 
+impl<G: GraphView> Dial<'_, G> {
+    /// Queue every improving neighbor claim; both `expand` arms run this
+    /// exact body so the hint path cannot change the claim sequence.
+    #[inline]
+    fn push_claims(
+        &self,
+        c: &DialClaim,
+        round: u64,
+        out: &mut Vec<(u64, DialClaim)>,
+        neighbors: impl Iterator<Item = (VertexId, Weight)>,
+    ) -> u64 {
+        for (w, wt) in neighbors {
+            let nd = round.saturating_add(wt);
+            if nd < INF && nd <= self.bound && !self.settled[w as usize] {
+                out.push((
+                    nd,
+                    DialClaim {
+                        target: w,
+                        parent: c.target,
+                    },
+                ));
+            }
+        }
+        self.g.degree(c.target) as u64
+    }
+}
+
 impl<G: GraphView> Frontier for Dial<'_, G> {
     type Claim = DialClaim;
 
@@ -58,19 +86,19 @@ impl<G: GraphView> Frontier for Dial<'_, G> {
     }
 
     fn expand(&self, c: &DialClaim, round: u64, out: &mut Vec<(u64, DialClaim)>) -> u64 {
-        for (w, wt) in self.g.neighbors(c.target) {
-            let nd = round.saturating_add(wt);
-            if nd < INF && nd <= self.bound && !self.settled[w as usize] {
-                out.push((
-                    nd,
-                    DialClaim {
-                        target: w,
-                        parent: c.target,
-                    },
-                ));
-            }
+        // the settled[w] probe is the random read in this loop — once
+        // the array outgrows L2, hint it a few neighbors ahead while
+        // the adjacency slice streams; below that the adapter is pure
+        // overhead, so take the plain loop
+        if prefetch_pays(self.settled.len()) {
+            let settled = &self.settled;
+            let neighbors = lookahead(self.g.neighbors(c.target), |&(w, _)| {
+                prefetch_read(settled, w as usize);
+            });
+            self.push_claims(c, round, out, neighbors)
+        } else {
+            self.push_claims(c, round, out, self.g.neighbors(c.target))
         }
-        self.g.degree(c.target) as u64
     }
 }
 

@@ -192,6 +192,7 @@ fn tiny_batch_cap_under_contention_is_still_identical() {
             ServiceConfig {
                 policy,
                 max_batch: 3,
+                cache: None,
             },
         );
         let answers = hammer(&service, &pairs);
