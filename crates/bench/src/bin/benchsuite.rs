@@ -38,6 +38,15 @@
 //!   policies with the bounded answer cache enabled, replaying the
 //!   workload twice through one service — the second pass measures the
 //!   hit path, and both passes feed the divergence gate;
+//! * **hot-swap cells** per build: the {Sequential, Parallel{4}}
+//!   policies with 8 client threads hammering the service without pause
+//!   while the main thread first idles (a 200 ms steady window), then
+//!   rebuilds an oracle for a one-edge mutation of the graph and swaps
+//!   it in via [`psh_core::service::OracleService::swap_oracle`] — the
+//!   row records qps in both windows (the zero-downtime claim: serving
+//!   never stops during the rebuild), the rebuild wall-clock, the pause
+//!   the swap call itself imposes, the resulting epoch, and whether the
+//!   settled answers are byte-identical to the swapped-in oracle;
 //! * **baseline head-to-head** per build: the oracle's `query_batch`
 //!   against exact per-pair Dijkstra on the same pairs (both
 //!   sequential), reporting both throughputs and the observed stretch
@@ -61,7 +70,7 @@
 //! weighting), a `serve` table (one row per in-process scenario cell),
 //! and a `serve_net` table (one row per wire cell). Rows are
 //! stringly-typed table cells; `meta` carries the numeric knobs. The
-//! `serve_net`, `load`, `serve_cached`, and `baselines` tables are
+//! `serve_net`, `load`, `serve_cached`, `swap`, and `baselines` tables are
 //! additive — documents keep `schema_version` 1, and `bench-compare`
 //! diffs two documents table-by-table (tables present in only one side
 //! are skipped, so old baselines stay comparable).
@@ -80,7 +89,7 @@ use psh_core::snapshot::{
 use psh_core::HopsetParams;
 use psh_exec::ExecutionPolicy;
 use psh_graph::traversal::dijkstra::dijkstra_pair;
-use psh_graph::{CsrGraph, LoadMode, INF};
+use psh_graph::{CsrGraph, GraphDelta, LoadMode, INF};
 use psh_net::{NetClient, NetServer, ServerConfig};
 use psh_pram::Cost;
 use std::net::SocketAddr;
@@ -273,6 +282,114 @@ fn measure_loads(
     }
 }
 
+/// One hot-swap cell's measurements: client-observed throughput while
+/// the service is steady vs while a full oracle rebuild of the mutated
+/// graph runs on a sibling thread, the rebuild wall-clock, the pause the
+/// [`OracleService::swap_oracle`] call itself imposes, and whether the
+/// settled post-swap answers are byte-identical to a direct query of the
+/// swapped-in oracle.
+struct SwapCell {
+    qps_steady: f64,
+    qps_rebuild: f64,
+    rebuild_s: f64,
+    swap_ms: f64,
+    epoch: u64,
+    identical: bool,
+}
+
+/// Hammer one shared service from `clients` threads without pause while
+/// the main thread first idles (the steady window), then rebuilds an
+/// oracle for the graph-plus-one-edge mutation and hot-swaps it in.
+/// Queries are attributed to whichever window they *complete* in; the
+/// swap pause is timed around the `swap_oracle` call alone.
+fn measure_swap(
+    g: &CsrGraph,
+    base: &Arc<ApproxShortestPaths>,
+    params: HopsetParams,
+    gseed: u64,
+    pairs: &[(u32, u32)],
+    policy: ExecutionPolicy,
+    clients: usize,
+) -> SwapCell {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // the mutation: one shortcut edge vertex 0 does not already have
+    let target = (1..g.n() as u32)
+        .rev()
+        .find(|&v| !g.neighbors(0).any(|(x, _)| x == v))
+        .unwrap_or_else(|| die("swap cell: vertex 0 is adjacent to everything"));
+    let mut delta = GraphDelta::new(g.n());
+    delta
+        .insert(0, target, 1)
+        .unwrap_or_else(|e| die(format_args!("swap cell: delta: {e}")));
+    let g2 = g
+        .apply_delta(&delta)
+        .unwrap_or_else(|e| die(format_args!("swap cell: apply_delta: {e}")));
+
+    let service = Arc::new(OracleService::from_arc(
+        Arc::clone(base),
+        ServiceConfig::with_policy(policy),
+    ));
+    // 0 = steady window, 1 = rebuild window, 2 = stop
+    let phase = AtomicU64::new(0);
+    let counts = [AtomicU64::new(0), AtomicU64::new(0)];
+    let (steady_s, rebuild_window_s, rebuild_s, swap_ms, epoch, swapped) =
+        std::thread::scope(|scope| {
+            for k in 0..clients {
+                let (service, phase, counts) = (&service, &phase, &counts);
+                scope.spawn(move || {
+                    let mut i = k;
+                    loop {
+                        let (s, t) = pairs[i % pairs.len()];
+                        let _ = service.query(s, t);
+                        let ph = phase.load(Ordering::Acquire);
+                        if ph >= 2 {
+                            break;
+                        }
+                        counts[ph as usize].fetch_add(1, Ordering::Relaxed);
+                        i += clients;
+                    }
+                });
+            }
+            let t0 = Instant::now();
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            let steady_s = t0.elapsed().as_secs_f64();
+            phase.store(1, Ordering::Release);
+            let t1 = Instant::now();
+            let rebuilt = OracleBuilder::new()
+                .params(params)
+                .seed(Seed(gseed))
+                .build(&g2)
+                .unwrap_or_else(|e| die(format_args!("swap cell: rebuild failed: {e}")));
+            let rebuild_s = t1.elapsed().as_secs_f64();
+            let swapped = Arc::new(rebuilt.artifact);
+            let t2 = Instant::now();
+            let epoch = service.swap_oracle(Arc::clone(&swapped));
+            let swap_ms = t2.elapsed().as_secs_f64() * 1e3;
+            let rebuild_window_s = t1.elapsed().as_secs_f64();
+            phase.store(2, Ordering::Release);
+            (
+                steady_s,
+                rebuild_window_s,
+                rebuild_s,
+                swap_ms,
+                epoch,
+                swapped,
+            )
+        });
+
+    // settled: every answer must now come bitwise from the new oracle
+    let settled = run_clients(&service, pairs, clients);
+    let reference: Vec<QueryResult> = pairs.iter().map(|&(s, t)| swapped.query(s, t).0).collect();
+    SwapCell {
+        qps_steady: counts[0].load(Ordering::Relaxed) as f64 / steady_s.max(1e-12),
+        qps_rebuild: counts[1].load(Ordering::Relaxed) as f64 / rebuild_window_s.max(1e-12),
+        rebuild_s,
+        swap_ms,
+        epoch,
+        identical: settled == reference,
+    }
+}
+
 /// Oracle `query_batch` vs exact per-pair Dijkstra on the same pairs,
 /// both sequential. Returns (oracle qps, dijkstra qps, max stretch,
 /// mean stretch over reachable s ≠ t pairs).
@@ -427,6 +544,18 @@ fn main() {
         "qps warm",
         "qps cached",
         "hits",
+        "identical",
+    ]);
+    let mut swap_table = Table::new([
+        "family",
+        "weights",
+        "policy",
+        "clients",
+        "qps steady",
+        "qps rebuild",
+        "rebuild (s)",
+        "swap (ms)",
+        "epoch",
         "identical",
     ]);
     let mut baselines_table = Table::new([
@@ -625,6 +754,25 @@ fn main() {
                 ]);
             }
 
+            // --- hot-swap cells: serve while a rebuild runs ----------------
+            for &policy in &net_policies {
+                let cell = measure_swap(&g, &fresh, params, gseed, &pairs, policy, 8);
+                mismatches += usize::from(!cell.identical);
+                cells += 1;
+                swap_table.row([
+                    fname.to_string(),
+                    wname.to_string(),
+                    policy.to_string(),
+                    fmt_u(8),
+                    fmt_f(cell.qps_steady),
+                    fmt_f(cell.qps_rebuild),
+                    fmt_s(cell.rebuild_s),
+                    fmt_s(cell.swap_ms),
+                    fmt_u(cell.epoch),
+                    if cell.identical { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+
             // --- exact-baseline head-to-head ------------------------------
             let (oracle_qps, exact_qps, max_stretch, mean_stretch) =
                 head_to_head(&g, &fresh, &pairs, &reference);
@@ -699,6 +847,8 @@ fn main() {
     load_table.print();
     println!("\n## cached serving matrix (answer cache on)\n");
     cached_table.print();
+    println!("\n## hot-swap matrix (serve while rebuilding, then swap)\n");
+    swap_table.print();
     println!("\n## exact-baseline head-to-head (sequential)\n");
     baselines_table.print();
 
@@ -717,6 +867,7 @@ fn main() {
     report.push_table("serve_net", &serve_net_table);
     report.push_table("load", &load_table);
     report.push_table("serve_cached", &cached_table);
+    report.push_table("swap", &swap_table);
     report.push_table("baselines", &baselines_table);
     report.finish();
 

@@ -11,6 +11,9 @@
 //! psh-client --shutdown            # stop the server; print its final stats
 //! psh-client --stats               # print the server's serving statistics
 //! psh-client --info                # print the served graph's shape
+//! psh-client --reload              # poll the server's journal; hot-swap
+//!                                  # if it grew (needs --watch-journal
+//!                                  # server-side)
 //! psh-client --query S,T           # one s–t query
 //! psh-client [replay flags]        # default: replay a workload
 //! ```
@@ -107,6 +110,23 @@ fn main() {
             "serving n={} m={} | hopset size {} | build seed {}",
             info.n, info.m, info.hopset, info.seed
         );
+        return;
+    }
+    if has_flag("--reload") {
+        let r = connect(&addr)
+            .reload()
+            .unwrap_or_else(|e| die(format_args!("reload failed: {e}")));
+        if r.swapped {
+            println!(
+                "hot-swapped: epoch {} now serving (applied {} journal records, {} ops; n={} m={})",
+                r.epoch, r.records, r.ops, r.n, r.m
+            );
+        } else {
+            println!(
+                "nothing to reload: epoch {} still serving (n={} m={})",
+                r.epoch, r.n, r.m
+            );
+        }
         return;
     }
     if let Some(spec) = parse_flag("--query") {

@@ -12,6 +12,8 @@
 //! ```text
 //! psh-server [--family F] [--n N] [--weights U] [--graph PATH]
 //!            [--snapshot PATH] [--fresh-snapshot]
+//!            [--watch-journal]       # hot-swap on journal growth
+//!                                    # (requires --snapshot; see below)
 //!            [--addr HOST:PORT]      # default $PSH_ADDR, else 127.0.0.1:7471
 //!                                    # (use :0 for an ephemeral port)
 //!            [--port-file PATH]      # write the bound addr for scripts
@@ -23,6 +25,15 @@
 //!            [--json PATH]
 //! ```
 //!
+//! With `--watch-journal` the server watches `<snapshot>.journal` (see
+//! `psh-snap journal`): the main loop polls it every 25 ms, and clients
+//! may force an immediate poll with `psh-client --reload`. New records
+//! are applied to the served graph, the oracle is rebuilt in the
+//! background, and the service hot-swaps it at a batch boundary — the
+//! old epoch keeps answering until the instant the new one takes over
+//! (zero downtime, no torn batches). A corrupt or mismatched journal is
+//! logged and the previous epoch keeps serving.
+//!
 //! The server stops when any of these fires, then drains and exits 0:
 //! a client sends the shutdown op (`psh-client --shutdown`), stdin
 //! reaches EOF (close the pipe that feeds it — the no-signal-crate
@@ -30,15 +41,16 @@
 //! connection- and query-level statistics (the same `ServiceStats`
 //! vocabulary as `psh-serve`).
 
-use psh_bench::json::parse_flag;
+use psh_bench::json::{has_flag, parse_flag};
 use psh_bench::serving::{obtain_oracle, parse_max_seconds, parse_policy};
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::Report;
 use psh_core::service::{CacheConfig, OracleService, ServiceConfig};
+use psh_core::snapshot::{owned_base_graph, JournalReloader};
 use psh_net::server::env_addr;
 use psh_net::{NetServer, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const PROG: &str = "psh-server";
@@ -86,12 +98,30 @@ fn main() {
         seed,
     };
 
+    let watch_journal = has_flag("--watch-journal");
+    let snapshot_path = parse_flag("--snapshot");
+    if watch_journal && snapshot_path.is_none() {
+        die("--watch-journal needs --snapshot PATH (the journal lives at <snapshot>.journal)");
+    }
+
     let (oracle, meta, loaded, prep_s) = obtain_oracle(PROG, seed);
     let n = oracle.graph().n();
     let m = oracle.graph().m();
     if n == 0 {
         die("the graph has no vertices to serve");
     }
+
+    // The reloader wants an owned copy of the served graph (hot-swap
+    // rebuilds mutate it); take it before the oracle moves into the
+    // service.
+    let reloader = watch_journal.then(|| {
+        let base = snapshot_path.as_deref().expect("checked above");
+        Arc::new(Mutex::new(JournalReloader::new(
+            base,
+            owned_base_graph(&oracle),
+            meta,
+        )))
+    });
 
     let service = Arc::new(OracleService::new(
         oracle,
@@ -103,6 +133,15 @@ fn main() {
     ));
     let mut server = NetServer::bind(&addr, Arc::clone(&service), config)
         .unwrap_or_else(|e| die(format_args!("cannot bind {addr}: {e}")));
+    if let Some(rl) = &reloader {
+        // wire `psh-client --reload`: the hook shares the one reloader
+        // (and its cursor) with the 25 ms poll below
+        let rl = Arc::clone(rl);
+        let svc = Arc::clone(&service);
+        server.set_reload_hook(Box::new(move || {
+            rl.lock().unwrap().poll(&svc).map_err(|e| e.to_string())
+        }));
+    }
     let bound = server.local_addr();
     println!("serving n={n} m={m} on {bound} | {policy} | batches of ≤{max_batch}");
 
@@ -128,6 +167,7 @@ fn main() {
     }
 
     let start = Instant::now();
+    let mut swaps: u64 = 0;
     let why = loop {
         if server.stopping() {
             break "wire shutdown request";
@@ -137,6 +177,21 @@ fn main() {
         }
         if max_seconds.is_some_and(|cap| start.elapsed().as_secs_f64() >= cap) {
             break "--max-seconds elapsed";
+        }
+        if let Some(rl) = &reloader {
+            match rl.lock().unwrap().poll(&service) {
+                Ok(Some(r)) => {
+                    swaps += 1;
+                    println!(
+                        "hot-swap: epoch {} now serving (applied {} journal records, {} ops; n={} m={})",
+                        r.epoch, r.records, r.ops, r.n, r.m
+                    );
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!(
+                    "{PROG}: journal reload failed: {e} (still serving the previous epoch)"
+                ),
+            }
         }
         std::thread::sleep(Duration::from_millis(25));
     };
@@ -184,6 +239,9 @@ fn main() {
         .meta("preprocess_s", prep_s)
         .meta("conns_accepted", server_stats.conns_accepted)
         .meta("conns_rejected", server_stats.conns_rejected)
+        .meta("conns_timed_out", server_stats.conns_timed_out)
+        .meta("epoch", service.epoch())
+        .meta("hot_swaps", swaps)
         .meta("queries_served", server_stats.queries_served)
         .meta("queries_rejected", server_stats.queries_rejected)
         .meta("frames_in", server_stats.frames_in)

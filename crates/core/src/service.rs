@@ -42,6 +42,33 @@
 //! short-circuits. Cache hits record a 0 ms latency sample — they never
 //! touch the queue.
 //!
+//! ## Epochs and zero-downtime hot swap
+//!
+//! A service is born at **epoch 0** serving the oracle it was built with.
+//! [`OracleService::swap_oracle`] installs a replacement oracle — e.g. one
+//! rebuilt for a mutated graph — and bumps the epoch, *without stopping
+//! the service*: clients keep querying throughout. The swap is atomic at
+//! a **batch boundary**: each leader captures the current `(oracle,
+//! epoch)` under the admission lock at the moment it drains its batch, so
+//! every batch — and therefore every request — is answered wholly by one
+//! epoch's oracle; no request ever sees a torn epoch. A batch already in
+//! flight when the swap lands completes on the epoch it captured; batches
+//! drained afterwards serve the new one.
+//!
+//! **The answer cache is flushed on swap.** Cached answers are only
+//! immutable *within* an epoch — after a swap the same `(s, t)` pair may
+//! have a different distance — so [`OracleService::swap_oracle`] clears
+//! every slot, and a batch that captured the pre-swap oracle skips cache
+//! publication if the epoch changed while it was in flight (its answers
+//! are still delivered to their waiters, who were admitted against that
+//! epoch). This rule is load-bearing: without it a stale cached answer
+//! could survive an epoch change indefinitely, since seeded eviction is
+//! keyed per pair, not per oracle.
+//!
+//! [`OracleService::query_attributed`] returns the epoch alongside the
+//! answer, which is what the swap-storm stress tests use to byte-check
+//! every answer against its epoch's reference oracle.
+//!
 //! ## Thread-safety audit
 //!
 //! Sharing one oracle across OS threads is sound because the whole serving
@@ -263,9 +290,17 @@ struct Pending {
 /// mutex keeps the check-then-wait transitions race-free (no lost
 /// wakeups between "is my answer published?" and the condvar wait).
 struct Shared {
+    /// The oracle answering the current epoch's batches. Swapped whole
+    /// by [`OracleService::swap_oracle`]; leaders clone the `Arc` (and
+    /// record the epoch) at drain time, so a swap never tears a batch.
+    oracle: Arc<ApproxShortestPaths>,
+    /// Bumped by every swap. Answers are attributed to the epoch whose
+    /// oracle computed them.
+    epoch: u64,
     next_id: u64,
     queue: VecDeque<Pending>,
-    answers: HashMap<u64, QueryResult>,
+    /// Published answers, tagged with the epoch that computed them.
+    answers: HashMap<u64, (QueryResult, u64)>,
     /// Tickets whose serving leader panicked (e.g. an out-of-range
     /// vertex id in the coalesced batch): their waiters re-raise the
     /// failure instead of blocking forever.
@@ -291,8 +326,10 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(cache_slots: usize) -> Shared {
+    fn new(oracle: Arc<ApproxShortestPaths>, cache_slots: usize) -> Shared {
         Shared {
+            oracle,
+            epoch: 0,
             next_id: 0,
             queue: VecDeque::new(),
             answers: HashMap::new(),
@@ -331,7 +368,6 @@ impl Shared {
 /// many client threads as you like — see the module docs for the
 /// coalescing protocol and the determinism contract.
 pub struct OracleService {
-    oracle: Arc<ApproxShortestPaths>,
     config: ServiceConfig,
     shared: Mutex<Shared>,
     wakeup: Condvar,
@@ -340,7 +376,8 @@ pub struct OracleService {
 impl std::fmt::Debug for OracleService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OracleService")
-            .field("oracle", &self.oracle)
+            .field("oracle", &self.oracle())
+            .field("epoch", &self.epoch())
             .field("config", &self.config)
             .finish_non_exhaustive()
     }
@@ -361,16 +398,43 @@ impl OracleService {
         }
         let cache_slots = config.cache.map_or(0, |c| c.capacity);
         OracleService {
-            oracle,
             config,
-            shared: Mutex::new(Shared::new(cache_slots)),
+            shared: Mutex::new(Shared::new(oracle, cache_slots)),
             wakeup: Condvar::new(),
         }
     }
 
-    /// The oracle this service answers from.
-    pub fn oracle(&self) -> &ApproxShortestPaths {
-        &self.oracle
+    /// The oracle answering the current epoch. The returned handle stays
+    /// valid (and keeps answering consistently) even if the service swaps
+    /// to a newer oracle afterwards — it just stops being "current".
+    pub fn oracle(&self) -> Arc<ApproxShortestPaths> {
+        Arc::clone(&self.shared.lock().unwrap().oracle)
+    }
+
+    /// The current epoch: 0 at construction, +1 per
+    /// [`OracleService::swap_oracle`].
+    pub fn epoch(&self) -> u64 {
+        self.shared.lock().unwrap().epoch
+    }
+
+    /// Install a replacement oracle and enter the next epoch, without
+    /// stopping the service — the zero-downtime half of a hot swap (the
+    /// rebuild half runs wherever the caller likes, typically a
+    /// background thread, while the old epoch keeps serving).
+    ///
+    /// The swap takes effect at a **batch boundary**: batches drained
+    /// after this call serve the new oracle; a batch in flight completes
+    /// on the oracle it captured and skips cache publication. The answer
+    /// cache is flushed here — see the module docs for why that rule is
+    /// mandatory. Returns the new epoch.
+    pub fn swap_oracle(&self, oracle: Arc<ApproxShortestPaths>) -> u64 {
+        let mut sh = self.shared.lock().unwrap();
+        sh.oracle = oracle;
+        sh.epoch += 1;
+        for slot in sh.cache.iter_mut() {
+            *slot = None;
+        }
+        sh.epoch
     }
 
     /// The configuration this service was built with.
@@ -388,6 +452,14 @@ impl OracleService {
     /// service itself stays live for everything else); validate
     /// untrusted input against [`CsrGraph::n`] first.
     pub fn query(&self, s: VertexId, t: VertexId) -> QueryResult {
+        self.query_attributed(s, t).0
+    }
+
+    /// [`query`](OracleService::query), plus the epoch whose oracle
+    /// computed the answer. Swap-storm verification uses this to check
+    /// every answer byte-for-byte against its epoch's reference oracle;
+    /// plain serving can ignore the attribution.
+    pub fn query_attributed(&self, s: VertexId, t: VertexId) -> (QueryResult, u64) {
         let mut sh = self.shared.lock().unwrap();
         if let Some(hit) = self.cache_lookup(&mut sh, (s, t)) {
             return hit;
@@ -399,8 +471,14 @@ impl OracleService {
     }
 
     /// Probe the answer cache for `pair` under the admission lock. A hit
-    /// counts as a served request with zero queueing latency.
-    fn cache_lookup(&self, sh: &mut Shared, pair: (VertexId, VertexId)) -> Option<QueryResult> {
+    /// counts as a served request with zero queueing latency, attributed
+    /// to the current epoch (the flush-on-swap rule guarantees every
+    /// cached answer was computed by it).
+    fn cache_lookup(
+        &self,
+        sh: &mut Shared,
+        pair: (VertexId, VertexId),
+    ) -> Option<(QueryResult, u64)> {
         let cfg = self.config.cache?;
         match sh.cache[cache_slot(&cfg, pair)] {
             Some((cached_pair, answer)) if cached_pair == pair => {
@@ -410,7 +488,7 @@ impl OracleService {
                 sh.served += 1;
                 sh.cache_hits += 1;
                 sh.latencies_ms.push(0.0);
-                Some(answer)
+                Some((answer, sh.epoch))
             }
             _ => None,
         }
@@ -441,7 +519,7 @@ impl OracleService {
         let mut miss_ids = Vec::new();
         for (i, &pair) in pairs.iter().enumerate() {
             match self.cache_lookup(&mut sh, pair) {
-                Some(hit) => out.push(Some(hit)),
+                Some((hit, _epoch)) => out.push(Some(hit)),
                 None => {
                     out.push(None);
                     miss_pos.push(i);
@@ -451,7 +529,7 @@ impl OracleService {
         }
         if !miss_ids.is_empty() {
             let answers = self.wait_for(sh, &miss_ids);
-            for (pos, answer) in miss_pos.into_iter().zip(answers) {
+            for (pos, (answer, _epoch)) in miss_pos.into_iter().zip(answers) {
                 out[pos] = Some(answer);
             }
         }
@@ -467,7 +545,7 @@ impl OracleService {
         &'a self,
         mut sh: std::sync::MutexGuard<'a, Shared>,
         ids: &[u64],
-    ) -> Vec<QueryResult> {
+    ) -> Vec<(QueryResult, u64)> {
         // Whole-ticket-lifetime unwind guard: if this waiter panics (its
         // batch was poisoned, or its own leader serve panicked), every
         // one of its tickets is reclaimed — removed from the queue,
@@ -503,6 +581,12 @@ impl OracleService {
                 sh.leader_active = true;
                 let take = sh.queue.len().min(self.config.max_batch);
                 let batch: Vec<Pending> = sh.queue.drain(..take).collect();
+                // Capture the batch's epoch while the lock pins it: the
+                // whole batch is served by this one oracle even if a
+                // swap lands while the serve is in flight — that is the
+                // "swap at a batch boundary, never a torn epoch" rule.
+                let oracle = Arc::clone(&sh.oracle);
+                let batch_epoch = sh.epoch;
                 drop(sh);
 
                 let pairs: Vec<(VertexId, VertexId)> = batch.iter().map(|p| p.pair).collect();
@@ -515,23 +599,31 @@ impl OracleService {
                     service: self,
                     batch_ids: batch.iter().map(|p| p.id).collect(),
                 };
-                let (answers, cost) = self.oracle.query_batch(&pairs, self.config.policy);
+                let (answers, cost) = oracle.query_batch(&pairs, self.config.policy);
                 std::mem::forget(reset);
 
                 sh = self.shared.lock().unwrap();
                 let published = Instant::now();
                 let mut live = 0u64;
+                // The flush-on-swap rule's second half: if the epoch
+                // moved while this batch was in flight, its answers are
+                // stale for *future* requests and must not repopulate
+                // the freshly flushed cache (waiters still get them —
+                // they were admitted against the captured epoch).
+                let cacheable = sh.epoch == batch_epoch;
                 for (pending, answer) in batch.iter().zip(&answers) {
-                    // answers are immutable, so even a dead ticket's
-                    // answer is safe to cache for future requests
-                    self.cache_insert(&mut sh, pending.pair, *answer);
+                    if cacheable {
+                        // answers are immutable within an epoch, so even
+                        // a dead ticket's answer is safe to cache
+                        self.cache_insert(&mut sh, pending.pair, *answer);
+                    }
                     if sh.dead.remove(&pending.id) {
                         // the waiter unwound mid-flight; nobody will
                         // ever collect this answer
                         continue;
                     }
                     live += 1;
-                    sh.answers.insert(pending.id, *answer);
+                    sh.answers.insert(pending.id, (*answer, batch_epoch));
                     sh.latencies_ms
                         .push(published.duration_since(pending.admitted).as_secs_f64() * 1e3);
                 }
@@ -579,9 +671,11 @@ impl OracleService {
 
     /// Clear the statistics (e.g. between benchmark scenario cells).
     /// In-flight requests are unaffected; their latencies land in the
-    /// fresh window. Cached answers are kept — they are immutable, so
-    /// carrying them across windows cannot change any future answer
-    /// (only `cache_hits` counts from zero again).
+    /// fresh window. Cached answers are kept — they are immutable within
+    /// an epoch, so carrying them across stats windows cannot change any
+    /// future answer (only `cache_hits` counts from zero again). The
+    /// epoch and oracle are untouched: invalidation is tied to
+    /// [`OracleService::swap_oracle`], never to stats housekeeping.
     pub fn reset_stats(&self) {
         let mut sh = self.shared.lock().unwrap();
         sh.served = 0;
@@ -678,6 +772,10 @@ const _: () = {
     assert_send_sync::<ServiceConfig>();
     assert_send_sync::<CacheConfig>();
     assert_send_sync::<ServiceStats>();
+    // the hot-swap path hands graphs, deltas, and replacement oracles
+    // between the rebuild thread and the serving threads
+    assert_send_sync::<psh_graph::GraphDelta>();
+    assert_send_sync::<Arc<ApproxShortestPaths>>();
 };
 
 #[cfg(test)]
@@ -931,6 +1029,112 @@ mod tests {
         assert_eq!(service.query(0, 99), expect_a);
         let stats = service.stats();
         assert_eq!((stats.cache_hits, stats.served), (1, 1));
+    }
+
+    #[test]
+    fn hot_swap_matches_fresh_build_of_the_mutated_graph_under_every_policy() {
+        use psh_graph::GraphDelta;
+        let g = generators::grid(10, 10);
+        let params = HopsetParams {
+            epsilon: 0.5,
+            delta: 1.5,
+            gamma1: 0.25,
+            gamma2: 0.75,
+            k_conf: 1.0,
+        };
+        let build = |g: &psh_graph::CsrGraph| {
+            OracleBuilder::new()
+                .params(params)
+                .seed(Seed(11))
+                .build(g)
+                .unwrap()
+                .artifact
+        };
+        let mut delta = GraphDelta::new(100);
+        delta.insert(0, 99, 1).unwrap(); // a shortcut that changes distances
+        delta.delete(0, 1).unwrap();
+        let mutated = g.apply_delta(&delta).unwrap();
+        let fresh = build(&mutated); // the reference: a from-scratch build
+
+        for policy in [
+            ExecutionPolicy::Sequential,
+            ExecutionPolicy::Parallel { threads: 2 },
+            ExecutionPolicy::Parallel { threads: 4 },
+            ExecutionPolicy::Parallel { threads: 8 },
+        ] {
+            let service = OracleService::new(
+                build(&g),
+                ServiceConfig {
+                    policy,
+                    max_batch: 16,
+                    cache: Some(CacheConfig::default()),
+                },
+            );
+            assert_eq!(service.epoch(), 0);
+            let pairs: Vec<(u32, u32)> = (0..32u32).map(|i| (i, 99 - i)).collect();
+            let before = service.query_batch(&pairs);
+            assert_eq!(service.swap_oracle(Arc::new(build(&mutated))), 1);
+            assert_eq!(service.epoch(), 1);
+            let after = service.query_batch(&pairs);
+            let expect: Vec<QueryResult> =
+                pairs.iter().map(|&(s, t)| fresh.query(s, t).0).collect();
+            assert_eq!(after, expect, "post-swap ≡ fresh build, policy {policy:?}");
+            assert_ne!(before, after, "the delta must actually change answers");
+            // attribution: post-swap answers carry the new epoch
+            assert_eq!(service.query_attributed(0, 99), (fresh.query(0, 99).0, 1));
+        }
+    }
+
+    #[test]
+    fn swap_flushes_the_answer_cache() {
+        use psh_graph::GraphDelta;
+        let old = test_oracle(12);
+        let service = OracleService::new(
+            old,
+            ServiceConfig {
+                policy: ExecutionPolicy::Sequential,
+                max_batch: 16,
+                cache: Some(CacheConfig::default()),
+            },
+        );
+        // populate the cache and prove it hits
+        let stale = service.query(0, 99);
+        assert_eq!(service.query(0, 99), stale);
+        assert_eq!(service.stats().cache_hits, 1);
+
+        // swap to an oracle whose (0, 99) answer differs
+        let g = generators::grid(10, 10);
+        let mut delta = GraphDelta::new(100);
+        delta.insert(0, 99, 1).unwrap();
+        let mutated = g.apply_delta(&delta).unwrap();
+        let fresh = OracleBuilder::new()
+            .params(HopsetParams {
+                epsilon: 0.5,
+                delta: 1.5,
+                gamma1: 0.25,
+                gamma2: 0.75,
+                k_conf: 1.0,
+            })
+            .seed(Seed(12))
+            .build(&mutated)
+            .unwrap()
+            .artifact;
+        let expect = fresh.query(0, 99).0;
+        assert_ne!(expect, stale, "the shortcut must change this answer");
+        service.swap_oracle(Arc::new(fresh));
+
+        // a stale hit here would return `stale`; the flush forces a miss
+        // and the new epoch's bytes
+        let hits_before = service.stats().cache_hits;
+        assert_eq!(service.query(0, 99), expect);
+        assert_eq!(
+            service.stats().cache_hits,
+            hits_before,
+            "post-swap first touch must miss the flushed cache"
+        );
+        // and the fresh answer is cached for the new epoch
+        assert_eq!(service.query(0, 99), expect);
+        assert_eq!(service.stats().cache_hits, hits_before + 1);
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl CsrGraph {
     }
 
     /// Internal: `list` must already be canonical, sorted, and deduplicated.
-    fn from_canonical_edges(n: usize, list: Vec<Edge>) -> Self {
+    pub(crate) fn from_canonical_edges(n: usize, list: Vec<Edge>) -> Self {
         let m = list.len();
         let mut degree = vec![0usize; n];
         for e in &list {

@@ -22,6 +22,10 @@
 //!   Δ-stepping, hop-limited Bellman–Ford (the hopset query engine), and
 //!   exact Dijkstra as a verification oracle — the first three as
 //!   [`frontier::Frontier`] implementations.
+//! * [`delta`] — incremental edge updates: the [`GraphDelta`] journal of
+//!   validated insert/delete ops and [`CsrGraph::apply_delta`], the sorted
+//!   merge producing a fresh CSR byte-identical to a full rebuild — the
+//!   substrate of the serving tier's zero-downtime oracle hot-swap.
 //! * [`connectivity`] / [`union_find`] — connected components (parallel
 //!   label propagation and union-find), used by Appendix B's hierarchical
 //!   weight decomposition.
@@ -44,6 +48,7 @@
 pub mod builder;
 pub mod connectivity;
 pub mod csr;
+pub mod delta;
 pub mod frontier;
 pub mod generators;
 pub mod io;
@@ -57,6 +62,7 @@ pub mod union_find;
 pub mod view;
 
 pub use csr::{CsrGraph, Edge, VertexId, Weight, INF};
+pub use delta::{DeltaError, DeltaOp, GraphDelta};
 pub use frontier::{drive, BucketQueue, Frontier};
 pub use quotient::QuotientGraph;
 pub use source::{ExtraSlabsView, LoadMode, MmapView, SnapshotSource, Verify};

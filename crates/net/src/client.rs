@@ -25,8 +25,8 @@
 //! [`ApproxShortestPaths::query`]: psh_core::oracle::ApproxShortestPaths::query
 
 use crate::protocol::{
-    read_response, write_request, ProtocolError, ReplaySummary, Request, Response, ServerInfo,
-    WireStats,
+    read_response, write_request, ProtocolError, ReloadSummary, ReplaySummary, Request, Response,
+    ServerInfo, WireStats,
 };
 use crate::server::env_addr;
 use psh_core::oracle::QueryResult;
@@ -182,6 +182,20 @@ impl NetClient {
         match self.exchange(&Request::Info)? {
             Response::Info(info) => Ok(info),
             other => Err(unexpected("an info reply", &other)),
+        }
+    }
+
+    /// Ask the server to poll its journal and hot-swap the oracle if new
+    /// records arrived. Blocks until the reload completes (a swap
+    /// includes a full oracle rebuild server-side — allow for it in
+    /// [`set_timeouts`](NetClient::set_timeouts)). Servers without a
+    /// reload source answer
+    /// [`ERR_NO_RELOAD`](crate::protocol::ERR_NO_RELOAD), surfaced as
+    /// [`ProtocolError::Remote`].
+    pub fn reload(&mut self) -> Result<ReloadSummary, ProtocolError> {
+        match self.exchange(&Request::Reload)? {
+            Response::Reloaded(summary) => Ok(summary),
+            other => Err(unexpected("a reload reply", &other)),
         }
     }
 

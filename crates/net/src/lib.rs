@@ -33,5 +33,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::NetClient;
-pub use protocol::{ProtocolError, ReplaySummary, ServerInfo, WireStats};
-pub use server::{NetServer, ServerConfig, ServerStats};
+pub use protocol::{ProtocolError, ReloadSummary, ReplaySummary, ServerInfo, WireStats};
+pub use server::{NetServer, ReloadHook, ServerConfig, ServerStats};

@@ -31,11 +31,13 @@
 //! | `OP_STATS` (4) | C→S | empty |
 //! | `OP_SHUTDOWN` (5) | C→S | empty |
 //! | `OP_INFO` (6) | C→S | empty |
+//! | `OP_RELOAD` (7) | C→S | empty |
 //! | `OP_ANSWER` (16) | S→C | `count: u32, count × (dist: f64-bits u64, upper: u8)` |
 //! | `OP_STREAM` (17) | S→C | `offset: u32`, then an `OP_ANSWER` body |
 //! | `OP_STREAM_END` (18) | S→C | `served: u64, batches: u64, elapsed_s: f64` |
 //! | `OP_STATS_REPLY` (19) | S→C | the [`WireStats`] scalars |
 //! | `OP_INFO_REPLY` (20) | S→C | `n: u64, m: u64, hopset: u64, seed: u64` |
+//! | `OP_RELOAD_REPLY` (21) | S→C | `swapped: u8, epoch: u64, records: u64, ops: u64, n: u64, m: u64` |
 //! | `OP_ERROR` (31) | S→C | `code: u16, len: u32, len × utf-8 bytes` |
 //!
 //! `OP_SUBSCRIBE` is the streaming mode: the client ships a whole replay
@@ -93,6 +95,10 @@ pub const OP_STATS: u16 = 4;
 pub const OP_SHUTDOWN: u16 = 5;
 /// Request the served graph's shape (`OP_INFO_REPLY`).
 pub const OP_INFO: u16 = 6;
+/// Ask the server to poll its journal and hot-swap the oracle if new
+/// records arrived (reply: `OP_RELOAD_REPLY`). Servers without a reload
+/// source answer [`ERR_NO_RELOAD`].
+pub const OP_RELOAD: u16 = 7;
 
 // --- server → client ops ---------------------------------------------------
 /// Answers for `OP_QUERY`/`OP_QUERY_BATCH`, in request order.
@@ -105,6 +111,9 @@ pub const OP_STREAM_END: u16 = 18;
 pub const OP_STATS_REPLY: u16 = 19;
 /// The served graph's shape and provenance.
 pub const OP_INFO_REPLY: u16 = 20;
+/// Outcome of an `OP_RELOAD`: whether a swap happened, the epoch now
+/// served, and the shape of the (possibly new) graph.
+pub const OP_RELOAD_REPLY: u16 = 21;
 /// A typed server-side failure (the connection may stay open; see codes).
 pub const OP_ERROR: u16 = 31;
 
@@ -122,19 +131,27 @@ pub const ERR_GLOBAL_CAP: u16 = 4;
 pub const ERR_BUSY: u16 = 5;
 /// The server is shutting down (connection closed).
 pub const ERR_SHUTTING_DOWN: u16 = 6;
+/// `OP_RELOAD` sent to a server with no reload source configured (no
+/// `--watch-journal`, no programmatic hook; connection stays open).
+pub const ERR_NO_RELOAD: u16 = 7;
+/// The reload hook failed — e.g. a corrupt journal record or a rebuild
+/// error. The previous oracle keeps serving; the connection stays open.
+pub const ERR_RELOAD_FAILED: u16 = 8;
 
-const KNOWN_OPS: [u16; 12] = [
+const KNOWN_OPS: [u16; 14] = [
     OP_QUERY,
     OP_QUERY_BATCH,
     OP_SUBSCRIBE,
     OP_STATS,
     OP_SHUTDOWN,
     OP_INFO,
+    OP_RELOAD,
     OP_ANSWER,
     OP_STREAM,
     OP_STREAM_END,
     OP_STATS_REPLY,
     OP_INFO_REPLY,
+    OP_RELOAD_REPLY,
     OP_ERROR,
 ];
 
@@ -147,11 +164,13 @@ pub fn op_name(op: u16) -> &'static str {
         OP_STATS => "stats",
         OP_SHUTDOWN => "shutdown",
         OP_INFO => "info",
+        OP_RELOAD => "reload",
         OP_ANSWER => "answer",
         OP_STREAM => "stream",
         OP_STREAM_END => "stream-end",
         OP_STATS_REPLY => "stats-reply",
         OP_INFO_REPLY => "info-reply",
+        OP_RELOAD_REPLY => "reload-reply",
         OP_ERROR => "error",
         _ => "unknown",
     }
@@ -590,6 +609,8 @@ pub enum Request {
     Shutdown,
     /// Request the served graph's shape.
     Info,
+    /// Ask the server to poll its journal and hot-swap if it grew.
+    Reload,
 }
 
 impl Request {
@@ -612,6 +633,7 @@ impl Request {
             Request::Stats => (OP_STATS, w.finish()),
             Request::Shutdown => (OP_SHUTDOWN, w.finish()),
             Request::Info => (OP_INFO, w.finish()),
+            Request::Reload => (OP_RELOAD, w.finish()),
         }
     }
 
@@ -641,6 +663,7 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
             OP_INFO => Request::Info,
+            OP_RELOAD => Request::Reload,
             other => {
                 return Err(ProtocolError::Unexpected {
                     expected: "a request op",
@@ -720,6 +743,25 @@ pub struct ServerInfo {
     pub seed: u64,
 }
 
+/// Outcome of an `OP_RELOAD`, as carried by `OP_RELOAD_REPLY`. When the
+/// journal had nothing new, `swapped` is false, `records`/`ops` are zero,
+/// and the rest describes the epoch still being served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReloadSummary {
+    /// True when a new oracle was swapped in by this reload.
+    pub swapped: bool,
+    /// The service epoch now serving answers.
+    pub epoch: u64,
+    /// Journal records applied by this reload (0 when nothing was new).
+    pub records: u64,
+    /// Total delta ops across those records.
+    pub ops: u64,
+    /// Vertex count of the graph now served.
+    pub n: u64,
+    /// Edge count of the graph now served.
+    pub m: u64,
+}
+
 /// A server-to-client message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -739,6 +781,8 @@ pub enum Response {
     Stats(WireStats),
     /// The served graph's shape.
     Info(ServerInfo),
+    /// Outcome of a reload request.
+    Reloaded(ReloadSummary),
     /// A typed failure (see the `ERR_*` codes).
     Error {
         /// One of the `ERR_*` codes.
@@ -782,6 +826,15 @@ impl Response {
                 w.u64(i.n).u64(i.m).u64(i.hopset).u64(i.seed);
                 (OP_INFO_REPLY, w.finish())
             }
+            Response::Reloaded(r) => {
+                w.u8(u8::from(r.swapped))
+                    .u64(r.epoch)
+                    .u64(r.records)
+                    .u64(r.ops)
+                    .u64(r.n)
+                    .u64(r.m);
+                (OP_RELOAD_REPLY, w.finish())
+            }
             Response::Error { code, message } => {
                 w.u16(*code).string(message);
                 (OP_ERROR, w.finish())
@@ -821,6 +874,14 @@ impl Response {
                 m: r.u64("info m")?,
                 hopset: r.u64("info hopset")?,
                 seed: r.u64("info seed")?,
+            }),
+            OP_RELOAD_REPLY => Response::Reloaded(ReloadSummary {
+                swapped: r.bool("reload swapped")?,
+                epoch: r.u64("reload epoch")?,
+                records: r.u64("reload records")?,
+                ops: r.u64("reload ops")?,
+                n: r.u64("reload n")?,
+                m: r.u64("reload m")?,
             }),
             OP_ERROR => Response::Error {
                 code: r.u16("error code")?,
@@ -900,6 +961,7 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Info,
+            Request::Reload,
         ];
         for req in requests {
             let mut buf = Vec::new();
@@ -940,6 +1002,22 @@ mod tests {
                 m: 180,
                 hopset: 40,
                 seed: 20150625,
+            }),
+            Response::Reloaded(ReloadSummary {
+                swapped: true,
+                epoch: 3,
+                records: 2,
+                ops: 17,
+                n: 100,
+                m: 181,
+            }),
+            Response::Reloaded(ReloadSummary {
+                swapped: false,
+                epoch: 3,
+                records: 0,
+                ops: 0,
+                n: 100,
+                m: 181,
             }),
             Response::Error {
                 code: ERR_OUT_OF_RANGE,
@@ -1066,6 +1144,17 @@ mod tests {
         body.u32(1).f64(1.0).u8(2);
         let frame = Frame {
             op: OP_ANSWER,
+            body: body.finish(),
+        };
+        assert!(matches!(
+            Response::decode(&frame),
+            Err(ProtocolError::Corrupt { .. })
+        ));
+        // non-canonical swap flag in a reload reply
+        let mut body = BodyWriter::new();
+        body.u8(7).u64(1).u64(1).u64(1).u64(10).u64(9);
+        let frame = Frame {
+            op: OP_RELOAD_REPLY,
             body: body.finish(),
         };
         assert!(matches!(

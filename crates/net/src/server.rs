@@ -31,12 +31,24 @@
 //! [`ERR_GLOBAL_CAP`], connection
 //! closed), and read/write timeouts so an idle or stalled peer cannot
 //! pin its thread forever.
+//!
+//! ## Hot reload
+//!
+//! A server started with a [`ReloadHook`] (see
+//! [`NetServer::set_reload_hook`]; `psh-server --watch-journal` wires a
+//! [`JournalReloader`](psh_core::snapshot::JournalReloader) in) answers
+//! `OP_RELOAD` by applying any new journal records and hot-swapping the
+//! service's oracle at a batch boundary — queries on other connections
+//! keep flowing on the old epoch until the swap lands, then see the new
+//! one. Reloads serialize behind one mutex; queries never wait on it.
 
 use crate::protocol::{
-    op_name, read_frame, write_response, ReplaySummary, Request, Response, ServerInfo,
-    ERR_BAD_REQUEST, ERR_BUSY, ERR_CONN_CAP, ERR_GLOBAL_CAP, ERR_OUT_OF_RANGE, ERR_SHUTTING_DOWN,
+    op_name, read_frame, write_response, ReloadSummary, ReplaySummary, Request, Response,
+    ServerInfo, ERR_BAD_REQUEST, ERR_BUSY, ERR_CONN_CAP, ERR_GLOBAL_CAP, ERR_NO_RELOAD,
+    ERR_OUT_OF_RANGE, ERR_RELOAD_FAILED, ERR_SHUTTING_DOWN,
 };
 use psh_core::service::OracleService;
+use psh_core::snapshot::ReloadReport;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -105,6 +117,11 @@ pub struct ServerStats {
     pub conns_accepted: u64,
     /// Connections turned away at the `max_conns` cap.
     pub conns_rejected: u64,
+    /// Connections closed because their socket deadline elapsed (both
+    /// `WouldBlock` and `TimedOut` land here — the platform decides
+    /// which kind a timed-out socket read reports, so the server folds
+    /// them into one counter instead of leaking the distinction).
+    pub conns_timed_out: u64,
     /// Connections currently live.
     pub active_conns: usize,
     /// Queries answered over the wire (batch of `k` counts `k`).
@@ -120,11 +137,21 @@ pub struct ServerStats {
 struct Counters {
     conns_accepted: AtomicU64,
     conns_rejected: AtomicU64,
+    conns_timed_out: AtomicU64,
     queries_served: AtomicU64,
     queries_rejected: AtomicU64,
     frames_in: AtomicU64,
     frames_out: AtomicU64,
 }
+
+/// A server-side reload source: polled on every wire `OP_RELOAD`, it
+/// applies any new journal records to the service (hot-swapping the
+/// oracle) and reports what it did — `Ok(None)` when nothing was new.
+/// The hook runs under a server-wide mutex, so concurrent reload
+/// requests serialize: at most one rebuild is in flight at a time, and
+/// queries keep flowing on the current epoch throughout. Typically a
+/// [`psh_core::snapshot::JournalReloader`] wrapped in a closure.
+pub type ReloadHook = Box<dyn FnMut() -> Result<Option<ReloadReport>, String> + Send>;
 
 struct Shared {
     service: Arc<OracleService>,
@@ -143,6 +170,9 @@ struct Shared {
     /// past the server-side close (and leak fds on a long-lived server).
     conns: Mutex<Vec<(u64, TcpStream)>>,
     next_conn_id: AtomicU64,
+    /// The wire-triggered reload source (`None` until
+    /// [`NetServer::set_reload_hook`]); the mutex serializes reloads.
+    reload: Mutex<Option<ReloadHook>>,
 }
 
 impl Shared {
@@ -205,6 +235,7 @@ impl NetServer {
             counters: Counters {
                 conns_accepted: AtomicU64::new(0),
                 conns_rejected: AtomicU64::new(0),
+                conns_timed_out: AtomicU64::new(0),
                 queries_served: AtomicU64::new(0),
                 queries_rejected: AtomicU64::new(0),
                 frames_in: AtomicU64::new(0),
@@ -212,6 +243,7 @@ impl NetServer {
             },
             conns: Mutex::new(Vec::new()),
             next_conn_id: AtomicU64::new(0),
+            reload: Mutex::new(None),
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
@@ -239,12 +271,21 @@ impl NetServer {
         &self.shared.service
     }
 
+    /// Install the reload source answering wire `OP_RELOAD` requests
+    /// (replacing any previous hook). Until one is installed, reload
+    /// requests get a typed [`ERR_NO_RELOAD`] error. See [`ReloadHook`]
+    /// for the serialization contract.
+    pub fn set_reload_hook(&self, hook: ReloadHook) {
+        *self.shared.reload.lock().unwrap() = Some(hook);
+    }
+
     /// Connection-level counters.
     pub fn stats(&self) -> ServerStats {
         let c = &self.shared.counters;
         ServerStats {
             conns_accepted: c.conns_accepted.load(Ordering::Relaxed),
             conns_rejected: c.conns_rejected.load(Ordering::Relaxed),
+            conns_timed_out: c.conns_timed_out.load(Ordering::Relaxed),
             active_conns: self.shared.active_conns.load(Ordering::Relaxed),
             queries_served: c.queries_served.load(Ordering::Relaxed),
             queries_rejected: c.queries_rejected.load(Ordering::Relaxed),
@@ -370,8 +411,20 @@ fn accept_loop(
 /// breaks, or the server stops. Never panics on malformed input: every
 /// failure is either a typed `OP_ERROR` frame or a silent close.
 fn serve_connection(stream: &TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(shared.config.read_timeout);
-    let _ = stream.set_write_timeout(shared.config.write_timeout);
+    // A connection whose timeouts failed to arm could pin its reader
+    // thread forever on a silent peer — the one failure mode the
+    // timeouts exist to prevent — so a setter error closes the
+    // connection rather than serving it unguarded.
+    if let Err(e) = stream
+        .set_read_timeout(shared.config.read_timeout)
+        .and_then(|()| stream.set_write_timeout(shared.config.write_timeout))
+    {
+        let peer = stream
+            .peer_addr()
+            .map_or_else(|_| "<unknown>".to_string(), |a| a.to_string());
+        eprintln!("psh-net: closing {peer}: could not arm socket timeouts: {e}");
+        return;
+    }
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(stream);
     let mut conn_served: u64 = 0;
@@ -397,8 +450,18 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
         }
         let frame = match read_frame(&mut reader) {
             Ok(f) => f,
-            // clean close, forced close, idle timeout, or garbage:
-            // nothing more can be framed on this socket either way
+            // An elapsed read deadline is `WouldBlock` on unix and
+            // `TimedOut` on windows; `is_timeout` folds both into the
+            // one idle-timeout counter so the close is observable.
+            Err(e) if e.is_timeout() => {
+                shared
+                    .counters
+                    .conns_timed_out
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // clean close, forced close, or garbage: nothing more can
+            // be framed on this socket either way
             Err(_) => return,
         };
         shared.counters.frames_in.fetch_add(1, Ordering::Relaxed);
@@ -424,14 +487,20 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
 
         match request {
             Request::Info => {
-                let g = shared.service.oracle().graph();
+                let oracle = shared.service.oracle();
+                let g = oracle.graph();
                 let info = ServerInfo {
                     n: g.n() as u64,
                     m: g.m() as u64,
-                    hopset: shared.service.oracle().hopset_size() as u64,
+                    hopset: oracle.hopset_size() as u64,
                     seed: shared.config.seed,
                 };
                 if !send(&mut writer, &Response::Info(info)) {
+                    return;
+                }
+            }
+            Request::Reload => {
+                if !serve_reload(shared, &mut writer, send) {
                     return;
                 }
             }
@@ -471,6 +540,53 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
             }
         }
     }
+}
+
+/// Answer one `OP_RELOAD`: run the installed [`ReloadHook`] (serialized
+/// by its mutex — concurrent reload requests queue, queries do not) and
+/// report the outcome. A missing hook or a failed reload is a typed
+/// error frame and the connection stays open; only a dead socket closes
+/// it (returns false).
+fn serve_reload(
+    shared: &Shared,
+    writer: &mut BufWriter<&TcpStream>,
+    send: impl Fn(&mut BufWriter<&TcpStream>, &Response) -> bool,
+) -> bool {
+    let outcome = {
+        let mut hook = shared.reload.lock().unwrap();
+        match hook.as_mut() {
+            None => Err((
+                ERR_NO_RELOAD,
+                "server has no reload source (start it with --watch-journal)".to_string(),
+            )),
+            Some(h) => h().map_err(|msg| (ERR_RELOAD_FAILED, msg)),
+        }
+    };
+    let resp = match outcome {
+        Ok(Some(r)) => Response::Reloaded(ReloadSummary {
+            swapped: true,
+            epoch: r.epoch,
+            records: r.records as u64,
+            ops: r.ops as u64,
+            n: r.n,
+            m: r.m,
+        }),
+        Ok(None) => {
+            // nothing new: report the epoch and shape still being served
+            let oracle = shared.service.oracle();
+            let g = oracle.graph();
+            Response::Reloaded(ReloadSummary {
+                swapped: false,
+                epoch: shared.service.epoch(),
+                records: 0,
+                ops: 0,
+                n: g.n() as u64,
+                m: g.m() as u64,
+            })
+        }
+        Err((code, message)) => Response::Error { code, message },
+    };
+    send(writer, &resp)
 }
 
 /// Validate, admit, and answer one request's pairs. `stream_chunk:
@@ -621,6 +737,7 @@ mod tests {
             counters: Counters {
                 conns_accepted: AtomicU64::new(0),
                 conns_rejected: AtomicU64::new(0),
+                conns_timed_out: AtomicU64::new(0),
                 queries_served: AtomicU64::new(0),
                 queries_rejected: AtomicU64::new(0),
                 frames_in: AtomicU64::new(0),
@@ -628,6 +745,7 @@ mod tests {
             },
             conns: Mutex::new(Vec::new()),
             next_conn_id: AtomicU64::new(0),
+            reload: Mutex::new(None),
         };
         assert!(shared.admit(0, 10).is_ok());
         assert_eq!(shared.admit(10, 1), Err(ERR_CONN_CAP));

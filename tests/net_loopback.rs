@@ -344,3 +344,132 @@ fn wire_shutdown_stops_the_server_and_reports_final_stats() {
         assert!(late.query(0, 1).is_err());
     }
 }
+
+// ---------------------------------------------------------------------------
+// the hot-reload half
+// ---------------------------------------------------------------------------
+
+/// `OP_RELOAD` end to end: a journal record appears on disk, a wire
+/// reload hot-swaps the serving oracle, and every post-swap answer is
+/// byte-identical to a fresh in-process build of the mutated graph.
+/// A second reload with nothing new reports `swapped: false`, and
+/// `OP_INFO` tracks the current epoch's shape throughout.
+#[test]
+fn wire_reload_hot_swaps_and_matches_a_fresh_build_of_the_mutated_graph() {
+    use psh::core::snapshot::{append_journal, journal_path, JournalReloader, OracleMeta};
+
+    let seed = 31u64;
+    let g = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::with_uniform_weights(&generators::grid(12, 12), 1, 20, &mut rng)
+    };
+    let run = OracleBuilder::new()
+        .params(test_params())
+        .seed(Seed(seed))
+        .build(&g)
+        .expect("base oracle build");
+    let meta = OracleMeta::of_run(&run, test_params());
+
+    // the "snapshot" base path only names the journal sidecar here — the
+    // oracle is already in memory, so no base file needs to exist
+    let base = std::env::temp_dir().join(format!("psh_loopback_reload_{}", std::process::id()));
+    let jpath = journal_path(&base);
+    std::fs::remove_file(&jpath).ok();
+
+    let service = Arc::new(OracleService::new(
+        run.artifact,
+        ServiceConfig::with_policy(ExecutionPolicy::from_env()),
+    ));
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+        .expect("bind loopback");
+    let mut reloader = JournalReloader::new(&base, g.clone(), meta);
+    let svc = Arc::clone(&service);
+    server.set_reload_hook(Box::new(move || {
+        reloader.poll(&svc).map_err(|e| e.to_string())
+    }));
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    // a fresh in-process build of a graph is the reference its epoch's
+    // wire answers must match byte-for-byte
+    let fresh_reference = |g: &CsrGraph, pairs: &[(u32, u32)]| -> Vec<QueryResult> {
+        let oracle = OracleBuilder::new()
+            .params(test_params())
+            .seed(Seed(seed))
+            .build(g)
+            .expect("reference oracle build")
+            .artifact;
+        pairs.iter().map(|&(s, t)| oracle.query(s, t).0).collect()
+    };
+
+    // epoch 0 serves the unmutated graph
+    let n = g.n();
+    let pairs = workload(n, 60, 13);
+    let before = fresh_reference(&g, &pairs);
+    assert_bitwise(
+        &client.query_batch(&pairs).expect("pre-swap batch"),
+        &before,
+        "pre-swap",
+    );
+
+    // mutate: a unit shortcut appears in the journal, then over the wire
+    let mut delta = GraphDelta::new(n);
+    delta.insert(0, (n - 1) as u32, 1).expect("delta insert");
+    delta.delete(0, 1).expect("delta delete");
+    append_journal(&jpath, &delta).expect("journal append");
+
+    let summary = client.reload().expect("wire reload");
+    assert!(summary.swapped, "one new record must swap");
+    assert_eq!(summary.epoch, 1);
+    assert_eq!(summary.records, 1);
+    assert_eq!(summary.ops, 2);
+    let mutated = g.apply_delta(&delta).expect("apply delta");
+    assert_eq!(summary.m, mutated.m() as u64);
+
+    // post-swap answers ≡ a fresh build of the mutated graph
+    let after = fresh_reference(&mutated, &pairs);
+    assert_ne!(
+        before
+            .iter()
+            .map(|a| a.distance.to_bits())
+            .collect::<Vec<_>>(),
+        after
+            .iter()
+            .map(|a| a.distance.to_bits())
+            .collect::<Vec<_>>(),
+        "the delta must change some answer for this test to mean anything"
+    );
+    assert_bitwise(
+        &client.query_batch(&pairs).expect("post-swap batch"),
+        &after,
+        "post-swap",
+    );
+
+    // OP_INFO follows the swap; a second reload has nothing to do
+    let info = client.server_info().expect("info");
+    assert_eq!(info.m, mutated.m() as u64);
+    let again = client.reload().expect("idempotent reload");
+    assert!(!again.swapped);
+    assert_eq!(again.epoch, 1);
+    assert_eq!(again.records, 0);
+
+    std::fs::remove_file(&jpath).ok();
+}
+
+/// Reload against a server with no reload source is a typed remote
+/// error, and the connection survives it.
+#[test]
+fn reload_without_a_hook_is_a_typed_error_and_keeps_the_connection() {
+    use psh::net::protocol::ERR_NO_RELOAD;
+    let server = bind(
+        build_oracle(false, 9),
+        ExecutionPolicy::Sequential,
+        ServerConfig::default(),
+    );
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    match client.reload() {
+        Err(ProtocolError::Remote { code, .. }) => assert_eq!(code, ERR_NO_RELOAD),
+        other => panic!("expected ERR_NO_RELOAD, got {other:?}"),
+    }
+    // the connection is still usable afterwards
+    client.query(0, 5).expect("connection survived the error");
+}

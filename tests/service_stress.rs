@@ -7,11 +7,14 @@
 //! proof behind `psh_core::service`'s determinism claim (PR 5's
 //! acceptance criterion).
 
-use psh::core::service::{OracleService, ServiceConfig};
+use psh::core::service::{CacheConfig, OracleService, ServiceConfig};
 use psh::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const CLIENTS: usize = 32;
 
@@ -204,6 +207,137 @@ fn tiny_batch_cap_under_contention_is_still_identical() {
             stats.largest_batch
         );
         assert!(stats.batches >= (pairs.len() / 3) as u64);
+    }
+}
+
+/// Hot-swap under a query storm: 32 client threads hammer the service
+/// while the main thread drives a chain of epoch swaps (each epoch's
+/// graph is the previous one plus a delta). Every answer must be
+/// attributed to a *valid* epoch and byte-identical to that epoch's
+/// reference oracle — no torn batches (an answer computed on one epoch
+/// attributed to another), no stale cache hits after a flush. After the
+/// storm, a settled pass must see only the final epoch.
+#[test]
+fn swap_storm_attributes_every_answer_to_a_valid_epoch() {
+    const EPOCHS: usize = 6;
+    let seed = 42u64;
+
+    // the epoch chain: graphs[e] = graphs[e-1] + delta_e, oracles[e]
+    // built fresh from graphs[e] with identical params/seed
+    let base = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::with_uniform_weights(&generators::grid(12, 12), 1, 20, &mut rng)
+    };
+    let n = base.n();
+    let mut graphs = vec![base];
+    for e in 1..=EPOCHS {
+        let mut delta = GraphDelta::new(n);
+        // each epoch adds a new unit-weight shortcut from vertex 0 and
+        // retires the previous epoch's one, so distances keep changing
+        let far = (100 + e) as u32;
+        delta.insert(0, far, 1).unwrap();
+        if e > 1 {
+            delta.delete(0, far - 1).unwrap();
+        }
+        let next = graphs[e - 1].apply_delta(&delta).unwrap();
+        graphs.push(next);
+    }
+    let oracles: Vec<Arc<ApproxShortestPaths>> = graphs
+        .iter()
+        .map(|g| {
+            Arc::new(
+                OracleBuilder::new()
+                    .params(test_params())
+                    .seed(Seed(seed))
+                    .build(g)
+                    .unwrap()
+                    .artifact,
+            )
+        })
+        .collect();
+
+    let pairs = workload(n, 128, 31);
+    let refs: Vec<Vec<QueryResult>> = oracles
+        .iter()
+        .map(|o| pairs.iter().map(|&(s, t)| o.query(s, t).0).collect())
+        .collect();
+    // the swaps must be observable: consecutive epochs disagree somewhere
+    for e in 1..=EPOCHS {
+        assert_ne!(refs[e - 1], refs[e], "epoch {e} changed no answer");
+    }
+
+    for policy in service_policies() {
+        // the cache is on so the storm also exercises flush-on-swap:
+        // a stale hit would surface as a byte mismatch below
+        let service = OracleService::from_arc(
+            Arc::clone(&oracles[0]),
+            ServiceConfig {
+                policy,
+                max_batch: 64,
+                cache: Some(CacheConfig {
+                    capacity: 64,
+                    seed: 5,
+                }),
+            },
+        );
+        assert_eq!(service.epoch(), 0);
+        let done = AtomicBool::new(false);
+        let seen: HashSet<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|k| {
+                    let (service, done, pairs, refs) = (&service, &done, &pairs, &refs);
+                    scope.spawn(move || {
+                        let mut seen = HashSet::new();
+                        while !done.load(Ordering::SeqCst) {
+                            for (i, &(s, t)) in pairs.iter().enumerate().skip(k % 8).step_by(8) {
+                                let (a, epoch) = service.query_attributed(s, t);
+                                assert!(
+                                    (epoch as usize) <= EPOCHS,
+                                    "answer attributed to unknown epoch {epoch}"
+                                );
+                                let r = &refs[epoch as usize][i];
+                                assert!(
+                                    a.distance.to_bits() == r.distance.to_bits()
+                                        && a.upper_bound == r.upper_bound,
+                                    "pair {i} diverged from epoch {epoch}'s oracle under \
+                                     {policy}: got {} vs {}",
+                                    a.distance,
+                                    r.distance
+                                );
+                                seen.insert(epoch);
+                            }
+                        }
+                        // settled pass: swaps are over, so every answer
+                        // must come from (and match) the final epoch
+                        for (i, &(s, t)) in pairs.iter().enumerate() {
+                            let (a, epoch) = service.query_attributed(s, t);
+                            assert_eq!(epoch as usize, EPOCHS, "stale epoch after the storm");
+                            let r = &refs[EPOCHS][i];
+                            assert_eq!(a.distance.to_bits(), r.distance.to_bits());
+                            assert_eq!(a.upper_bound, r.upper_bound);
+                            seen.insert(epoch);
+                        }
+                        seen
+                    })
+                })
+                .collect();
+
+            // the swap storm, riding on the main thread
+            for (e, oracle) in oracles.iter().enumerate().skip(1) {
+                std::thread::sleep(Duration::from_millis(5));
+                let entered = service.swap_oracle(Arc::clone(oracle));
+                assert_eq!(entered, e as u64, "epochs must advance by one per swap");
+            }
+            done.store(true, Ordering::SeqCst);
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread survived"))
+                .collect()
+        });
+        assert!(
+            seen.contains(&0) && seen.contains(&(EPOCHS as u64)),
+            "storm skipped the first or last epoch entirely: {seen:?}"
+        );
     }
 }
 
