@@ -4,12 +4,13 @@
 //! Usage:
 //! ```text
 //! bench-compare BASELINE.json FRESH.json
-//!               [--noise F]      # noise band, default 0.25
-//!               [--severe F]     # per-cell hard limit, default 0.60
-//!               [--systemic F]   # per-table violation rate, default 0.20
+//!               [--noise F]       # noise band, default 0.25
+//!               [--severe F]      # per-cell hard limit, default 0.60
+//!               [--systemic F]    # per-table violation rate, default 0.20
+//!               [--materiality F] # time-cell absolute floor (s), default 0.025
 //! ```
 //!
-//! Both files are [`psh_bench::Report`] envelopes (e.g. `BENCH_7.json`
+//! Both files are [`psh_bench::Report`] envelopes (e.g. `BENCH_8.json`
 //! from `benchsuite`). For every table present in **both** documents,
 //! rows are joined on their key cells (every column that isn't a
 //! recognized metric) and each metric is compared:
@@ -28,8 +29,10 @@
 //! squared. Gating "any cell beyond ±25%" would make the gate red on
 //! every run. So cells are split into two classes:
 //!
-//! * **informational** — tail percentiles (`p99`, `p999`) and ratio
-//!   columns (`*speedup*`). Reported when beyond the band, never fatal.
+//! * **informational** — tail percentiles (`p99`, `p999`), ratio
+//!   columns (`*speedup*`), and `qps rebuild` (its sampling window is
+//!   the rebuild duration itself, which legitimately shrinks when
+//!   builds speed up). Reported when beyond the band, never fatal.
 //! * **gated** — everything else (`qps`, `p50`, absolute timings).
 //!   Beyond the band they count as violations; the gate fails when a
 //!   violation is **severe** (a single cell worse than the `--severe`
@@ -38,11 +41,20 @@
 //!   real slowdown shifts a whole table, noise flips isolated cells).
 //!
 //! Tables or rows present on only one side are reported but not fatal
-//! (the matrix is allowed to grow); a `meta` workload mismatch (`n`,
+//! (the matrix is allowed to grow): the table-set difference is printed
+//! up front as explicit `added`/`removed` lists, so a table that
+//! silently fell out of the fresh run is visible rather than
+//! indistinguishable from a passing one. A `meta` workload mismatch (`n`,
 //! `queries`, `seed`, or `schema_version` differing) **is** fatal, since
 //! numbers from different workloads cannot be meaningfully compared.
 //! Tiny absolute values (both sides < 1 ms / < 1 qps) are skipped — at
-//! that scale the timer, not the code, dominates.
+//! that scale the timer, not the code, dominates. Gated **time** cells
+//! additionally pass through a materiality floor: a relative band on a
+//! one-shot millisecond timing turns scheduler jitter into false alarms
+//! (a swap pause wobbling 0.5 ms → 2 ms is "+300%" of nothing), so a
+//! time cell only counts as a violation when its absolute delta exceeds
+//! `--materiality` seconds (default 25 ms); below that it is reported
+//! as a note. A genuinely broken path (10 ms → 500 ms) clears the floor.
 //!
 //! Exit status: 0 when the gate passes, 1 on severe/systemic regression
 //! or workload mismatch, 2 on unusable input.
@@ -80,7 +92,13 @@ fn direction(column: &str) -> Option<Direction> {
 /// single-run variance is larger than any band worth alerting on.
 fn gates(column: &str) -> bool {
     let c = column.to_ascii_lowercase();
-    !(c.contains("p99") || c.contains("speedup"))
+    // `qps rebuild` counts queries completed inside the rebuild window,
+    // and that window is itself a measured quantity: when builds get
+    // faster the window shrinks below one batch completion and the cell
+    // honestly reads 0. A shrinking denominator is not an independent
+    // regression signal, so the cell is informational; `rebuild (s)`
+    // and `swap (ms)` stay gated.
+    !(c.contains("p99") || c.contains("speedup") || c == "qps rebuild")
 }
 
 /// Parse a table cell as a number (the writer's `fmt_u` inserts
@@ -158,6 +176,7 @@ fn main() {
     let noise = parse_fraction("--noise", 0.25);
     let severe = parse_fraction("--severe", 0.60);
     let systemic = parse_fraction("--systemic", 0.20);
+    let materiality = parse_fraction("--materiality", 0.025);
     if severe < noise {
         die(format_args!(
             "--severe ({severe}) must be at least --noise ({noise})"
@@ -184,6 +203,35 @@ fn main() {
         }
     }
 
+    // The table sets are allowed to disagree (the matrix grows over
+    // time, and a quick run may drop tables), but the disagreement must
+    // be explicit in the output — a silently ungated table looks
+    // exactly like a gated-and-passing one.
+    let added: Vec<&str> = fresh_tables
+        .iter()
+        .filter(|(n, _)| !base_tables.iter().any(|(b, _)| b == n))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let removed: Vec<&str> = base_tables
+        .iter()
+        .filter(|(n, _)| !fresh_tables.iter().any(|(f, _)| f == n))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    if !added.is_empty() {
+        println!(
+            "~ {} table(s) only in {fresh_path} (added, not gated): {}",
+            added.len(),
+            added.join(", ")
+        );
+    }
+    if !removed.is_empty() {
+        println!(
+            "~ {} table(s) only in {baseline_path} (removed, not gated): {}",
+            removed.len(),
+            removed.join(", ")
+        );
+    }
+
     let mut compared = 0usize;
     let mut skipped_tiny = 0usize;
     let mut notes = 0usize;
@@ -194,7 +242,6 @@ fn main() {
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_array())
         else {
-            println!("~ table '{name}' absent from {fresh_path}: skipped");
             continue;
         };
         let Some(base_rows) = base_rows.as_array() else {
@@ -242,6 +289,33 @@ fn main() {
                     continue;
                 }
                 gated_cells += 1;
+                // Materiality floor for time cells: a relative band on a
+                // one-shot millisecond timing amplifies scheduler jitter
+                // into false alarms (a swap pause wobbling 0.5ms -> 2ms is
+                // +300% of nothing). A time cell only regresses when the
+                // absolute delta is large enough to matter; a genuinely
+                // broken path (10ms -> 500ms) clears any sane floor.
+                let seconds = if column.ends_with("(ms)") {
+                    Some((fresh - base) / 1000.0)
+                } else if column.ends_with("(s)") {
+                    Some(fresh - base)
+                } else {
+                    None
+                };
+                if let Some(delta) = seconds {
+                    if delta.abs() < materiality {
+                        if beyond(noise) {
+                            notes += 1;
+                            println!(
+                                "~ note {name} [{}] {column}: {base:.4} -> {fresh:.4} ({:+.1}%; below the {:.0}ms materiality floor, not gated)",
+                                base_row.key,
+                                (fresh / base - 1.0) * 100.0,
+                                materiality * 1000.0,
+                            );
+                        }
+                        continue;
+                    }
+                }
                 if beyond(severe) {
                     failures += 1;
                     eprintln!(
@@ -275,11 +349,13 @@ fn main() {
     }
 
     println!(
-        "compared {compared} metric cell(s) across {} table(s) (noise ±{:.0}%, severe ±{:.0}%, systemic {:.0}%; {skipped_tiny} below the timer floor, {notes} informational note(s), {soft} isolated outlier(s))",
-        base_tables.len(),
+        "compared {compared} metric cell(s) across {} shared table(s) (noise ±{:.0}%, severe ±{:.0}%, systemic {:.0}%; {} added, {} removed; {skipped_tiny} below the timer floor, {notes} informational note(s), {soft} isolated outlier(s))",
+        base_tables.len() - removed.len(),
         noise * 100.0,
         severe * 100.0,
         systemic * 100.0,
+        added.len(),
+        removed.len(),
     );
     if failures > 0 {
         eprintln!("FAIL: {failures} severe/systemic regression(s) or mismatch(es)");

@@ -5,7 +5,7 @@
 //! concurrent query serving (cached and uncached), serving over the TCP
 //! wire, and an exact-baseline head-to-head — over a fixed scenario
 //! matrix, and emits a single schema-versioned JSON document
-//! (`BENCH_7.json` by default) so the perf trajectory can accumulate
+//! (`BENCH_8.json` by default) so the perf trajectory can accumulate
 //! across commits:
 //!
 //! * **graph families** × **weighting**: {gnp, rmat, grid2d} ×
@@ -50,7 +50,18 @@
 //! * **baseline head-to-head** per build: the oracle's `query_batch`
 //!   against exact per-pair Dijkstra on the same pairs (both
 //!   sequential), reporting both throughputs and the observed stretch
-//!   (max and mean of approx/exact over reachable pairs).
+//!   (max and mean of approx/exact over reachable pairs);
+//! * **compressed-adjacency cells** per build: the same oracle staged
+//!   as plain and delta-compressed v2 snapshots, reporting on-disk
+//!   bytes, resident adjacency-slab bytes, and mmap-served `query_batch`
+//!   qps for both encodings (answers gated byte-identical to the
+//!   reference either way);
+//! * **frontier race**: Dial and Δ-stepping SSSP over weighted gnp and
+//!   grid2d graphs at several sizes (up to `n = 120 000`), each run
+//!   through both [`psh_graph::QueueKind`]s — the calendar
+//!   [`psh_graph::BucketQueue`] vs the `BTreeMap` baseline — best of 3,
+//!   with the distance/parent arrays gated identical between the two
+//!   queues.
 //!
 //! Every cell's answers — in-process and over-the-wire alike — are
 //! compared against the sequential per-pair reference
@@ -70,10 +81,11 @@
 //! weighting), a `serve` table (one row per in-process scenario cell),
 //! and a `serve_net` table (one row per wire cell). Rows are
 //! stringly-typed table cells; `meta` carries the numeric knobs. The
-//! `serve_net`, `load`, `serve_cached`, `swap`, and `baselines` tables are
+//! `serve_net`, `load`, `serve_cached`, `swap`, `baselines`, `compress`,
+//! and `frontier` tables are
 //! additive — documents keep `schema_version` 1, and `bench-compare`
 //! diffs two documents table-by-table (tables present in only one side
-//! are skipped, so old baselines stay comparable).
+//! are reported as added/removed, so old baselines stay comparable).
 
 use psh_bench::alloc::{live_bytes, peak_above, reset_peak, CountingAlloc};
 use psh_bench::json::{has_flag, parse_flag};
@@ -84,12 +96,15 @@ use psh_core::api::{OracleBuilder, Seed};
 use psh_core::oracle::{ApproxShortestPaths, QueryResult};
 use psh_core::service::{CacheConfig, OracleService, ServiceConfig, ServiceStats};
 use psh_core::snapshot::{
-    load_oracle, load_oracle_v2, read_oracle, save_oracle_v2, write_oracle, OracleMeta,
+    inspect_v2, load_oracle, load_oracle_v2, read_oracle, save_oracle_v2, save_oracle_v2_with,
+    write_oracle, OracleMeta,
 };
 use psh_core::HopsetParams;
-use psh_exec::ExecutionPolicy;
+use psh_exec::{ExecutionPolicy, Executor};
+use psh_graph::traversal::delta_stepping::{default_delta, delta_stepping_queued};
+use psh_graph::traversal::dial::dial_sssp_queued;
 use psh_graph::traversal::dijkstra::dijkstra_pair;
-use psh_graph::{CsrGraph, GraphDelta, LoadMode, INF};
+use psh_graph::{CsrGraph, GraphDelta, LoadMode, QueueKind, INF};
 use psh_net::{NetClient, NetServer, ServerConfig};
 use psh_pram::Cost;
 use std::net::SocketAddr;
@@ -451,7 +466,7 @@ fn main() {
     let load_n: usize = parse_flag("--load-n")
         .and_then(|s| s.parse().ok())
         .unwrap_or(120_000);
-    let json_path = parse_flag("--json").unwrap_or_else(|| "BENCH_7.json".into());
+    let json_path = parse_flag("--json").unwrap_or_else(|| "BENCH_8.json".into());
     let mut report = Report::new("benchsuite", Some(PathBuf::from(&json_path)));
 
     // The scenario axes. "gnp" is the connected Erdős–Rényi-ish family
@@ -566,6 +581,25 @@ fn main() {
         "speedup",
         "max stretch",
         "mean stretch",
+    ]);
+    let mut compress_table = Table::new([
+        "family",
+        "weights",
+        "disk plain",
+        "disk comp",
+        "adj plain",
+        "adj comp",
+        "plain qps",
+        "comp qps",
+        "identical",
+    ]);
+    let mut frontier_table = Table::new([
+        "algo",
+        "family",
+        "n",
+        "btree (s)",
+        "calendar (s)",
+        "speedup",
     ]);
     // the wire axis stays small — each cell pays real TCP round trips
     let net_policies = [
@@ -773,6 +807,72 @@ fn main() {
                 ]);
             }
 
+            // --- compressed-adjacency cells: disk, resident, and qps ------
+            {
+                let dir = std::env::temp_dir();
+                let pid = std::process::id();
+                let plain_path = dir.join(format!("psh_bench_{fname}_{wname}.{pid}.plain.snap"));
+                let comp_path = dir.join(format!("psh_bench_{fname}_{wname}.{pid}.comp.snap"));
+                save_oracle_v2(&plain_path, &fresh, &meta)
+                    .unwrap_or_else(|e| die(format_args!("{fname}/{wname}: stage plain v2: {e}")));
+                save_oracle_v2_with(&comp_path, &fresh, &meta, true)
+                    .unwrap_or_else(|e| die(format_args!("{fname}/{wname}: stage comp v2: {e}")));
+                let disk = |p: &Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+                // resident adjacency structure: the slabs queries touch
+                // per neighbor visit (weights/edges are shared by both
+                // encodings, so they cancel out of the comparison)
+                let adjacency_bytes = |p: &Path| -> u64 {
+                    let bytes = std::fs::read(p)
+                        .unwrap_or_else(|e| die(format_args!("{fname}/{wname}: read staged: {e}")));
+                    inspect_v2(&bytes)
+                        .unwrap_or_else(|e| die(format_args!("{fname}/{wname}: inspect: {e}")))
+                        .sections
+                        .iter()
+                        .filter(|(_, name, ..)| {
+                            matches!(
+                                name.as_str(),
+                                "graph.targets"
+                                    | "graph.eids"
+                                    | "graph.comp_offsets"
+                                    | "graph.comp_data"
+                            )
+                        })
+                        .map(|s| s.3)
+                        .sum()
+                };
+                let serve_qps = |p: &Path| -> (f64, Vec<QueryResult>) {
+                    let (oracle, _) = load_oracle_v2(p, LoadMode::Mmap)
+                        .unwrap_or_else(|e| die(format_args!("{fname}/{wname}: mmap load: {e}")));
+                    let mut best = f64::INFINITY;
+                    let mut answers = Vec::new();
+                    for _ in 0..3 {
+                        let t0 = Instant::now();
+                        let (a, _) = oracle.query_batch(&pairs, ExecutionPolicy::Sequential);
+                        best = best.min(t0.elapsed().as_secs_f64());
+                        answers = a;
+                    }
+                    (pairs.len() as f64 / best.max(1e-12), answers)
+                };
+                let (plain_qps, plain_answers) = serve_qps(&plain_path);
+                let (comp_qps, comp_answers) = serve_qps(&comp_path);
+                let identical = plain_answers == reference && comp_answers == reference;
+                mismatches += usize::from(!identical);
+                cells += 1;
+                compress_table.row([
+                    fname.to_string(),
+                    wname.to_string(),
+                    fmt_u(disk(&plain_path)),
+                    fmt_u(disk(&comp_path)),
+                    fmt_u(adjacency_bytes(&plain_path)),
+                    fmt_u(adjacency_bytes(&comp_path)),
+                    fmt_f(plain_qps),
+                    fmt_f(comp_qps),
+                    if identical { "yes" } else { "NO" }.to_string(),
+                ]);
+                let _ = std::fs::remove_file(&plain_path);
+                let _ = std::fs::remove_file(&comp_path);
+            }
+
             // --- exact-baseline head-to-head ------------------------------
             let (oracle_qps, exact_qps, max_stretch, mean_stretch) =
                 head_to_head(&g, &fresh, &pairs, &reference);
@@ -837,6 +937,69 @@ fn main() {
     );
     drop((run_big, g_big, buf_big));
 
+    // --- frontier race: calendar bucket queue vs the BTree baseline -------
+    // Sequential executor: the race isolates the queue data structure,
+    // and both queues feed the identical drive_on engine, so the
+    // distance/parent arrays must be bitwise equal — that equality is a
+    // gated cell like any serving cell.
+    println!("racing the calendar bucket queue against the BTree baseline …");
+    let exec = Executor::sequential();
+    let frontier_sizes: Vec<usize> = if quick {
+        vec![n, 30_000]
+    } else {
+        vec![n, 20_000, 120_000]
+    };
+    for (family, fname) in [(Family::Random, "gnp"), (Family::Grid2d, "grid2d")] {
+        for &fsize in &frontier_sizes {
+            let g = family.instantiate_weighted(fsize, 64.0, seed ^ 0xF07);
+            let delta = default_delta(&g);
+            type Sssp = (psh_graph::traversal::SsspResult, Cost);
+            type QueuedRun<'a> = Box<dyn Fn(QueueKind) -> Sssp + 'a>;
+            let algos: [(&str, QueuedRun<'_>); 2] = [
+                (
+                    "dial",
+                    Box::new(|kind| dial_sssp_queued(&exec, &g, &[(0, 0)], INF, kind)),
+                ),
+                (
+                    "delta",
+                    Box::new(|kind| delta_stepping_queued(&exec, &g, 0, delta, kind)),
+                ),
+            ];
+            for (aname, run) in &algos {
+                let race = |kind: QueueKind| -> (f64, psh_graph::traversal::SsspResult) {
+                    let mut best = f64::INFINITY;
+                    let mut result = None;
+                    for _ in 0..5 {
+                        let t0 = Instant::now();
+                        let (r, _) = run(kind);
+                        best = best.min(t0.elapsed().as_secs_f64());
+                        result = Some(r);
+                    }
+                    (best, result.expect("five reps ran"))
+                };
+                let (btree_s, btree_result) = race(QueueKind::Btree);
+                let (calendar_s, calendar_result) = race(QueueKind::Calendar);
+                let identical = btree_result == calendar_result;
+                mismatches += usize::from(!identical);
+                cells += 1;
+                if !identical {
+                    eprintln!(
+                        "frontier race {aname}/{fname}/n={fsize}: the two queues \
+                         produced different SSSP artifacts"
+                    );
+                }
+                frontier_table.row([
+                    aname.to_string(),
+                    fname.to_string(),
+                    fmt_u(g.n() as u64),
+                    fmt_s(btree_s),
+                    fmt_s(calendar_s),
+                    fmt_f(btree_s / calendar_s.max(1e-12)),
+                ]);
+            }
+        }
+    }
+
     println!("\n## preprocessing\n");
     build_table.print();
     println!("\n## serving matrix\n");
@@ -851,6 +1014,10 @@ fn main() {
     swap_table.print();
     println!("\n## exact-baseline head-to-head (sequential)\n");
     baselines_table.print();
+    println!("\n## compressed adjacency (plain vs delta-gap v2 snapshots)\n");
+    compress_table.print();
+    println!("\n## frontier race (BTree baseline vs calendar queue, sequential)\n");
+    frontier_table.print();
 
     report
         .meta("schema_version", SCHEMA_VERSION)
@@ -869,6 +1036,8 @@ fn main() {
     report.push_table("serve_cached", &cached_table);
     report.push_table("swap", &swap_table);
     report.push_table("baselines", &baselines_table);
+    report.push_table("compress", &compress_table);
+    report.push_table("frontier", &frontier_table);
     report.finish();
 
     if mismatches > 0 {

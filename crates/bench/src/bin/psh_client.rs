@@ -28,6 +28,15 @@
 //!                             # server coalesces them into shared batches
 //!   --replay                  # stream one subscription instead of
 //!                             # batch round-trips (single socket)
+//!   --open-loop RATE          # issue single queries at a seeded
+//!                             # Poisson arrival rate (queries/sec)
+//!                             # instead of back-to-back batches;
+//!                             # latency is measured from each query's
+//!                             # *scheduled* arrival, so a stalled
+//!                             # server inflates the tail instead of
+//!                             # silently throttling the workload
+//!                             # (no coordinated omission); takes
+//!                             # precedence over --replay/--clients
 //!   --max-seconds S           # stop issuing batches after S seconds
 //!   --verify-local            # rebuild the same oracle in-process
 //!                             # (--family/--n/--seed/--snapshot …) and
@@ -170,6 +179,17 @@ fn replay(addr: &str, seed: u64) {
         None => WorkloadDist::Uniform,
         Some(s) => WorkloadDist::parse(&s).unwrap_or_else(|e| die(e)),
     };
+    let open_loop: Option<f64> = parse_flag("--open-loop").map(|s| {
+        s.trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .unwrap_or_else(|| {
+                die(format_args!(
+                    "bad --open-loop '{s}' (want a rate > 0 in qps)"
+                ))
+            })
+    });
 
     let mut probe = connect(addr);
     let info = probe
@@ -196,12 +216,48 @@ fn replay(addr: &str, seed: u64) {
     };
 
     // --- drive the wire ---------------------------------------------------
-    let streaming = has_flag("--replay");
+    let streaming = has_flag("--replay") && open_loop.is_none();
     let start = Instant::now();
     let mut answers: Vec<QueryResult> = Vec::with_capacity(pairs.len());
     let mut latencies_ms: Vec<f64> = Vec::new();
     let mut truncated = false;
-    if streaming {
+    if let Some(rate) = open_loop {
+        // Open-loop replay: arrivals follow a seeded Poisson process at
+        // `rate` qps, independent of how fast the server answers. Each
+        // latency sample runs from the query's scheduled arrival to its
+        // answer — when the server falls behind, the queue time lands in
+        // the tail instead of vanishing into a slower send rate.
+        let mut client = probe;
+        let mut x = (seed ^ 0x9E37_79B9_7F4A_7C15) | 1;
+        let mut scheduled_s = 0.0f64;
+        let mut behind = 0usize;
+        for &(s, t) in &pairs {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            scheduled_s += -(1.0 - u).ln() / rate;
+            if max_seconds.is_some_and(|cap| scheduled_s >= cap) {
+                truncated = true;
+                break;
+            }
+            let now_s = start.elapsed().as_secs_f64();
+            if now_s < scheduled_s {
+                std::thread::sleep(Duration::from_secs_f64(scheduled_s - now_s));
+            } else {
+                behind += 1;
+            }
+            let answer = client
+                .query(s, t)
+                .unwrap_or_else(|e| die(format_args!("open-loop query failed: {e}")));
+            latencies_ms.push((start.elapsed().as_secs_f64() - scheduled_s) * 1e3);
+            answers.push(answer);
+        }
+        println!(
+            "open-loop: offered {rate} qps | {} arrivals, {behind} behind schedule",
+            answers.len()
+        );
+    } else if streaming {
         // one subscription: the server batches and streams; latency
         // samples are client-observed chunk inter-arrival times
         let mut last = Instant::now();
@@ -289,14 +345,21 @@ fn replay(addr: &str, seed: u64) {
 
     // --- report in the ServiceStats vocabulary ----------------------------
     let batches = latencies_ms.len() as u64;
-    let stats = ServiceStats::from_samples(latencies_ms, elapsed_s, batches, batch, Cost::ZERO);
+    let eff_batch = if open_loop.is_some() { 1 } else { batch };
+    let stats = ServiceStats::from_samples(latencies_ms, elapsed_s, batches, eff_batch, Cost::ZERO);
     let reachable = answers.iter().filter(|a| a.distance.is_finite()).count();
     let qps = answers.len() as f64 / elapsed_s.max(1e-12);
 
     println!(
-        "\n# psh-client — {} answers from {addr} | {} | batches of {batch} × {clients} client(s)\n",
+        "\n# psh-client — {} answers from {addr} | {} | batches of {eff_batch} × {clients} client(s)\n",
         answers.len(),
-        if streaming { "streamed" } else { "round-trips" },
+        if open_loop.is_some() {
+            "open-loop"
+        } else if streaming {
+            "streamed"
+        } else {
+            "round-trips"
+        },
     );
     let mut t = Table::new([
         "queries",
@@ -351,9 +414,10 @@ fn replay(addr: &str, seed: u64) {
     report
         .meta("addr", addr)
         .meta("queries", answers.len())
-        .meta("batch", batch)
+        .meta("batch", eff_batch)
         .meta("clients", clients)
         .meta("streamed", streaming)
+        .meta("open_loop_rate", open_loop.unwrap_or(0.0))
         .meta("workload_dist", dist.name())
         .meta("truncated", truncated)
         .meta("verified_local", has_flag("--verify-local"))

@@ -272,9 +272,7 @@ pub fn apply_deltas(base: &CsrGraph, deltas: &[GraphDelta]) -> Result<CsrGraph, 
 pub fn owned_base_graph(oracle: &ApproxShortestPaths) -> CsrGraph {
     match oracle.graph() {
         OracleGraph::Owned(g) => g.clone(),
-        mapped @ OracleGraph::Mapped(_) => {
-            CsrGraph::from_edges(mapped.n(), mapped.edges().iter().copied())
-        }
+        mapped => CsrGraph::from_edges(mapped.n(), mapped.edges().iter().copied()),
     }
 }
 

@@ -1,0 +1,856 @@
+//! Delta-compressed CSR adjacency: sorted neighbor lists stored as
+//! varint gaps, decoded inline by a zero-alloc iterator.
+//!
+//! # Why it works
+//!
+//! The canonical CSR fill sweep (see [`crate::CsrGraph`]) visits edges in
+//! sorted `(u, v)` order and appends to both endpoints' adjacency
+//! cursors, so within every vertex's slot range **both** the neighbor ids
+//! and the canonical edge ids are strictly increasing. Strictly
+//! increasing `u32` sequences delta-encode losslessly: store the first
+//! value raw and every successor as the gap to its predecessor, each as
+//! an LEB128 varint. Neighbor ids in a graph with good locality are
+//! mostly small gaps — one or two bytes instead of four — and edge ids
+//! gain the same way, so the two hottest slabs of a mapped oracle
+//! (`targets` + `slot_eids`, 16 bytes per edge between them) shrink to a
+//! single byte stream, typically 3–6 bytes per edge.
+//!
+//! # Layout
+//!
+//! Two parts replace the `targets` and `slot_eids` slabs:
+//!
+//! ```text
+//! byte_offsets : (n + 1) × u64   per-vertex byte ranges into `data`
+//! data         : byte stream     per vertex, degree(v) pairs of
+//!                                (target varint, eid varint); the first
+//!                                pair holds raw values, later pairs hold
+//!                                gaps (≥ 1) to the previous pair
+//! ```
+//!
+//! The plain `offsets` (degrees and weight-slab indexing), `weights`
+//! (substituted per rounding band by the oracle layer), and canonical
+//! `edges` (the [`GraphView::edges`] contract) slabs stay uncompressed.
+//!
+//! # Trust model
+//!
+//! [`validate_compressed_parts`] runs a full decode sweep at *every*
+//! [`Verify`] level: each varint terminates inside its vertex's byte
+//! range, accumulated targets stay below `n` (a gap overflowing the
+//! `u32` id space lands here), eids stay below `m`, both sequences are
+//! strictly increasing, and every byte range is consumed exactly. After
+//! `Ok`, the hot-path decoder — plain slice indexing, no unsafe — can
+//! neither panic nor read out of bounds. [`Verify::Deep`] additionally
+//! replays the canonical fill sweep from the edge list and rejects any
+//! in-bounds deviation of targets, eids, or weights, exactly like the
+//! plain-slab deep check.
+
+use crate::csr::{Edge, VertexId, Weight};
+use crate::io::SnapshotError;
+use crate::source::Verify;
+use crate::view::GraphView;
+use std::fmt;
+
+fn corrupt(what: &'static str, detail: impl fmt::Display) -> SnapshotError {
+    SnapshotError::Corrupt {
+        what,
+        detail: detail.to_string(),
+    }
+}
+
+/// Append `value` to `out` as an LEB128 varint (7 bits per byte, high
+/// bit = continuation).
+#[inline]
+pub fn write_varint(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode one LEB128 varint starting at `pos`. Hot-path form: assumes a
+/// validated stream (every varint terminates in bounds), panics on a
+/// malformed one rather than reading out of bounds. Most gaps fit one
+/// byte, so that case is branched to directly; the loop lives in an
+/// outlined helper to keep the common path tight.
+#[inline]
+fn read_varint(data: &[u8], pos: usize) -> (u64, usize) {
+    let byte = data[pos];
+    if byte & 0x80 == 0 {
+        (byte as u64, pos + 1)
+    } else {
+        read_varint_multi(data, pos, byte)
+    }
+}
+
+fn read_varint_multi(data: &[u8], mut pos: usize, first: u8) -> (u64, usize) {
+    let mut value = (first & 0x7f) as u64;
+    let mut shift = 7u32;
+    pos += 1;
+    loop {
+        let byte = data[pos];
+        pos += 1;
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return (value, pos);
+        }
+        shift += 7;
+    }
+}
+
+/// Checked decode for validation: `None` when the varint runs past
+/// `end` or is longer than any encoded `u64` can be.
+#[inline]
+fn try_read_varint(data: &[u8], mut pos: usize, end: usize) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if pos >= end || shift >= 64 {
+            return None;
+        }
+        let byte = data[pos];
+        pos += 1;
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some((value, pos));
+        }
+        shift += 7;
+    }
+}
+
+/// Delta-compress the adjacency derived from a canonical edge list:
+/// returns `(byte_offsets, data)` as described in the module docs. This
+/// is the snapshot writer's path — it replays the same fill sweep CSR
+/// construction uses, so the stream matches what
+/// [`CompressedCsr::from_view`] produces for the built graph.
+pub fn delta_compress_edges(n: usize, edges: &[Edge]) -> (Vec<u64>, Vec<u8>) {
+    let mut degree = vec![0u32; n];
+    for e in edges {
+        degree[e.u as usize] += 1;
+        degree[e.v as usize] += 1;
+    }
+    let mut offsets = vec![0u32; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + degree[v];
+    }
+    let slots = offsets[n] as usize;
+    let mut targets = vec![0u32; slots];
+    let mut eids = vec![0u32; slots];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for (eid, e) in edges.iter().enumerate() {
+        for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+            let c = cursor[a as usize] as usize;
+            targets[c] = b;
+            eids[c] = eid as u32;
+            cursor[a as usize] += 1;
+        }
+    }
+    encode_stream(n, &offsets, &targets, &eids)
+}
+
+/// Encode per-vertex `(target, eid)` gap pairs from plain slabs.
+fn encode_stream(n: usize, offsets: &[u32], targets: &[u32], eids: &[u32]) -> (Vec<u64>, Vec<u8>) {
+    let mut byte_offsets = Vec::with_capacity(n + 1);
+    // most gaps fit a byte or two; 3 bytes per slot rarely reallocates
+    let mut data = Vec::with_capacity(targets.len().saturating_mul(3));
+    byte_offsets.push(0u64);
+    for v in 0..n {
+        let range = offsets[v] as usize..offsets[v + 1] as usize;
+        let mut prev: Option<(u32, u32)> = None;
+        for (&t, &e) in targets[range.clone()].iter().zip(&eids[range]) {
+            match prev {
+                None => {
+                    write_varint(t as u64, &mut data);
+                    write_varint(e as u64, &mut data);
+                }
+                Some((pt, pe)) => {
+                    debug_assert!(t > pt && e > pe, "adjacency not strictly increasing");
+                    write_varint((t - pt) as u64, &mut data);
+                    write_varint((e - pe) as u64, &mut data);
+                }
+            }
+            prev = Some((t, e));
+        }
+        byte_offsets.push(data.len() as u64);
+    }
+    (byte_offsets, data)
+}
+
+/// Inline decoder over one vertex's gap stream: yields
+/// `(neighbor, canonical_edge_id)` pairs in adjacency order without
+/// allocating. Construction is two slice reads; each `next()` is two
+/// varint decodes and two adds.
+#[derive(Clone, Copy)]
+pub struct GapPairs<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    target: u32,
+    eid: u32,
+}
+
+impl<'a> GapPairs<'a> {
+    /// Decode `count` pairs starting at `pos` in `data`. The range must
+    /// come from a validated compressed view.
+    #[inline]
+    fn new(data: &'a [u8], pos: usize, count: usize) -> GapPairs<'a> {
+        // A raw first pair is just a gap from an implicit (0, 0)
+        // predecessor, so the accumulators start there and `next()`
+        // needs no first-pair branch.
+        GapPairs {
+            data,
+            pos,
+            remaining: count,
+            target: 0,
+            eid: 0,
+        }
+    }
+}
+
+impl<'a> Iterator for GapPairs<'a> {
+    type Item = (VertexId, u32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(VertexId, u32)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (t, pos) = read_varint(self.data, self.pos);
+        let (e, pos) = read_varint(self.data, pos);
+        self.pos = pos;
+        self.target = self.target.wrapping_add(t as u32);
+        self.eid = self.eid.wrapping_add(e as u32);
+        Some((self.target, self.eid))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for GapPairs<'_> {}
+
+/// Step over one varint without building its value — the
+/// neighbor-only iteration path pays for the target decode but not the
+/// eid it is about to drop.
+#[inline]
+fn skip_varint(data: &[u8], mut pos: usize) -> usize {
+    while data[pos] & 0x80 != 0 {
+        pos += 1;
+    }
+    pos + 1
+}
+
+/// Inline decoder over one vertex's gap stream yielding neighbor ids
+/// only: the eid varint of each pair is skipped, not decoded. This is
+/// the `(neighbor, weight)` iteration engine — shortest-path inner
+/// loops never look at edge ids.
+#[derive(Clone, Copy)]
+pub struct GapTargets<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    target: u32,
+}
+
+impl<'a> Iterator for GapTargets<'a> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (t, pos) = read_varint(self.data, self.pos);
+        self.pos = skip_varint(self.data, pos);
+        self.target = self.target.wrapping_add(t as u32);
+        Some(self.target)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for GapTargets<'_> {}
+
+/// A borrowed delta-compressed CSR graph: five slices into someone
+/// else's storage (a [`CompressedCsr`], a mapped snapshot, an arena).
+/// `Copy`, like [`crate::CsrView`]; iterates in exactly the canonical
+/// adjacency order, so artifacts built through it are byte-identical to
+/// artifacts built on the plain representation — pinned by the
+/// round-trip proptest here and the `compressed_equivalence` suite.
+#[derive(Clone, Copy, Debug)]
+pub struct CompressedView<'a> {
+    /// `offsets[v]..offsets[v+1]` indexes the weight slab (and counts
+    /// the pairs encoded for `v`).
+    offsets: &'a [u32],
+    /// `byte_offsets[v]..byte_offsets[v+1]` brackets `v`'s gap stream.
+    byte_offsets: &'a [u64],
+    data: &'a [u8],
+    weights: &'a [Weight],
+    edges: &'a [Edge],
+}
+
+impl<'a> CompressedView<'a> {
+    /// Assemble a view from raw parts. Debug-asserts shape agreement;
+    /// full validation is [`validate_compressed_parts`] (mapped paths
+    /// run it before handing out slices).
+    pub fn from_raw(
+        offsets: &'a [u32],
+        byte_offsets: &'a [u64],
+        data: &'a [u8],
+        weights: &'a [Weight],
+        edges: &'a [Edge],
+    ) -> CompressedView<'a> {
+        assert!(!offsets.is_empty(), "offsets needs a trailing total");
+        debug_assert_eq!(offsets.len(), byte_offsets.len());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, weights.len());
+        debug_assert_eq!(*byte_offsets.last().unwrap() as usize, data.len());
+        CompressedView {
+            offsets,
+            byte_offsets,
+            data,
+            weights,
+            edges,
+        }
+    }
+
+    /// The `(neighbor, eid)` gap decoder for `v`.
+    #[inline]
+    pub fn pairs(self, v: VertexId) -> GapPairs<'a> {
+        let count = (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize;
+        GapPairs::new(self.data, self.byte_offsets[v as usize] as usize, count)
+    }
+
+    #[inline]
+    fn weight_slots(self, v: VertexId) -> &'a [Weight] {
+        &self.weights[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// The neighbor-id-only gap decoder for `v` (eids skipped, not
+    /// decoded).
+    #[inline]
+    pub fn targets(self, v: VertexId) -> GapTargets<'a> {
+        let count = (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize;
+        GapTargets {
+            data: self.data,
+            pos: self.byte_offsets[v as usize] as usize,
+            remaining: count,
+            target: 0,
+        }
+    }
+
+    /// `(neighbor, weight)` iteration with the full slice lifetime (the
+    /// [`GraphView`] impls borrow this).
+    #[inline]
+    pub fn neighbors_iter(self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + 'a {
+        self.targets(v).zip(self.weight_slots(v).iter().copied())
+    }
+
+    /// `(neighbor, weight, eid)` iteration with the full slice lifetime.
+    #[inline]
+    pub fn neighbors_with_eid_iter(
+        self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, Weight, u32)> + 'a {
+        self.pairs(v)
+            .zip(self.weight_slots(v).iter().copied())
+            .map(|((t, e), w)| (t, w, e))
+    }
+
+    /// Bytes of compressed adjacency payload (stream only).
+    pub fn data_len(self) -> usize {
+        self.data.len()
+    }
+}
+
+impl GraphView for CompressedView<'_> {
+    #[inline]
+    fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.neighbors_iter(v)
+    }
+
+    #[inline]
+    fn neighbors_with_eid(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, Weight, u32)> + '_ {
+        self.neighbors_with_eid_iter(v)
+    }
+
+    #[inline]
+    fn edges(&self) -> &[Edge] {
+        self.edges
+    }
+}
+
+/// An owned delta-compressed CSR graph — [`crate::CsrGraph`] with the
+/// `targets`/`slot_eids` slabs replaced by the gap stream. Built from
+/// any [`GraphView`]; iterates identically to its source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompressedCsr {
+    offsets: Vec<u32>,
+    byte_offsets: Vec<u64>,
+    data: Vec<u8>,
+    weights: Vec<Weight>,
+    edges: Vec<Edge>,
+}
+
+impl CompressedCsr {
+    /// Compress the adjacency of `g`.
+    pub fn from_view<G: GraphView>(g: &G) -> CompressedCsr {
+        let n = g.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut weights = Vec::with_capacity(2 * g.m());
+        let mut byte_offsets = Vec::with_capacity(n + 1);
+        let mut data = Vec::with_capacity(2 * g.m().saturating_mul(3));
+        offsets.push(0u32);
+        byte_offsets.push(0u64);
+        for v in 0..n as u32 {
+            let mut prev: Option<(u32, u32)> = None;
+            for (t, w, e) in g.neighbors_with_eid(v) {
+                match prev {
+                    None => {
+                        write_varint(t as u64, &mut data);
+                        write_varint(e as u64, &mut data);
+                    }
+                    Some((pt, pe)) => {
+                        debug_assert!(t > pt && e > pe, "adjacency not strictly increasing");
+                        write_varint((t - pt) as u64, &mut data);
+                        write_varint((e - pe) as u64, &mut data);
+                    }
+                }
+                prev = Some((t, e));
+                weights.push(w);
+            }
+            offsets.push(weights.len() as u32);
+            byte_offsets.push(data.len() as u64);
+        }
+        CompressedCsr {
+            offsets,
+            byte_offsets,
+            data,
+            weights,
+            edges: g.edges().to_vec(),
+        }
+    }
+
+    /// Borrow as the `Copy` view form.
+    #[inline]
+    pub fn as_view(&self) -> CompressedView<'_> {
+        CompressedView {
+            offsets: &self.offsets,
+            byte_offsets: &self.byte_offsets,
+            data: &self.data,
+            weights: &self.weights,
+            edges: &self.edges,
+        }
+    }
+
+    /// Bytes of the compressed adjacency representation
+    /// (stream + byte offsets) — what replaces the plain
+    /// `targets + slot_eids` slabs (`16 · m` bytes).
+    pub fn compressed_adjacency_bytes(&self) -> usize {
+        self.data.len() + self.byte_offsets.len() * 8
+    }
+
+    /// Total heap bytes of this representation (all five parts).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len()
+            + self.byte_offsets.len() * 8
+            + self.offsets.len() * 4
+            + self.weights.len() * 8
+            + self.edges.len() * 16
+    }
+}
+
+impl GraphView for CompressedCsr {
+    #[inline]
+    fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.as_view().neighbors_iter(v)
+    }
+
+    #[inline]
+    fn neighbors_with_eid(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, Weight, u32)> + '_ {
+        self.as_view().neighbors_with_eid_iter(v)
+    }
+
+    #[inline]
+    fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+}
+
+/// The structural validation behind every mapped compressed view. Both
+/// [`Verify`] levels run the full decode sweep (that is what makes the
+/// panic-free hot-path decoder sound); [`Verify::Deep`] additionally
+/// pins the decoded content — and the weight slab — to the canonical
+/// edge list via the exact CSR fill-sweep replay.
+pub fn validate_compressed_parts(
+    offsets: &[u32],
+    byte_offsets: &[u64],
+    data: &[u8],
+    weights: &[Weight],
+    edges: &[Edge],
+    verify: Verify,
+) -> Result<(), SnapshotError> {
+    if offsets.is_empty() {
+        return Err(corrupt(
+            "compressed offsets",
+            "offsets slab needs a trailing total",
+        ));
+    }
+    let n = offsets.len() - 1;
+    if n > u32::MAX as usize + 1 {
+        return Err(corrupt(
+            "vertex count",
+            format_args!("{n} vertices exceeds the u32 vertex-id space"),
+        ));
+    }
+    let m = edges.len();
+    if m > u32::MAX as usize {
+        return Err(corrupt(
+            "edge count",
+            format_args!("{m} edges exceeds the u32 edge-id space"),
+        ));
+    }
+    let slots = weights.len();
+    if slots != 2 * m {
+        return Err(corrupt(
+            "compressed shape",
+            format_args!("{slots} weight slots for m = {m}"),
+        ));
+    }
+    if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt(
+            "compressed offsets",
+            "offsets are not monotone from 0",
+        ));
+    }
+    if offsets[n] as usize != slots {
+        return Err(corrupt(
+            "compressed offsets",
+            format_args!("offsets total {} ≠ {slots} adjacency slots", offsets[n]),
+        ));
+    }
+    if byte_offsets.len() != n + 1 {
+        return Err(corrupt(
+            "compressed byte offsets",
+            format_args!("{} byte offsets for n = {n}", byte_offsets.len()),
+        ));
+    }
+    if byte_offsets[0] != 0 || byte_offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt(
+            "compressed byte offsets",
+            "byte offsets are not monotone from 0",
+        ));
+    }
+    if byte_offsets[n] != data.len() as u64 {
+        return Err(corrupt(
+            "compressed byte offsets",
+            format_args!(
+                "byte offsets end at {} but the stream holds {} bytes",
+                byte_offsets[n],
+                data.len()
+            ),
+        ));
+    }
+    // Full decode sweep: after this, GapPairs over any vertex touches
+    // only bytes inside the stream and yields strictly increasing
+    // in-range ids — the hot path cannot panic.
+    let deep = verify == Verify::Deep;
+    let mut decoded: Vec<(u32, u32)> = if deep {
+        Vec::with_capacity(slots)
+    } else {
+        Vec::new()
+    };
+    for v in 0..n {
+        let count = (offsets[v + 1] - offsets[v]) as usize;
+        let mut pos = byte_offsets[v] as usize;
+        let end = byte_offsets[v + 1] as usize;
+        let mut prev: Option<(u64, u64)> = None;
+        for i in 0..count {
+            let Some((tg, p)) = try_read_varint(data, pos, end) else {
+                return Err(corrupt(
+                    "compressed stream",
+                    format_args!("vertex {v}: truncated varint in pair {i}"),
+                ));
+            };
+            let Some((eg, p)) = try_read_varint(data, p, end) else {
+                return Err(corrupt(
+                    "compressed stream",
+                    format_args!("vertex {v}: truncated varint in pair {i}"),
+                ));
+            };
+            pos = p;
+            let (t, e) = match prev {
+                None => (tg, eg),
+                Some((pt, pe)) => {
+                    if tg == 0 || eg == 0 {
+                        return Err(corrupt(
+                            "compressed stream",
+                            format_args!("vertex {v}: zero gap in pair {i}"),
+                        ));
+                    }
+                    (pt.saturating_add(tg), pe.saturating_add(eg))
+                }
+            };
+            if t >= n as u64 {
+                return Err(corrupt(
+                    "compressed target",
+                    format_args!("vertex {v}: decoded neighbor {t} out of range for n = {n}"),
+                ));
+            }
+            if e >= m as u64 {
+                return Err(corrupt(
+                    "compressed edge id",
+                    format_args!("vertex {v}: decoded edge id {e} out of range for m = {m}"),
+                ));
+            }
+            prev = Some((t, e));
+            if deep {
+                decoded.push((t as u32, e as u32));
+            }
+        }
+        if pos != end {
+            return Err(corrupt(
+                "compressed stream",
+                format_args!(
+                    "vertex {v}: {} stream bytes left after {count} pairs",
+                    end - pos
+                ),
+            ));
+        }
+    }
+    if !deep {
+        return Ok(());
+    }
+    // Deep: canonical edge rules, then replay the fill sweep against the
+    // decoded pairs and the weight slab.
+    let mut prev_edge: Option<(u32, u32)> = None;
+    for (i, e) in edges.iter().enumerate() {
+        if e.u as usize >= n || e.v as usize >= n || e.u >= e.v || e.w == 0 {
+            return Err(corrupt(
+                "edge",
+                format_args!(
+                    "edge {i} = ({}, {}, w {}) violates canonical rules for n = {n}",
+                    e.u, e.v, e.w
+                ),
+            ));
+        }
+        if let Some(p) = prev_edge {
+            if p >= (e.u, e.v) {
+                return Err(corrupt(
+                    "edge order",
+                    format_args!(
+                        "edge {i} = ({}, {}) duplicates or precedes ({}, {})",
+                        e.u, e.v, p.0, p.1
+                    ),
+                ));
+            }
+        }
+        prev_edge = Some((e.u, e.v));
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for (eid, e) in edges.iter().enumerate() {
+        for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+            let c = cursor[a as usize] as usize;
+            if c >= offsets[a as usize + 1] as usize
+                || decoded[c] != (b, eid as u32)
+                || weights[c] != e.w
+            {
+                return Err(corrupt(
+                    "compressed adjacency",
+                    format_args!(
+                        "gap stream does not replay the canonical fill sweep at edge \
+                         {eid} = ({}, {})",
+                        e.u, e.v
+                    ),
+                ));
+            }
+            cursor[a as usize] += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::generators;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_graph(seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = generators::connected_random(80, 220, &mut rng);
+        generators::with_uniform_weights(&base, 1, 60, &mut rng)
+    }
+
+    fn assert_iterates_identically<G: GraphView>(c: &CompressedCsr, g: &G) {
+        assert_eq!(c.n(), g.n());
+        assert_eq!(c.m(), g.m());
+        assert_eq!(GraphView::edges(c), g.edges());
+        for v in 0..g.n() as u32 {
+            assert_eq!(c.degree(v), g.degree(v));
+            assert_eq!(
+                c.neighbors(v).collect::<Vec<_>>(),
+                g.neighbors(v).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                c.neighbors_with_eid(v).collect::<Vec<_>>(),
+                g.neighbors_with_eid(v).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_view_iterates_identically_to_the_plain_graph() {
+        let g = sample_graph(11);
+        let c = CompressedCsr::from_view(&g);
+        assert_iterates_identically(&c, &g);
+        assert!(
+            c.compressed_adjacency_bytes() < 16 * g.m(),
+            "gap stream should beat the 16m-byte plain slabs"
+        );
+        // the borrowed form behaves the same
+        let v = c.as_view();
+        assert_eq!(
+            v.neighbors_iter(3).collect::<Vec<_>>(),
+            g.neighbors(3).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn writer_path_matches_the_view_path() {
+        let g = sample_graph(12);
+        let c = CompressedCsr::from_view(&g);
+        let (byte_offsets, data) = delta_compress_edges(g.n(), g.edges());
+        assert_eq!(byte_offsets, c.byte_offsets);
+        assert_eq!(data, c.data);
+        validate_compressed_parts(
+            &c.offsets,
+            &byte_offsets,
+            &data,
+            &c.weights,
+            &c.edges,
+            Verify::Deep,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_tampered_streams_with_typed_errors() {
+        let g = sample_graph(13);
+        let c = CompressedCsr::from_view(&g);
+        let check = |offsets: &[u32], bo: &[u64], data: &[u8], verify: Verify| {
+            validate_compressed_parts(offsets, bo, data, &c.weights, &c.edges, verify)
+        };
+        for verify in [Verify::Bounds, Verify::Deep] {
+            check(&c.offsets, &c.byte_offsets, &c.data, verify).unwrap();
+
+            // truncated varint: set a continuation bit on the last byte
+            let mut data = c.data.clone();
+            *data.last_mut().unwrap() |= 0x80;
+            assert!(matches!(
+                check(&c.offsets, &c.byte_offsets, &data, verify),
+                Err(SnapshotError::Corrupt { .. })
+            ));
+
+            // gap overflowing the vertex-id space: splice a huge varint
+            // in place of the first vertex's first target
+            let mut data = c.data.clone();
+            data[0] = 0xff; // becomes a multi-byte varint eating the next pair
+            let r = check(&c.offsets, &c.byte_offsets, &data, verify);
+            assert!(matches!(r, Err(SnapshotError::Corrupt { .. })), "{r:?}");
+
+            // byte offset past the stream end
+            let mut bo = c.byte_offsets.clone();
+            let last = bo.len() - 1;
+            bo[last] = c.data.len() as u64 + 9;
+            assert!(matches!(
+                check(&c.offsets, &bo, &c.data, verify),
+                Err(SnapshotError::Corrupt { .. })
+            ));
+        }
+        // byte offsets that stop being monotone are a typed error before
+        // any decode is attempted
+        let path = generators::path(4);
+        let pc = CompressedCsr::from_view(&path);
+        let mut bo = pc.byte_offsets.clone();
+        bo.swap(1, 2);
+        assert!(matches!(
+            validate_compressed_parts(
+                &pc.offsets,
+                &bo,
+                &pc.data,
+                &pc.weights,
+                &pc.edges,
+                Verify::Bounds
+            ),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_round_trip_matches_plain_csr(
+            raw in proptest::collection::vec((0u32..60, 0u32..60, 1u64..1000), 0..300)
+        ) {
+            let g = CsrGraph::from_edges(
+                60,
+                raw.iter().map(|&(u, v, w)| crate::csr::Edge::new(u, v, w)),
+            );
+            let c = CompressedCsr::from_view(&g);
+            assert_iterates_identically(&c, &g);
+            validate_compressed_parts(
+                &c.offsets, &c.byte_offsets, &c.data, &c.weights, &c.edges, Verify::Deep,
+            ).unwrap();
+        }
+    }
+}

@@ -43,38 +43,312 @@ const FILTER_GRAIN: usize = 4096;
 /// list, so chunks are heavier than filter chunks).
 const EXPAND_GRAIN: usize = 256;
 
-/// An ordered multimap from integer round keys to pending claims — the
-/// lazy bucket structure shared by every search engine. Sparse key ranges
-/// skip empty buckets in `O(log)` time.
+/// Ring slots in the calendar queue's dense window (power of two so the
+/// slot index is a mask). Keys outside `[base, base + CALENDAR_SLOTS)`
+/// spill to the sparse overflow tree and are promoted into the ring as
+/// the window advances.
+const CALENDAR_SLOTS: usize = 1024;
+
+/// Recycled bucket `Vec`s kept around for reuse; beyond this they are
+/// dropped so a burst of wide rounds cannot pin memory forever.
+const FREE_POOL_CAP: usize = 256;
+
+/// The bucket store every search engine pushes claims into and
+/// [`drive_on`] pops rounds from. `Vec<T>` buckets keyed by `u64` round
+/// keys, popped in ascending key order, whole bucket at a time.
+///
+/// Implementations must keep each key's bucket *whole*: all items pushed
+/// at one key come back in a single `pop_min` (plus later sub-rounds for
+/// items pushed after that pop). Splitting a key across pops would split
+/// its contention-resolution sort and change committed artifacts.
+pub trait ClaimQueue<T> {
+    /// Append `item` to the bucket at `key`.
+    fn push(&mut self, key: u64, item: T);
+
+    /// Remove and return the non-empty bucket with the smallest key.
+    fn pop_min(&mut self) -> Option<(u64, Vec<T>)>;
+
+    /// True when no items are queued.
+    fn is_empty(&self) -> bool;
+
+    /// Hand a spent bucket back for reuse. Implementations may keep its
+    /// allocation for a future `push`; the default drops it.
+    fn recycle(&mut self, bucket: Vec<T>) {
+        drop(bucket);
+    }
+}
+
+/// A calendar (circular multi-list) bucket queue: the near future is a
+/// flat ring of `CALENDAR_SLOTS` lazily-allocated `Vec` buckets indexed
+/// by `key % CALENDAR_SLOTS`, the far future is a sparse `BTreeMap`
+/// overflow, and spent bucket `Vec`s recycle through a free-list — in
+/// steady state a round of push/pop traffic allocates nothing and never
+/// chases `BTreeMap` node pointers.
+///
+/// Invariants that keep pop order exact (and therefore every artifact
+/// byte-identical to the old `BTreeMap` implementation):
+///
+/// * the window base only advances (to each popped key), so within a
+///   window every ring slot corresponds to exactly one key;
+/// * a key's bucket lives *either* in the ring (keys inside
+///   `[base, base + CALENDAR_SLOTS)`) *or* in the overflow tree (keys
+///   beyond the window, or below `base` from out-of-order pushes) —
+///   never both, so buckets are popped whole;
+/// * whenever the base advances, overflow keys that fell inside the new
+///   window are promoted into their ring slots, restoring the first
+///   invariant before the next push.
+///
+/// `pop_min` finds the ring minimum through a per-slot occupancy bitmap
+/// (one `trailing_zeros` per 64 slots) and compares it against the first
+/// overflow key, so sparse key ranges cost a handful of word scans
+/// instead of a tree descent.
 #[derive(Clone, Debug, Default)]
 pub struct BucketQueue<T> {
-    buckets: BTreeMap<u64, Vec<T>>,
+    /// `CALENDAR_SLOTS` buckets once the first push arrives; empty until
+    /// then so an unused queue costs nothing.
+    ring: Vec<Vec<T>>,
+    /// One bit per ring slot: does the slot hold any items?
+    occupied: Vec<u64>,
+    /// Start of the dense window. Never decreases.
+    base: u64,
+    /// Far-future (or below-base) buckets, sparse.
+    overflow: BTreeMap<u64, Vec<T>>,
+    /// Spent bucket `Vec`s awaiting reuse (all empty, capacity kept).
+    free: Vec<Vec<T>>,
+    /// Total queued items across ring and overflow.
+    len: usize,
 }
 
 impl<T> BucketQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
         BucketQueue {
-            buckets: BTreeMap::new(),
+            ring: Vec::new(),
+            occupied: Vec::new(),
+            base: 0,
+            overflow: BTreeMap::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(key: u64) -> usize {
+        (key & (CALENDAR_SLOTS as u64 - 1)) as usize
+    }
+
+    #[inline]
+    fn in_window(&self, key: u64) -> bool {
+        key >= self.base && key - self.base < CALENDAR_SLOTS as u64
+    }
+
+    fn ensure_ring(&mut self) {
+        if self.ring.is_empty() {
+            self.ring.resize_with(CALENDAR_SLOTS, Vec::new);
+            self.occupied = vec![0u64; CALENDAR_SLOTS / 64];
+        }
+    }
+
+    /// Install `bucket` (non-empty) into the ring slot for `key`. The
+    /// slot must currently be unoccupied; its resident empty `Vec` moves
+    /// to the free-list if it carries capacity.
+    fn install(&mut self, key: u64, bucket: Vec<T>) {
+        let slot = Self::slot_of(key);
+        debug_assert_eq!(self.occupied[slot / 64] & (1 << (slot % 64)), 0);
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+        let old = std::mem::replace(&mut self.ring[slot], bucket);
+        debug_assert!(old.is_empty());
+        if old.capacity() > 0 && self.free.len() < FREE_POOL_CAP {
+            self.free.push(old);
         }
     }
 
     /// Append `item` to the bucket at `key`.
     pub fn push(&mut self, key: u64, item: T) {
-        self.buckets.entry(key).or_default().push(item);
+        self.len += 1;
+        if self.in_window(key) {
+            self.ensure_ring();
+            let slot = Self::slot_of(key);
+            if self.occupied[slot / 64] & (1 << (slot % 64)) == 0 {
+                self.occupied[slot / 64] |= 1 << (slot % 64);
+                if self.ring[slot].capacity() == 0 {
+                    if let Some(spare) = self.free.pop() {
+                        self.ring[slot] = spare;
+                    }
+                }
+            }
+            self.ring[slot].push(item);
+        } else {
+            let free = &mut self.free;
+            self.overflow
+                .entry(key)
+                .or_insert_with(|| free.pop().unwrap_or_default())
+                .push(item);
+        }
     }
 
-    /// Remove and return the non-empty bucket with the smallest key.
-    /// One tree descent (`pop_first`), not a find-then-remove pair —
-    /// this runs once per round in every search engine.
+    /// Smallest key with an occupied ring slot, scanning the occupancy
+    /// bitmap forward from `base` (with wrap-around).
+    fn ring_min_key(&self) -> Option<u64> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let base_slot = Self::slot_of(self.base);
+        let (base_word, base_bit) = (base_slot / 64, base_slot % 64);
+        let words = self.occupied.len();
+        let key_at = |slot: usize| {
+            let dist = (slot + CALENDAR_SLOTS - base_slot) % CALENDAR_SLOTS;
+            self.base + dist as u64
+        };
+        // Unwrapped region: slots base_slot..CALENDAR_SLOTS.
+        let head = self.occupied[base_word] & (!0u64 << base_bit);
+        if head != 0 {
+            return Some(key_at(base_word * 64 + head.trailing_zeros() as usize));
+        }
+        for w in base_word + 1..words {
+            if self.occupied[w] != 0 {
+                return Some(key_at(w * 64 + self.occupied[w].trailing_zeros() as usize));
+            }
+        }
+        // Wrapped region: slots 0..base_slot (later keys in the window).
+        for w in 0..base_word {
+            if self.occupied[w] != 0 {
+                return Some(key_at(w * 64 + self.occupied[w].trailing_zeros() as usize));
+            }
+        }
+        let tail = self.occupied[base_word] & !(!0u64 << base_bit);
+        if tail != 0 {
+            return Some(key_at(base_word * 64 + tail.trailing_zeros() as usize));
+        }
+        None
+    }
+
+    /// Remove and return the non-empty bucket with the smallest key,
+    /// advancing the window to it and promoting overflow buckets that
+    /// the new window now covers.
     pub fn pop_min(&mut self) -> Option<(u64, Vec<T>)> {
-        self.buckets.pop_first()
+        if self.len == 0 {
+            return None;
+        }
+        let ring_key = self.ring_min_key();
+        let over_key = self.overflow.keys().next().copied();
+        let from_overflow = match (ring_key, over_key) {
+            (Some(rk), Some(ok)) => ok < rk,
+            (None, _) => true,
+            (Some(_), None) => false,
+        };
+        let (key, bucket) = if from_overflow {
+            self.overflow.pop_first().expect("len > 0 and ring empty")
+        } else {
+            let key = ring_key.expect("ring side selected");
+            let slot = Self::slot_of(key);
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
+            (key, std::mem::take(&mut self.ring[slot]))
+        };
+        self.len -= bucket.len();
+        if key > self.base {
+            self.base = key;
+            // The window moved: any overflow bucket now inside it must
+            // return to the ring before the next push, or that key could
+            // end up split across both stores.
+            let horizon = self.base + CALENDAR_SLOTS as u64;
+            let promote: Vec<u64> = self
+                .overflow
+                .range(self.base..horizon)
+                .map(|(&k, _)| k)
+                .collect();
+            if !promote.is_empty() {
+                self.ensure_ring();
+                for k in promote {
+                    let v = self.overflow.remove(&k).expect("key just listed");
+                    self.install(k, v);
+                }
+            }
+        }
+        Some((key, bucket))
     }
 
     /// True when no items are queued.
     pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Hand a spent bucket back so its allocation feeds future pushes.
+    pub fn recycle(&mut self, mut bucket: Vec<T>) {
+        bucket.clear();
+        if bucket.capacity() > 0 && self.free.len() < FREE_POOL_CAP {
+            self.free.push(bucket);
+        }
+    }
+}
+
+impl<T> ClaimQueue<T> for BucketQueue<T> {
+    #[inline]
+    fn push(&mut self, key: u64, item: T) {
+        BucketQueue::push(self, key, item);
+    }
+
+    #[inline]
+    fn pop_min(&mut self) -> Option<(u64, Vec<T>)> {
+        BucketQueue::pop_min(self)
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        BucketQueue::is_empty(self)
+    }
+
+    #[inline]
+    fn recycle(&mut self, bucket: Vec<T>) {
+        BucketQueue::recycle(self, bucket);
+    }
+}
+
+/// Which [`ClaimQueue`] drives a traversal. Algorithms default to
+/// [`QueueKind::Calendar`]; the benchsuite `frontier` table uses the
+/// explicit knob to race both stores over identical workloads (the
+/// artifacts must be identical either way — only the wall clock may
+/// differ).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The cache-conscious ring-of-buckets [`BucketQueue`].
+    Calendar,
+    /// The [`BTreeBucketQueue`] baseline.
+    Btree,
+}
+
+/// The pre-calendar bucket store: an ordered multimap from round keys to
+/// claims, one `BTreeMap` node per non-empty bucket. Kept as the named
+/// baseline the benchsuite `frontier` table races [`BucketQueue`]
+/// against; algorithms should use [`BucketQueue`].
+#[derive(Clone, Debug, Default)]
+pub struct BTreeBucketQueue<T> {
+    buckets: BTreeMap<u64, Vec<T>>,
+}
+
+impl<T> BTreeBucketQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        BTreeBucketQueue {
+            buckets: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T> ClaimQueue<T> for BTreeBucketQueue<T> {
+    fn push(&mut self, key: u64, item: T) {
+        self.buckets.entry(key).or_default().push(item);
+    }
+
+    fn pop_min(&mut self) -> Option<(u64, Vec<T>)> {
+        self.buckets.pop_first()
+    }
+
+    fn is_empty(&self) -> bool {
         self.buckets.is_empty()
     }
+    // recycle: default drop — recycling is the calendar queue's edge and
+    // the baseline must measure the old allocation behavior honestly.
 }
 
 /// One algorithm's view of the race: what a claim is, when it is still
@@ -127,6 +401,19 @@ pub fn drive<F: Frontier>(
     queue: &mut BucketQueue<F::Claim>,
     frontier: &mut F,
 ) -> Cost {
+    drive_on(exec, queue, frontier)
+}
+
+/// [`drive`], generic over the bucket store. Exists so the benchsuite
+/// can race queue implementations under identical real workloads; the
+/// popped-key/pushed-claim sequence — and therefore the committed
+/// artifact and the returned [`Cost`] — is the same for any conforming
+/// [`ClaimQueue`].
+pub fn drive_on<Q: ClaimQueue<F::Claim>, F: Frontier>(
+    exec: &Executor,
+    queue: &mut Q,
+    frontier: &mut F,
+) -> Cost {
     let counter = OpCounter::new();
     let mut rounds: u64 = 0;
     let mut winners: Vec<F::Claim> = Vec::new();
@@ -136,6 +423,7 @@ pub fn drive<F: Frontier>(
         let shared: &F = frontier;
         let mut live = exec.par_filter(&claims, FILTER_GRAIN, |c| shared.live(c));
         if live.is_empty() {
+            queue.recycle(claims);
             continue;
         }
         // Phase 2: deterministic contention resolution — sort puts each
@@ -168,6 +456,7 @@ pub fn drive<F: Frontier>(
         }
         counter.add(winners.len() as u64);
         rounds += 1;
+        queue.recycle(claims);
     }
     Cost::new(counter.get(), rounds)
 }
@@ -198,6 +487,89 @@ mod tests {
         let (k, _) = q.pop_min().unwrap();
         q.push(k, 2u32);
         assert_eq!(q.pop_min(), Some((3, vec![2])));
+    }
+
+    #[test]
+    fn far_future_keys_overflow_and_promote_as_the_window_advances() {
+        // CALENDAR_SLOTS = 1024: keys ≥ 1024 start in the overflow tree.
+        // Popping 1500 moves the window to [1500, 2524), which must pull
+        // 2500 into the ring (same residue class as 1500 + 1000) before
+        // any push could split its bucket.
+        let mut q = BucketQueue::new();
+        q.push(0, 'a');
+        q.push(1500, 'b');
+        q.push(2500, 'c');
+        assert_eq!(q.pop_min(), Some((0, vec!['a'])));
+        assert_eq!(q.pop_min(), Some((1500, vec!['b'])));
+        // 2500 is now a ring key; pushing to it must append to the same
+        // bucket, not open a second one in overflow.
+        q.push(2500, 'd');
+        assert_eq!(q.pop_min(), Some((2500, vec!['c', 'd'])));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn keys_below_the_window_base_still_pop_first() {
+        // The engine never pushes below the current round, but the queue
+        // is a public type: late keys route through overflow and still
+        // win the min comparison.
+        let mut q = BucketQueue::new();
+        q.push(10, 'a');
+        assert_eq!(q.pop_min(), Some((10, vec!['a'])));
+        q.push(2, 'b');
+        q.push(11, 'c');
+        assert_eq!(q.pop_min(), Some((2, vec!['b'])));
+        assert_eq!(q.pop_min(), Some((11, vec!['c'])));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_queue_matches_the_btree_baseline_on_random_traffic() {
+        // Deterministic xorshift traffic: interleaved pushes (some far
+        // beyond the window, forcing overflow + promotion) and pops must
+        // produce the exact (key, bucket) sequence of the sorted-map
+        // baseline.
+        let mut cal: BucketQueue<u64> = BucketQueue::new();
+        let mut btree: BTreeBucketQueue<u64> = BTreeBucketQueue::new();
+        let mut floor = 0u64; // emulate drive(): never push below the last pop
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..4000 {
+            if step % 3 == 2 {
+                let got = cal.pop_min();
+                let want = btree.pop_min();
+                assert_eq!(got, want, "pop diverged at step {step}");
+                if let Some((k, bucket)) = got {
+                    floor = k;
+                    cal.recycle(bucket);
+                }
+            } else {
+                let r = rand();
+                // Mostly near keys, occasionally far past the window.
+                let key = floor
+                    + if r % 11 == 0 {
+                        5000 + r % 3000
+                    } else {
+                        r % 700
+                    };
+                cal.push(key, r);
+                btree.push(key, r);
+            }
+        }
+        loop {
+            let got = cal.pop_min();
+            let want = btree.pop_min();
+            assert_eq!(got, want, "drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert!(cal.is_empty() && btree.is_empty());
     }
 
     /// Toy frontier: propagate the smallest source id along a path, one

@@ -46,6 +46,7 @@
 //! rounds.
 
 pub mod builder;
+pub mod compress;
 pub mod connectivity;
 pub mod csr;
 pub mod delta;
@@ -61,10 +62,13 @@ pub mod traversal;
 pub mod union_find;
 pub mod view;
 
+pub use compress::{CompressedCsr, CompressedView};
 pub use csr::{CsrGraph, Edge, VertexId, Weight, INF};
 pub use delta::{DeltaError, DeltaOp, GraphDelta};
-pub use frontier::{drive, BucketQueue, Frontier};
+pub use frontier::{
+    drive, drive_on, BTreeBucketQueue, BucketQueue, ClaimQueue, Frontier, QueueKind,
+};
 pub use quotient::QuotientGraph;
-pub use source::{ExtraSlabsView, LoadMode, MmapView, SnapshotSource, Verify};
+pub use source::{CompressedMmapView, ExtraSlabsView, LoadMode, MmapView, SnapshotSource, Verify};
 pub use subgraph::SubGraph;
 pub use view::{CsrView, GraphView, SplitArena};
