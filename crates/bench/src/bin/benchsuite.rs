@@ -5,7 +5,7 @@
 //! concurrent query serving (cached and uncached), serving over the TCP
 //! wire, and an exact-baseline head-to-head — over a fixed scenario
 //! matrix, and emits a single schema-versioned JSON document
-//! (`BENCH_8.json` by default) so the perf trajectory can accumulate
+//! (`BENCH_9.json` by default) so the perf trajectory can accumulate
 //! across commits:
 //!
 //! * **graph families** × **weighting**: {gnp, rmat, grid2d} ×
@@ -61,7 +61,18 @@
 //!   through both [`psh_graph::QueueKind`]s — the calendar
 //!   [`psh_graph::BucketQueue`] vs the `BTreeMap` baseline — best of 3,
 //!   with the distance/parent arrays gated identical between the two
-//!   queues.
+//!   queues;
+//! * **sharded-vs-monolithic cells** per build: the same graph
+//!   partitioned into 4 shards by [`psh_core::shard::ShardedOracleBuilder`]
+//!   (per-shard builds fanned across the pool) next to the monolithic
+//!   build — build wall-clock, sequential qps, and the observed
+//!   cross-shard stretch vs exact Dijkstra, gated on the documented 3×
+//!   sandwich and on Sequential/Parallel{4} byte-identity;
+//! * **open-loop sweep**: one loopback wire server driven at a grid of
+//!   seeded Poisson offered-load rates (`psh-client --open-loop`
+//!   semantics, latency measured from each query's *scheduled* arrival
+//!   so queueing delay lands in the tail — no coordinated omission),
+//!   recording the full latency-vs-offered-load curve.
 //!
 //! Every cell's answers — in-process and over-the-wire alike — are
 //! compared against the sequential per-pair reference
@@ -82,7 +93,7 @@
 //! and a `serve_net` table (one row per wire cell). Rows are
 //! stringly-typed table cells; `meta` carries the numeric knobs. The
 //! `serve_net`, `load`, `serve_cached`, `swap`, `baselines`, `compress`,
-//! and `frontier` tables are
+//! `frontier`, `shard`, and `open_loop` tables are
 //! additive — documents keep `schema_version` 1, and `bench-compare`
 //! diffs two documents table-by-table (tables present in only one side
 //! are reported as added/removed, so old baselines stay comparable).
@@ -93,8 +104,10 @@ use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::{random_pairs, Family};
 use psh_bench::Report;
 use psh_core::api::{OracleBuilder, Seed};
+use psh_core::distance::DistanceOracle;
 use psh_core::oracle::{ApproxShortestPaths, QueryResult};
 use psh_core::service::{CacheConfig, OracleService, ServiceConfig, ServiceStats};
+use psh_core::shard::ShardedOracleBuilder;
 use psh_core::snapshot::{
     inspect_v2, load_oracle, load_oracle_v2, read_oracle, save_oracle_v2, save_oracle_v2_with,
     write_oracle, OracleMeta,
@@ -341,7 +354,7 @@ fn measure_swap(
         .unwrap_or_else(|e| die(format_args!("swap cell: apply_delta: {e}")));
 
     let service = Arc::new(OracleService::from_arc(
-        Arc::clone(base),
+        Arc::clone(base) as Arc<dyn DistanceOracle>,
         ServiceConfig::with_policy(policy),
     ));
     // 0 = steady window, 1 = rebuild window, 2 = stop
@@ -378,7 +391,7 @@ fn measure_swap(
             let rebuild_s = t1.elapsed().as_secs_f64();
             let swapped = Arc::new(rebuilt.artifact);
             let t2 = Instant::now();
-            let epoch = service.swap_oracle(Arc::clone(&swapped));
+            let epoch = service.swap_oracle(Arc::clone(&swapped) as Arc<dyn DistanceOracle>);
             let swap_ms = t2.elapsed().as_secs_f64() * 1e3;
             let rebuild_window_s = t1.elapsed().as_secs_f64();
             phase.store(2, Ordering::Release);
@@ -466,7 +479,7 @@ fn main() {
     let load_n: usize = parse_flag("--load-n")
         .and_then(|s| s.parse().ok())
         .unwrap_or(120_000);
-    let json_path = parse_flag("--json").unwrap_or_else(|| "BENCH_8.json".into());
+    let json_path = parse_flag("--json").unwrap_or_else(|| "BENCH_9.json".into());
     let mut report = Report::new("benchsuite", Some(PathBuf::from(&json_path)));
 
     // The scenario axes. "gnp" is the connected Erdős–Rényi-ish family
@@ -601,6 +614,28 @@ fn main() {
         "calendar (s)",
         "speedup",
     ]);
+    let mut shard_table = Table::new([
+        "family",
+        "weights",
+        "shards",
+        "boundary",
+        "mono build (s)",
+        "shard build (s)",
+        "mono qps",
+        "shard qps",
+        "max stretch",
+        "mean stretch",
+        "identical",
+    ]);
+    let mut open_loop_table = Table::new([
+        "offered qps",
+        "arrivals",
+        "behind",
+        "achieved qps",
+        "p50 (ms)",
+        "p99 (ms)",
+        "identical",
+    ]);
     // the wire axis stays small — each cell pays real TCP round trips
     let net_policies = [
         ExecutionPolicy::Sequential,
@@ -668,7 +703,7 @@ fn main() {
                 for &policy in &policies {
                     for &clients in &client_counts {
                         let service = OracleService::from_arc(
-                            Arc::clone(oracle),
+                            Arc::clone(oracle) as Arc<dyn DistanceOracle>,
                             ServiceConfig::with_policy(policy),
                         );
                         let answers = run_clients(&service, &pairs, clients);
@@ -698,7 +733,7 @@ fn main() {
             for &policy in &net_policies {
                 for &clients in &net_clients {
                     let service = Arc::new(OracleService::from_arc(
-                        Arc::clone(&fresh),
+                        Arc::clone(&fresh) as Arc<dyn DistanceOracle>,
                         ServiceConfig::with_policy(policy),
                     ));
                     let mut server = NetServer::bind(
@@ -758,7 +793,7 @@ fn main() {
             // --- cached serving cells -------------------------------------
             for &policy in &net_policies {
                 let service = OracleService::from_arc(
-                    Arc::clone(&fresh),
+                    Arc::clone(&fresh) as Arc<dyn DistanceOracle>,
                     ServiceConfig {
                         policy,
                         max_batch: 256,
@@ -885,6 +920,79 @@ fn main() {
                 fmt_f(max_stretch),
                 fmt_f(mean_stretch),
             ]);
+
+            // --- sharded-vs-monolithic cells ------------------------------
+            // Cross-shard composition scans boundary candidates, so its
+            // per-query cost scales with the cut — a few dozen pairs are
+            // plenty to measure it, and every answer is still gated: the
+            // Sequential and Parallel{4} runs must match bit-for-bit, and
+            // each answer must sit inside the documented [exact, 3×exact]
+            // stretch sandwich.
+            {
+                let spairs = &pairs[..pairs.len().min(32)];
+                let t0 = Instant::now();
+                let srun = ShardedOracleBuilder::new(4)
+                    .params(params)
+                    .seed(Seed(gseed))
+                    .execution(ExecutionPolicy::from_env())
+                    .build(&g)
+                    .unwrap_or_else(|e| die(format_args!("{fname}/{wname}: sharded build: {e}")));
+                let shard_build_s = t0.elapsed().as_secs_f64();
+                let sharded = srun.artifact;
+                let boundary = sharded.plan().boundary_global().len();
+
+                let t0 = Instant::now();
+                let _ = fresh.query_batch(spairs, ExecutionPolicy::Sequential);
+                let mono_qps = spairs.len() as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+                let t0 = Instant::now();
+                let (seq_answers, seq_cost) =
+                    sharded.query_batch(spairs, ExecutionPolicy::Sequential);
+                let shard_qps = spairs.len() as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+                let (par_answers, par_cost) =
+                    sharded.query_batch(spairs, ExecutionPolicy::Parallel { threads: 4 });
+                let identical = seq_answers == par_answers && seq_cost == par_cost;
+
+                let mut shard_max = 1.0f64;
+                let mut stretch_sum = 0.0f64;
+                let mut stretched = 0usize;
+                let mut sound = true;
+                for (&(s, t), a) in spairs.iter().zip(&seq_answers) {
+                    let exact = dijkstra_pair(&g, s, t);
+                    if exact == INF {
+                        sound &= !a.distance.is_finite();
+                        continue;
+                    }
+                    let exact = exact as f64;
+                    sound &= a.distance >= exact - 1e-9 && a.distance <= 3.0 * exact + 1e-9;
+                    if exact > 0.0 {
+                        let r = a.distance / exact;
+                        shard_max = shard_max.max(r);
+                        stretch_sum += r;
+                        stretched += 1;
+                    }
+                }
+                let ok = identical && sound;
+                mismatches += usize::from(!ok);
+                cells += 1;
+                if !ok {
+                    eprintln!(
+                        "shard cell {fname}/{wname}: identical={identical} stretch-sound={sound}"
+                    );
+                }
+                shard_table.row([
+                    fname.to_string(),
+                    wname.to_string(),
+                    fmt_u(sharded.num_shards() as u64),
+                    fmt_u(boundary as u64),
+                    fmt_f(build_s),
+                    fmt_f(shard_build_s),
+                    fmt_f(mono_qps),
+                    fmt_f(shard_qps),
+                    fmt_f(shard_max),
+                    fmt_f(stretch_sum / stretched.max(1) as f64),
+                    if ok { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
         }
     }
 
@@ -1000,6 +1108,84 @@ fn main() {
         }
     }
 
+    // --- open-loop sweep: latency vs offered load over loopback TCP -------
+    // Arrivals follow a seeded Poisson process at each offered rate
+    // (psh-client --open-loop semantics): latency runs from the query's
+    // *scheduled* arrival, so queueing delay lands in the tail instead of
+    // silently throttling the workload — the full latency-vs-offered-load
+    // curve, one row per rate.
+    println!("sweeping open-loop offered load over loopback TCP …");
+    let ol_seed = seed ^ 0x09E2;
+    let g_ol = Family::Random.instantiate(n, ol_seed);
+    let run_ol = OracleBuilder::new()
+        .params(HopsetParams::default())
+        .seed(Seed(ol_seed))
+        .build(&g_ol)
+        .unwrap_or_else(|e| die(format_args!("open-loop build failed: {e}")));
+    let ol_oracle = Arc::new(run_ol.artifact);
+    let ol_pairs = random_pairs(g_ol.n(), queries.min(400), ol_seed ^ 0x0731);
+    let ol_reference: Vec<QueryResult> = ol_pairs
+        .iter()
+        .map(|&(s, t)| ol_oracle.query(s, t).0)
+        .collect();
+    let rates: Vec<f64> = if quick {
+        vec![500.0, 4000.0]
+    } else {
+        vec![250.0, 1000.0, 4000.0, 16000.0]
+    };
+    let ol_service = Arc::new(OracleService::from_arc(
+        Arc::clone(&ol_oracle) as Arc<dyn DistanceOracle>,
+        ServiceConfig::with_policy(ExecutionPolicy::Sequential),
+    ));
+    let mut ol_server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&ol_service),
+        ServerConfig::default(),
+    )
+    .unwrap_or_else(|e| die(format_args!("open-loop bind: {e}")));
+    for &rate in &rates {
+        let mut client =
+            NetClient::connect(ol_server.local_addr()).expect("open-loop loopback connect");
+        let start = Instant::now();
+        let mut x = (ol_seed ^ 0x9E37_79B9_7F4A_7C15) | 1;
+        let mut scheduled_s = 0.0f64;
+        let mut behind = 0usize;
+        let mut answers = Vec::with_capacity(ol_pairs.len());
+        let mut lats_ms = Vec::with_capacity(ol_pairs.len());
+        for &(s, t) in &ol_pairs {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            scheduled_s += -(1.0 - u).ln() / rate;
+            let now_s = start.elapsed().as_secs_f64();
+            if now_s < scheduled_s {
+                std::thread::sleep(std::time::Duration::from_secs_f64(scheduled_s - now_s));
+            } else {
+                behind += 1;
+            }
+            let a = client.query(s, t).expect("open-loop query");
+            lats_ms.push((start.elapsed().as_secs_f64() - scheduled_s) * 1e3);
+            answers.push(a);
+        }
+        let elapsed_s = start.elapsed().as_secs_f64();
+        let identical = answers == ol_reference;
+        mismatches += usize::from(!identical);
+        cells += 1;
+        let p50 = psh_bench::stats::percentile(&lats_ms, 50.0);
+        let p99 = psh_bench::stats::percentile(&lats_ms, 99.0);
+        open_loop_table.row([
+            fmt_f(rate),
+            fmt_u(answers.len() as u64),
+            fmt_u(behind as u64),
+            fmt_f(answers.len() as f64 / elapsed_s.max(1e-12)),
+            fmt_f(p50),
+            fmt_f(p99),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    ol_server.shutdown();
+
     println!("\n## preprocessing\n");
     build_table.print();
     println!("\n## serving matrix\n");
@@ -1018,6 +1204,10 @@ fn main() {
     compress_table.print();
     println!("\n## frontier race (BTree baseline vs calendar queue, sequential)\n");
     frontier_table.print();
+    println!("\n## sharded vs monolithic (4 shards, stretch gated at 3×)\n");
+    shard_table.print();
+    println!("\n## open-loop latency vs offered load (loopback TCP, sequential)\n");
+    open_loop_table.print();
 
     report
         .meta("schema_version", SCHEMA_VERSION)
@@ -1038,6 +1228,8 @@ fn main() {
     report.push_table("baselines", &baselines_table);
     report.push_table("compress", &compress_table);
     report.push_table("frontier", &frontier_table);
+    report.push_table("shard", &shard_table);
+    report.push_table("open_loop", &open_loop_table);
     report.finish();
 
     if mismatches > 0 {

@@ -39,8 +39,16 @@
 //!                             # precedence over --replay/--clients
 //!   --max-seconds S           # stop issuing batches after S seconds
 //!   --verify-local            # rebuild the same oracle in-process
-//!                             # (--family/--n/--seed/--snapshot …) and
-//!                             # require byte-identical answers
+//!                             # (--family/--n/--seed/--snapshot/--shards
+//!                             # …) and require byte-identical answers —
+//!                             # pass --shards K when the server serves a
+//!                             # K-shard oracle built from flags
+//!   --verify-stretch C        # recompute every answered pair exactly
+//!                             # (Dijkstra on the locally derived graph)
+//!                             # and require exact ≤ wire ≤ C·exact —
+//!                             # the documented stretch bound, checkable
+//!                             # against a *monolithic* ground truth even
+//!                             # when the server serves a sharded oracle
 //! ```
 //!
 //! Every mode honours `--addr HOST:PORT` (default `$PSH_ADDR`, else
@@ -51,7 +59,7 @@
 //! `OP_ERROR` frames surface as messages, never panics.
 
 use psh_bench::json::{has_flag, parse_flag};
-use psh_bench::serving::{obtain_oracle, parse_max_seconds};
+use psh_bench::serving::{load_graph, obtain_served_oracle, parse_max_seconds};
 use psh_bench::table::{fmt_f, fmt_u, Table};
 use psh_bench::workloads::{read_pairs, WorkloadDist};
 use psh_bench::Report;
@@ -383,16 +391,16 @@ fn replay(addr: &str, seed: u64) {
 
     // --- the byte-identity contract, checkable from the CLI ---------------
     if has_flag("--verify-local") {
-        let (oracle, ..) = obtain_oracle(PROG, seed);
-        if oracle.graph().n() != n {
+        let (served, ..) = obtain_served_oracle(PROG, seed);
+        let local_n = served.descriptor().n;
+        if local_n != n {
             die(format_args!(
-                "local oracle has n={} but the server serves n={n} — pass the same \
-                 --family/--n/--seed/--snapshot flags the server got",
-                oracle.graph().n()
+                "local oracle has n={local_n} but the server serves n={n} — pass the same \
+                 --family/--n/--seed/--snapshot/--shards flags the server got"
             ));
         }
         let (reference, _) =
-            oracle.query_batch(&pairs[..answers.len()], ExecutionPolicy::Sequential);
+            served.query_batch(&pairs[..answers.len()], ExecutionPolicy::Sequential);
         for (i, (wire, local)) in answers.iter().zip(&reference).enumerate() {
             if wire.distance.to_bits() != local.distance.to_bits()
                 || wire.upper_bound != local.upper_bound
@@ -406,7 +414,51 @@ fn replay(addr: &str, seed: u64) {
             }
         }
         println!(
-            "verify-local: all {} answers byte-identical to the in-process oracle",
+            "verify-local: all {} answers byte-identical to the in-process oracle ({} shard(s))",
+            answers.len(),
+            served.descriptor().shards
+        );
+    }
+
+    // --- the stretch bound, checked against exact monolithic distances ----
+    if let Some(c) = parse_flag("--verify-stretch") {
+        let c: f64 = c
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|c| c.is_finite() && *c >= 1.0)
+            .unwrap_or_else(|| {
+                die(format_args!(
+                    "bad --verify-stretch '{c}' (want a factor ≥ 1)"
+                ))
+            });
+        let g = load_graph(PROG, seed);
+        if g.n() != n {
+            die(format_args!(
+                "local graph has n={} but the server serves n={n} — pass the same \
+                 --family/--n/--seed flags the server got",
+                g.n()
+            ));
+        }
+        for (i, wire) in answers.iter().enumerate() {
+            let (s, t) = pairs[i];
+            let exact = psh_graph::traversal::dijkstra::dijkstra_pair(&g, s, t);
+            let ok = if exact == psh_graph::INF {
+                !wire.distance.is_finite()
+            } else {
+                let exact = exact as f64;
+                wire.distance >= exact - 1e-9 && wire.distance <= c * exact + 1e-9
+            };
+            if !ok {
+                die(format_args!(
+                    "wire answer violates the {c}× stretch bound at pair {i} ({s}, {t}): \
+                     wire {} vs exact {exact}",
+                    wire.distance
+                ));
+            }
+        }
+        println!(
+            "verify-stretch: all {} answers within {c}× of the exact Dijkstra distance",
             answers.len()
         );
     }

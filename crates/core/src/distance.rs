@@ -1,0 +1,136 @@
+//! The `DistanceOracle` trait: one query surface for every oracle shape.
+//!
+//! [`crate::oracle::ApproxShortestPaths`] answers from a single
+//! preprocessed graph; [`crate::shard::ShardedOracle`] stitches answers
+//! across a partition. The serving stack above them —
+//! [`crate::service::OracleService`], the wire tier in `psh-net`, the
+//! `psh-serve`/`psh-server` bins — does not care which it holds, so it is
+//! written against this trait. There is exactly one way to stand up a
+//! serving stack: hand *any* `DistanceOracle` to
+//! [`OracleService::new`](crate::service::OracleService::new) (or an
+//! `Arc<dyn DistanceOracle>` to
+//! [`from_arc`](crate::service::OracleService::from_arc)).
+//!
+//! The contract every implementation must honour:
+//!
+//! * **Soundness** — `query(s, t).0.distance` is never below the exact
+//!   `s`–`t` distance in the graph being served (`upper_bound` reports
+//!   this; all shipped implementations always return `true`).
+//! * **Determinism** — answers *and costs* are byte-identical for every
+//!   [`ExecutionPolicy`] and thread count, and `query_batch` returns
+//!   exactly the per-pair `query` answers in input order.
+//! * **Immutability** — an oracle value never changes after construction;
+//!   hot swaps replace the whole `Arc` (see
+//!   [`OracleService::swap_oracle`](crate::service::OracleService::swap_oracle)),
+//!   which is what makes a batch's answers attributable to one epoch.
+
+use crate::oracle::{ApproxShortestPaths, QueryResult};
+use psh_exec::ExecutionPolicy;
+use psh_graph::VertexId;
+use psh_pram::Cost;
+
+/// Shape and provenance of an oracle, uniform across implementations —
+/// what the wire `Info` op and the bins report without downcasting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleDescriptor {
+    /// Vertices in the served graph (the original graph for a sharded
+    /// oracle, shard subgraphs + cut edges included).
+    pub n: usize,
+    /// Canonical undirected edges in the served graph.
+    pub m: usize,
+    /// Total shortcut edges backing the oracle (summed over shards and
+    /// the overlay for a sharded oracle).
+    pub hopset_edges: usize,
+    /// Number of shards (`1` for a monolithic oracle).
+    pub shards: usize,
+    /// Whether any component serves straight off a mapped v2 snapshot.
+    pub mapped: bool,
+    /// Per-shard journal epochs, one entry per shard (empty for a
+    /// monolithic oracle, which has no shard-local epoch).
+    pub epochs: Vec<u64>,
+}
+
+/// A preprocessed structure that answers approximate `s`–`t` distance
+/// queries. See the module docs for the soundness/determinism contract.
+pub trait DistanceOracle: Send + Sync {
+    /// Approximate `s`–`t` distance plus the work/depth spent answering.
+    fn query(&self, s: VertexId, t: VertexId) -> (QueryResult, Cost);
+
+    /// Answer a batch of pairs, fanned across the psh-exec pool. Answers
+    /// come back in input order and are byte-identical for every policy;
+    /// the default fans independent [`DistanceOracle::query`] calls with
+    /// one pair per work unit and par-composes the costs.
+    fn query_batch(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        policy: ExecutionPolicy,
+    ) -> (Vec<QueryResult>, Cost) {
+        let exec = policy.executor();
+        let answered = exec.par_map(pairs, 1, |&(s, t)| self.query(s, t));
+        let cost = Cost::par_all(answered.iter().map(|(_, c)| *c));
+        (answered.into_iter().map(|(r, _)| r).collect(), cost)
+    }
+
+    /// Shape and provenance: vertex/edge counts, shard count, epochs.
+    fn descriptor(&self) -> OracleDescriptor;
+}
+
+impl DistanceOracle for ApproxShortestPaths {
+    fn query(&self, s: VertexId, t: VertexId) -> (QueryResult, Cost) {
+        ApproxShortestPaths::query(self, s, t)
+    }
+
+    fn query_batch(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        policy: ExecutionPolicy,
+    ) -> (Vec<QueryResult>, Cost) {
+        ApproxShortestPaths::query_batch(self, pairs, policy)
+    }
+
+    fn descriptor(&self) -> OracleDescriptor {
+        OracleDescriptor {
+            n: self.graph().n(),
+            m: self.graph().m(),
+            hopset_edges: self.hopset_size(),
+            shards: 1,
+            mapped: self.is_mapped(),
+            epochs: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{OracleBuilder, Seed};
+    use psh_graph::generators;
+    use std::sync::Arc;
+
+    #[test]
+    fn trait_object_answers_match_inherent_calls() {
+        let g = generators::grid(8, 8);
+        let run = OracleBuilder::new().seed(Seed(9)).build(&g).unwrap();
+        let concrete = run.artifact;
+        let expect = concrete.query(0, 63);
+        let expect_desc = OracleDescriptor {
+            n: 64,
+            m: g.m(),
+            hopset_edges: concrete.hopset_size(),
+            shards: 1,
+            mapped: false,
+            epochs: Vec::new(),
+        };
+        let dynamic: Arc<dyn DistanceOracle> = Arc::new(concrete);
+        assert_eq!(dynamic.query(0, 63), expect);
+        assert_eq!(dynamic.descriptor(), expect_desc);
+        let pairs: Vec<(u32, u32)> = (0..16).map(|i| (i, 63 - i)).collect();
+        let (seq, c_seq) = dynamic.query_batch(&pairs, ExecutionPolicy::Sequential);
+        let (par, c_par) = dynamic.query_batch(&pairs, ExecutionPolicy::Parallel { threads: 4 });
+        assert_eq!(seq, par);
+        assert_eq!(c_seq, c_par);
+        for (&(s, t), &r) in pairs.iter().zip(&seq) {
+            assert_eq!(r, dynamic.query(s, t).0);
+        }
+    }
+}

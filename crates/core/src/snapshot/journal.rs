@@ -71,14 +71,14 @@ pub fn journal_path(base: impl AsRef<Path>) -> PathBuf {
 
 /// FNV-1a 64 — the record checksum. Not cryptographic; it only needs to
 /// catch torn appends and bit rot, and it keeps the journal dependency-free.
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);

@@ -1,0 +1,817 @@
+//! Sharded snapshot manifests: one v2 snapshot per shard + the overlay,
+//! stitched together by a small `PSHM` manifest file.
+//!
+//! Layout on disk for a base path `snap`:
+//!
+//! ```text
+//! snap             PSHM manifest: plan + epochs + cliques + overlay meta
+//! snap.shard0      v2 oracle snapshot of shard 0 (carries its OracleMeta)
+//! snap.shard1      …
+//! snap.overlay     v2 oracle snapshot of the boundary overlay (if any)
+//! snap.shard0.journal   per-shard delta journal (shard-local ids)
+//! ```
+//!
+//! The manifest records everything a process needs to reconstruct the
+//! [`ShardPlan`] and re-stitch without re-partitioning: the dense shard
+//! labeling, the cut edges, per-shard journal epochs, the per-shard
+//! boundary cliques (overlay-id space, so the overlay graph can be
+//! rebuilt after any single shard changes), the band exponent `η`, and
+//! the overlay's build meta. Everything is little-endian with a trailing
+//! FNV-1a-64 checksum, written via the same unique-temp + fsync +
+//! atomic-rename path every snapshot save uses.
+//!
+//! [`compact_sharded`] folds per-shard journals shard-by-shard: a shard
+//! with no journal is **never rewritten** — only compacted shards, the
+//! overlay (whose clique weights depend on them), and the manifest
+//! (whose epochs advance) change on disk.
+
+use super::journal::Fnv;
+use super::{
+    corrupt, journal_path, load_journal, owned_base_graph, save_oracle_v2, OracleMeta,
+    SnapshotError,
+};
+use crate::api::{OracleBuilder, Seed};
+use crate::hopset::HopsetParams;
+use crate::oracle::ApproxShortestPaths;
+use crate::shard::{
+    overlay_snapshot_path, shard_snapshot_path, OverlayPart, ShardPlan, ShardedOracle, ShardedParts,
+};
+use crate::snapshot::apply_deltas;
+use crate::snapshot::v2::load_oracle_auto;
+use psh_graph::source::LoadMode;
+use psh_graph::{CsrGraph, Edge};
+use psh_pram::Cost;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic prefix of a sharded manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"PSHM";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u16 = 1;
+
+/// Whether the file at `path` is a sharded manifest (`PSHM` magic).
+/// Returns `false` for missing files and plain oracle snapshots.
+pub fn is_sharded_manifest(path: impl AsRef<Path>) -> bool {
+    let mut magic = [0u8; 4];
+    match std::fs::File::open(path.as_ref()) {
+        Ok(mut f) => f.read_exact(&mut magic).is_ok() && magic == MANIFEST_MAGIC,
+        Err(_) => false,
+    }
+}
+
+struct ManifestBody {
+    n: usize,
+    k: usize,
+    beta: f64,
+    seed: Seed,
+    max_candidates: Option<usize>,
+    quotient_m: usize,
+    eta: f64,
+    shard_of: Vec<u32>,
+    cut_edges: Vec<Edge>,
+    epochs: Vec<u64>,
+    shard_nm: Vec<(u64, u64)>,
+    cliques: Vec<Vec<Edge>>,
+    overlay: Option<(OracleMeta, u64, u64)>,
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_edges(buf: &mut Vec<u8>, edges: &[Edge]) {
+    push_u64(buf, edges.len() as u64);
+    for e in edges {
+        buf.extend_from_slice(&e.u.to_le_bytes());
+        buf.extend_from_slice(&e.v.to_le_bytes());
+        push_u64(buf, e.w);
+    }
+}
+
+fn push_meta(buf: &mut Vec<u8>, meta: &OracleMeta) {
+    push_f64(buf, meta.params.epsilon);
+    push_f64(buf, meta.params.delta);
+    push_f64(buf, meta.params.gamma1);
+    push_f64(buf, meta.params.gamma2);
+    push_f64(buf, meta.params.k_conf);
+    push_u64(buf, meta.seed.0);
+    push_u64(buf, meta.build_cost.work);
+    push_u64(buf, meta.build_cost.depth);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self.at.checked_add(len).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let out = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(out)
+            }
+            None => Err(corrupt(what, "manifest truncated")),
+        }
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn usize(&mut self, what: &'static str) -> Result<usize, SnapshotError> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| corrupt(what, format!("{v} does not fit in usize")))
+    }
+
+    fn edges(&mut self, what: &'static str) -> Result<Vec<Edge>, SnapshotError> {
+        let count = self.usize(what)?;
+        if count.saturating_mul(16) > self.bytes.len() {
+            return Err(corrupt(what, format!("implausible edge count {count}")));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let u = self.u32(what)?;
+            let v = self.u32(what)?;
+            let w = self.u64(what)?;
+            out.push(Edge { u, v, w });
+        }
+        Ok(out)
+    }
+
+    fn meta(&mut self, what: &'static str) -> Result<OracleMeta, SnapshotError> {
+        let params = HopsetParams {
+            epsilon: self.f64(what)?,
+            delta: self.f64(what)?,
+            gamma1: self.f64(what)?,
+            gamma2: self.f64(what)?,
+            k_conf: self.f64(what)?,
+        };
+        let seed = Seed(self.u64(what)?);
+        let work = self.u64(what)?;
+        let depth = self.u64(what)?;
+        Ok(OracleMeta {
+            params,
+            seed,
+            build_cost: Cost::new(work, depth),
+        })
+    }
+}
+
+fn encode_manifest(body: &ManifestBody) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MANIFEST_MAGIC);
+    buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    push_u64(&mut buf, body.n as u64);
+    push_u64(&mut buf, body.k as u64);
+    push_f64(&mut buf, body.beta);
+    push_u64(&mut buf, body.seed.0);
+    push_u64(&mut buf, body.max_candidates.map_or(u64::MAX, |c| c as u64));
+    push_u64(&mut buf, body.quotient_m as u64);
+    push_f64(&mut buf, body.eta);
+    for &l in &body.shard_of {
+        buf.extend_from_slice(&l.to_le_bytes());
+    }
+    push_edges(&mut buf, &body.cut_edges);
+    for s in 0..body.k {
+        push_u64(&mut buf, body.epochs[s]);
+        push_u64(&mut buf, body.shard_nm[s].0);
+        push_u64(&mut buf, body.shard_nm[s].1);
+        push_edges(&mut buf, &body.cliques[s]);
+    }
+    match &body.overlay {
+        Some((meta, n, m)) => {
+            push_u64(&mut buf, 1);
+            push_u64(&mut buf, *n);
+            push_u64(&mut buf, *m);
+            push_meta(&mut buf, meta);
+        }
+        None => push_u64(&mut buf, 0),
+    }
+    let mut fnv = Fnv::new();
+    fnv.update(&buf);
+    push_u64(&mut buf, fnv.0);
+    buf
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<ManifestBody, SnapshotError> {
+    if bytes.len() < 16 {
+        return Err(corrupt("manifest header", "file too short"));
+    }
+    if bytes[..4] != MANIFEST_MAGIC {
+        return Err(corrupt("manifest magic", "not a PSHM sharded manifest"));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != MANIFEST_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: MANIFEST_VERSION,
+        });
+    }
+    let (payload, sum) = bytes.split_at(bytes.len() - 8);
+    let mut fnv = Fnv::new();
+    fnv.update(payload);
+    if u64::from_le_bytes(sum.try_into().unwrap()) != fnv.0 {
+        return Err(corrupt("manifest checksum", "FNV-1a mismatch"));
+    }
+    let mut r = Reader {
+        bytes: payload,
+        at: 8,
+    };
+    let n = r.usize("manifest n")?;
+    let k = r.usize("manifest shard count")?;
+    if k == 0 {
+        return Err(corrupt("manifest shard count", "zero shards"));
+    }
+    let beta = r.f64("manifest beta")?;
+    let seed = Seed(r.u64("manifest seed")?);
+    let max_candidates = match r.u64("manifest candidate cap")? {
+        u64::MAX => None,
+        c => Some(
+            usize::try_from(c)
+                .map_err(|_| corrupt("manifest candidate cap", "does not fit in usize"))?,
+        ),
+    };
+    let quotient_m = r.usize("manifest quotient size")?;
+    let eta = r.f64("manifest eta")?;
+    if n.saturating_mul(4) > payload.len() {
+        return Err(corrupt("manifest labeling", format!("implausible n {n}")));
+    }
+    let mut shard_of = Vec::with_capacity(n);
+    for _ in 0..n {
+        shard_of.push(r.u32("manifest labeling")?);
+    }
+    let cut_edges = r.edges("manifest cut edges")?;
+    let mut epochs = Vec::with_capacity(k);
+    let mut shard_nm = Vec::with_capacity(k);
+    let mut cliques = Vec::with_capacity(k);
+    for _ in 0..k {
+        epochs.push(r.u64("manifest shard epoch")?);
+        let sn = r.u64("manifest shard n")?;
+        let sm = r.u64("manifest shard m")?;
+        shard_nm.push((sn, sm));
+        cliques.push(r.edges("manifest shard cliques")?);
+    }
+    let overlay = match r.u64("manifest overlay flag")? {
+        0 => None,
+        1 => {
+            let on = r.u64("manifest overlay n")?;
+            let om = r.u64("manifest overlay m")?;
+            let meta = r.meta("manifest overlay meta")?;
+            Some((meta, on, om))
+        }
+        other => {
+            return Err(corrupt(
+                "manifest overlay flag",
+                format!("expected 0 or 1, got {other}"),
+            ))
+        }
+    };
+    if r.at != payload.len() {
+        return Err(corrupt("manifest body", "trailing bytes"));
+    }
+    Ok(ManifestBody {
+        n,
+        k,
+        beta,
+        seed,
+        max_candidates,
+        quotient_m,
+        eta,
+        shard_of,
+        cut_edges,
+        epochs,
+        shard_nm,
+        cliques,
+        overlay,
+    })
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    static SAVE_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let serial = SAVE_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}.{serial}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn body_of(oracle: &ShardedOracle, parts: &ShardedParts) -> ManifestBody {
+    let plan = oracle.plan();
+    ManifestBody {
+        n: plan.n(),
+        k: plan.num_shards(),
+        beta: plan.beta(),
+        seed: plan.seed(),
+        max_candidates: oracle.max_candidates(),
+        quotient_m: plan.quotient_edges(),
+        eta: parts.eta,
+        shard_of: plan.labels().to_vec(),
+        cut_edges: plan.cut_edges().to_vec(),
+        epochs: oracle.epochs().to_vec(),
+        shard_nm: (0..plan.num_shards())
+            .map(|s| {
+                let g = oracle.shard(s).graph();
+                (g.n() as u64, g.m() as u64)
+            })
+            .collect(),
+        cliques: parts.cliques.clone(),
+        overlay: oracle.overlay().map(|ov| {
+            let meta = parts
+                .overlay_meta
+                .expect("overlay oracle implies overlay meta");
+            let g = ov.oracle.graph();
+            (meta, g.n() as u64, g.m() as u64)
+        }),
+    }
+}
+
+/// Save a sharded oracle at `base`: one v2 snapshot per shard
+/// (`<base>.shardK`), the overlay snapshot (`<base>.overlay`, when a
+/// boundary exists), and the `PSHM` manifest at `base` itself — written
+/// last, so a complete manifest always names complete component
+/// snapshots.
+pub fn save_sharded(
+    base: impl AsRef<Path>,
+    oracle: &ShardedOracle,
+    parts: &ShardedParts,
+) -> Result<(), SnapshotError> {
+    let base = base.as_ref();
+    if parts.shard_metas.len() != oracle.num_shards() || parts.cliques.len() != oracle.num_shards()
+    {
+        return Err(corrupt(
+            "sharded parts",
+            "per-shard metas/cliques do not match the shard count",
+        ));
+    }
+    for s in 0..oracle.num_shards() {
+        save_oracle_v2(
+            shard_snapshot_path(base, s),
+            oracle.shard(s),
+            &parts.shard_metas[s],
+        )?;
+    }
+    if let Some(ov) = oracle.overlay() {
+        let meta = parts
+            .overlay_meta
+            .as_ref()
+            .ok_or_else(|| corrupt("sharded parts", "overlay oracle without overlay meta"))?;
+        save_oracle_v2(overlay_snapshot_path(base), &ov.oracle, meta)?;
+    }
+    write_atomic(base, &encode_manifest(&body_of(oracle, parts)))
+}
+
+/// Load a sharded oracle saved by [`save_sharded`]: parse the manifest,
+/// load every component snapshot with `mode`, and re-stitch. The
+/// assembly re-checks shapes and the epoch vector, so a manifest whose
+/// components drifted apart is a typed error, not a wrong answer.
+pub fn load_sharded(
+    base: impl AsRef<Path>,
+    mode: LoadMode,
+) -> Result<(ShardedOracle, ShardedParts), SnapshotError> {
+    let base = base.as_ref();
+    let body = decode_manifest(&std::fs::read(base)?)?;
+    let plan = ShardPlan::from_parts(
+        body.n,
+        body.k,
+        body.shard_of,
+        body.cut_edges,
+        body.quotient_m,
+        body.beta,
+        body.seed,
+    )
+    .map_err(|e| corrupt("manifest plan", e.to_string()))?;
+    let mut shards = Vec::with_capacity(body.k);
+    let mut shard_metas = Vec::with_capacity(body.k);
+    for s in 0..body.k {
+        let (oracle, meta) = load_oracle_auto(shard_snapshot_path(base, s), mode)?;
+        if oracle.graph().n() as u64 != body.shard_nm[s].0 {
+            return Err(corrupt(
+                "shard snapshot",
+                format!(
+                    "shard {s} snapshot has n = {}, manifest says {}",
+                    oracle.graph().n(),
+                    body.shard_nm[s].0
+                ),
+            ));
+        }
+        shards.push(Arc::new(oracle));
+        shard_metas.push(meta);
+    }
+    let (overlay, overlay_meta) = match &body.overlay {
+        Some((_, on, _)) => {
+            let (oracle, meta) = load_oracle_auto(overlay_snapshot_path(base), mode)?;
+            if oracle.graph().n() as u64 != *on {
+                return Err(corrupt(
+                    "overlay snapshot",
+                    format!(
+                        "overlay snapshot has n = {}, manifest says {on}",
+                        oracle.graph().n()
+                    ),
+                ));
+            }
+            (
+                Some(OverlayPart {
+                    oracle: Arc::new(oracle),
+                    built_from: body.epochs.clone(),
+                }),
+                Some(meta),
+            )
+        }
+        None => (None, None),
+    };
+    let oracle = ShardedOracle::assemble(
+        Arc::new(plan),
+        shards,
+        body.epochs,
+        overlay,
+        body.max_candidates,
+    )
+    .map_err(|e| corrupt("sharded assembly", e.to_string()))?;
+    let parts = ShardedParts {
+        shard_metas,
+        overlay_meta,
+        eta: body.eta,
+        cliques: body.cliques,
+    };
+    Ok((oracle, parts))
+}
+
+/// Per-shard row of [`ShardedInspect`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInspectRow {
+    /// Journal epoch of this shard.
+    pub epoch: u64,
+    /// Vertices in the shard subgraph.
+    pub n: u64,
+    /// Edges in the shard subgraph.
+    pub m: u64,
+    /// Boundary clique edges contributed to the overlay.
+    pub cliques: u64,
+    /// Whether a journal sidecar with pending records exists.
+    pub journal_records: u64,
+}
+
+/// What `psh-snap inspect` reports for a sharded manifest — parsed from
+/// the manifest alone (plus a journal peek), without loading any
+/// component snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedInspect {
+    /// Vertices in the partitioned graph.
+    pub n: u64,
+    /// Shard count.
+    pub shards: Vec<ShardInspectRow>,
+    /// Boundary vertices (overlay graph vertices).
+    pub boundary: u64,
+    /// Cut edges between shards.
+    pub cut_edges: u64,
+    /// Edge count of the shard-adjacency quotient graph.
+    pub quotient_m: u64,
+    /// Overlay graph `(n, m)`, when a boundary exists.
+    pub overlay: Option<(u64, u64)>,
+    /// Candidate cap, if the oracle was built with one.
+    pub max_candidates: Option<usize>,
+    /// Band exponent `η` the components were built with.
+    pub eta: f64,
+    /// Partition granularity `β`.
+    pub beta: f64,
+    /// Root seed of the sharded build.
+    pub seed: u64,
+}
+
+/// Summarize a sharded manifest (shard count, per-shard `n`/`m`/epoch,
+/// boundary/quotient size, pending journal records) without loading the
+/// component snapshots.
+pub fn inspect_sharded(base: impl AsRef<Path>) -> Result<ShardedInspect, SnapshotError> {
+    let base = base.as_ref();
+    let body = decode_manifest(&std::fs::read(base)?)?;
+    let mut boundary = vec![false; body.n];
+    for e in &body.cut_edges {
+        boundary[e.u as usize] = true;
+        boundary[e.v as usize] = true;
+    }
+    let mut shards = Vec::with_capacity(body.k);
+    for s in 0..body.k {
+        let journal_records = match load_journal(journal_path(shard_snapshot_path(base, s))) {
+            Ok((_, deltas)) => deltas.len() as u64,
+            Err(_) => 0,
+        };
+        shards.push(ShardInspectRow {
+            epoch: body.epochs[s],
+            n: body.shard_nm[s].0,
+            m: body.shard_nm[s].1,
+            cliques: body.cliques[s].len() as u64,
+            journal_records,
+        });
+    }
+    Ok(ShardedInspect {
+        n: body.n as u64,
+        shards,
+        boundary: boundary.iter().filter(|&&b| b).count() as u64,
+        cut_edges: body.cut_edges.len() as u64,
+        quotient_m: body.quotient_m as u64,
+        overlay: body.overlay.as_ref().map(|(_, on, om)| (*on, *om)),
+        max_candidates: body.max_candidates,
+        eta: body.eta,
+        beta: body.beta,
+        seed: body.seed.0,
+    })
+}
+
+/// One shard's fold in a [`ShardedCompactReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardCompact {
+    /// Which shard was folded.
+    pub shard: u32,
+    /// Journal records folded into the base.
+    pub records: usize,
+    /// Total ops across those records.
+    pub ops: usize,
+    /// Edge count before/after the fold.
+    pub m_before: usize,
+    /// Edge count after the fold.
+    pub m_after: usize,
+}
+
+/// What [`compact_sharded`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardedCompactReport {
+    /// Per-shard folds, ascending by shard; empty when no shard had a
+    /// journal.
+    pub shards: Vec<ShardCompact>,
+    /// Per-shard epochs now recorded in the manifest.
+    pub epochs: Vec<u64>,
+}
+
+fn rebuild_sharded_component(
+    g: &CsrGraph,
+    meta: &OracleMeta,
+    eta: f64,
+) -> Result<(ApproxShortestPaths, OracleMeta), SnapshotError> {
+    // Mirrors `ShardedReloader`: sharded components are always built
+    // with `allow_large_weights` and an explicit `eta`, so the fold must
+    // rebuild the same way to stay byte-identical with a served reload.
+    let run = OracleBuilder::new()
+        .params(meta.params)
+        .eta(eta)
+        .seed(meta.seed)
+        .allow_large_weights(true)
+        .build(g)
+        .map_err(|e| corrupt("shard rebuild", e.to_string()))?;
+    let new_meta = OracleMeta {
+        params: meta.params,
+        seed: meta.seed,
+        build_cost: run.cost,
+    };
+    Ok((run.artifact, new_meta))
+}
+
+/// Fold per-shard journals into their shard snapshots, shard by shard.
+/// Shards without a journal are untouched on disk; for each folded
+/// shard the shard snapshot is rewritten, its journal removed, its
+/// epoch bumped, its boundary cliques recomputed, and — because clique
+/// weights depend on the shard graphs — the overlay snapshot and the
+/// manifest are rewritten once at the end. Crash-safe in the same sense
+/// as `compact`: every rewrite is atomic, and a stale shard journal
+/// left behind replays onto an already-folded base as a no-op reload.
+pub fn compact_sharded(base: impl AsRef<Path>) -> Result<ShardedCompactReport, SnapshotError> {
+    let base = base.as_ref();
+    let mut body = decode_manifest(&std::fs::read(base)?)?;
+    let plan = ShardPlan::from_parts(
+        body.n,
+        body.k,
+        body.shard_of.clone(),
+        body.cut_edges.clone(),
+        body.quotient_m,
+        body.beta,
+        body.seed,
+    )
+    .map_err(|e| corrupt("manifest plan", e.to_string()))?;
+    let mut folded = Vec::new();
+    for s in 0..body.k {
+        let spath = shard_snapshot_path(base, s);
+        let jpath = journal_path(&spath);
+        let (jn, deltas) = match load_journal(&jpath) {
+            Ok(j) => j,
+            Err(SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        let (oracle, meta) = load_oracle_auto(&spath, LoadMode::Read)?;
+        let g = owned_base_graph(&oracle);
+        if jn != g.n() {
+            return Err(corrupt(
+                "shard journal vertex count",
+                format!(
+                    "journal for shard {s} targets n = {jn}, shard has n = {}",
+                    g.n()
+                ),
+            ));
+        }
+        let mutated = apply_deltas(&g, &deltas)?;
+        let (rebuilt, new_meta) = rebuild_sharded_component(&mutated, &meta, body.eta)?;
+        save_oracle_v2(&spath, &rebuilt, &new_meta)?;
+        std::fs::remove_file(&jpath)?;
+        body.epochs[s] += 1;
+        body.shard_nm[s] = (mutated.n() as u64, mutated.m() as u64);
+        body.cliques[s] = plan.shard_cliques(s, &mutated);
+        folded.push(ShardCompact {
+            shard: s as u32,
+            records: deltas.len(),
+            ops: deltas.iter().map(|d| d.len()).sum(),
+            m_before: g.m(),
+            m_after: mutated.m(),
+        });
+    }
+    if folded.is_empty() {
+        return Ok(ShardedCompactReport {
+            shards: Vec::new(),
+            epochs: body.epochs,
+        });
+    }
+    if let Some(og) = plan.overlay_graph(&body.cliques) {
+        let (meta, _, _) = body
+            .overlay
+            .as_ref()
+            .ok_or_else(|| corrupt("manifest overlay", "missing for a boundaried plan"))?;
+        let (rebuilt, new_meta) = rebuild_sharded_component(&og, meta, body.eta)?;
+        save_oracle_v2(overlay_snapshot_path(base), &rebuilt, &new_meta)?;
+        body.overlay = Some((new_meta, og.n() as u64, og.m() as u64));
+    }
+    write_atomic(base, &encode_manifest(&body))?;
+    Ok(ShardedCompactReport {
+        shards: folded,
+        epochs: body.epochs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Seed;
+    use crate::shard::ShardedOracleBuilder;
+    use crate::snapshot::append_journal;
+    use psh_exec::ExecutionPolicy;
+    use psh_graph::generators;
+    use psh_graph::{DeltaOp, GraphDelta};
+    use std::path::PathBuf;
+
+    fn params() -> HopsetParams {
+        HopsetParams {
+            epsilon: 0.5,
+            delta: 1.5,
+            gamma1: 0.25,
+            gamma2: 0.75,
+            k_conf: 1.0,
+        }
+    }
+
+    fn temp_base(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("psh_manifest_{name}_{}", std::process::id()))
+    }
+
+    fn cleanup(base: &Path, shards: usize) {
+        let _ = std::fs::remove_file(base);
+        let _ = std::fs::remove_file(overlay_snapshot_path(base));
+        for s in 0..shards {
+            let sp = shard_snapshot_path(base, s);
+            let _ = std::fs::remove_file(journal_path(&sp));
+            let _ = std::fs::remove_file(sp);
+        }
+    }
+
+    #[test]
+    fn sharded_round_trip_preserves_answers() {
+        let g = generators::grid(8, 8);
+        let (run, parts) = ShardedOracleBuilder::new(4)
+            .params(params())
+            .seed(Seed(11))
+            .execution(ExecutionPolicy::Sequential)
+            .build_with_parts(&g)
+            .unwrap();
+        let built = run.artifact;
+        let base = temp_base("round_trip");
+        cleanup(&base, built.num_shards());
+        save_sharded(&base, &built, &parts).unwrap();
+        assert!(is_sharded_manifest(&base));
+        let (loaded, lparts) = load_sharded(&base, LoadMode::Read).unwrap();
+        assert_eq!(loaded.num_shards(), built.num_shards());
+        assert_eq!(loaded.epochs(), built.epochs());
+        assert_eq!(lparts.cliques, parts.cliques);
+        assert_eq!(lparts.eta.to_bits(), parts.eta.to_bits());
+        for (s, t) in [(0u32, 63u32), (5, 40), (17, 2)] {
+            let a = built.query(s, t).0.distance;
+            let b = loaded.query(s, t).0.distance;
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let ins = inspect_sharded(&base).unwrap();
+        assert_eq!(ins.n, 64);
+        assert_eq!(ins.shards.len(), built.num_shards());
+        assert_eq!(ins.cut_edges, built.plan().cut_edges().len() as u64);
+        assert_eq!(ins.boundary, built.plan().boundary_global().len() as u64);
+        cleanup(&base, built.num_shards());
+    }
+
+    #[test]
+    fn compact_folds_only_journaled_shards() {
+        let g = generators::grid(8, 8);
+        let (run, parts) = ShardedOracleBuilder::new(4)
+            .params(params())
+            .seed(Seed(12))
+            .execution(ExecutionPolicy::Sequential)
+            .build_with_parts(&g)
+            .unwrap();
+        let built = run.artifact;
+        let k = built.num_shards();
+        assert!(k >= 2, "need at least two shards for this test");
+        let base = temp_base("compact");
+        cleanup(&base, k);
+        save_sharded(&base, &built, &parts).unwrap();
+
+        // Journal an edge removal on shard 0 only (shard-local ids).
+        let shard0 = owned_base_graph(built.shard(0));
+        let target = shard0.edges()[0];
+        let delta = GraphDelta::from_ops(
+            shard0.n(),
+            vec![DeltaOp::Delete {
+                u: target.u,
+                v: target.v,
+            }],
+        )
+        .unwrap();
+        append_journal(journal_path(shard_snapshot_path(&base, 0)), &delta).unwrap();
+        let healthy_before = std::fs::read(shard_snapshot_path(&base, 1)).unwrap();
+
+        let report = compact_sharded(&base).unwrap();
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.shards[0].shard, 0);
+        assert_eq!(report.shards[0].m_after, report.shards[0].m_before - 1);
+        let mut expect_epochs = vec![0u64; k];
+        expect_epochs[0] = 1;
+        assert_eq!(report.epochs, expect_epochs);
+        // Healthy shard snapshot is byte-identical on disk.
+        assert_eq!(
+            std::fs::read(shard_snapshot_path(&base, 1)).unwrap(),
+            healthy_before
+        );
+        // The manifest reloads cleanly and reflects the fold.
+        let (reloaded, _) = load_sharded(&base, LoadMode::Read).unwrap();
+        assert_eq!(reloaded.epochs(), &expect_epochs[..]);
+        assert_eq!(
+            reloaded.shard(0).graph().m(),
+            built.shard(0).graph().m() - 1
+        );
+        // No journal left behind.
+        assert!(!journal_path(shard_snapshot_path(&base, 0)).exists());
+        cleanup(&base, k);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_error() {
+        let g = generators::grid(6, 6);
+        let (run, parts) = ShardedOracleBuilder::new(2)
+            .params(params())
+            .seed(Seed(13))
+            .execution(ExecutionPolicy::Sequential)
+            .build_with_parts(&g)
+            .unwrap();
+        let built = run.artifact;
+        let base = temp_base("corrupt");
+        cleanup(&base, built.num_shards());
+        save_sharded(&base, &built, &parts).unwrap();
+        let mut bytes = std::fs::read(&base).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&base, &bytes).unwrap();
+        match load_sharded(&base, LoadMode::Read) {
+            Err(SnapshotError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        cleanup(&base, built.num_shards());
+    }
+}

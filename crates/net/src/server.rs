@@ -487,12 +487,11 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
 
         match request {
             Request::Info => {
-                let oracle = shared.service.oracle();
-                let g = oracle.graph();
+                let desc = shared.service.oracle().descriptor();
                 let info = ServerInfo {
-                    n: g.n() as u64,
-                    m: g.m() as u64,
-                    hopset: oracle.hopset_size() as u64,
+                    n: desc.n as u64,
+                    m: desc.m as u64,
+                    hopset: desc.hopset_edges as u64,
                     seed: shared.config.seed,
                 };
                 if !send(&mut writer, &Response::Info(info)) {
@@ -573,15 +572,14 @@ fn serve_reload(
         }),
         Ok(None) => {
             // nothing new: report the epoch and shape still being served
-            let oracle = shared.service.oracle();
-            let g = oracle.graph();
+            let desc = shared.service.oracle().descriptor();
             Response::Reloaded(ReloadSummary {
                 swapped: false,
                 epoch: shared.service.epoch(),
                 records: 0,
                 ops: 0,
-                n: g.n() as u64,
-                m: g.m() as u64,
+                n: desc.n as u64,
+                m: desc.m as u64,
             })
         }
         Err((code, message)) => Response::Error { code, message },
@@ -612,7 +610,7 @@ fn serve_pairs(
     // out-of-range ids would panic inside the service's coalesced batch
     // (poisoning innocent co-batched requests), so they are rejected at
     // the door with a typed error — the connection stays usable.
-    let n = shared.service.oracle().graph().n() as u64;
+    let n = shared.service.oracle().descriptor().n as u64;
     if let Some(&(s, t)) = pairs
         .iter()
         .find(|&&(s, t)| u64::from(s) >= n || u64::from(t) >= n)

@@ -204,7 +204,7 @@ fn out_of_range_ids_get_a_typed_error_and_the_connection_survives() {
         ExecutionPolicy::Sequential,
         ServerConfig::default(),
     );
-    let n = server.service().oracle().graph().n() as u32;
+    let n = server.service().oracle().descriptor().n as u32;
     let mut client = NetClient::connect(server.local_addr()).expect("connect");
 
     match client.query(n, 0) {

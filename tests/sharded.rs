@@ -1,0 +1,326 @@
+//! Integration tests for the sharded oracle: the cross-shard stretch
+//! sandwich property-tested against exact Dijkstra, build/answer
+//! determinism across execution policies, the sharded manifest round
+//! trip through `OracleService`, and a swap storm proving that a served
+//! answer is always attributable to exactly one stitched generation —
+//! never a mix of shard A's epoch k with shard B's epoch k−1.
+//!
+//! Stretch calibration: every composed answer is a `min` over sound
+//! upper bounds, and the module-level proof in `psh_core::shard` bounds
+//! the composition by `max(c_shard, c_overlay)`. The overlay is always
+//! weighted (its clique weights are exact boundary distances), so with
+//! the test parameters the composed bound is the weighted oracle's
+//! `3×` — the same constant the monolithic §5 tests assert.
+
+use proptest::prelude::*;
+use psh::core::shard::{shard_snapshot_path, ShardedOracle};
+use psh::graph::traversal::dijkstra::dijkstra_pair;
+use psh::pipeline::PshError;
+use psh::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn test_params() -> HopsetParams {
+    HopsetParams {
+        epsilon: 0.5,
+        delta: 1.5,
+        gamma1: 0.25,
+        gamma2: 0.75,
+        k_conf: 1.0,
+    }
+}
+
+/// The composed stretch sandwich for one pair: `exact ≤ answer ≤ 3·exact`,
+/// `∞` exactly when disconnected.
+fn assert_sandwich(g: &CsrGraph, r: QueryResult, s: u32, t: u32) {
+    let exact = dijkstra_pair(g, s, t);
+    if exact == INF {
+        assert!(
+            r.distance.is_infinite(),
+            "({s},{t}) disconnected but answered {}",
+            r.distance
+        );
+    } else {
+        assert!(
+            r.distance >= exact as f64 - 1e-9,
+            "({s},{t}): answer {} undershoots exact {exact}",
+            r.distance
+        );
+        assert!(
+            r.distance <= 3.0 * exact as f64 + 1e-9,
+            "({s},{t}): answer {} exceeds 3× exact {exact}",
+            r.distance
+        );
+    }
+}
+
+fn pairs_strategy(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n as u32, 0..n as u32), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cross-shard composed answers on arbitrary weighted soups satisfy
+    /// the 3× stretch sandwich vs exact Dijkstra, and both the *build*
+    /// and the *queries* are byte-identical between Sequential and
+    /// Parallel{4} execution.
+    #[test]
+    fn prop_sharded_stretch_sandwich_and_policy_identity(
+        raw in proptest::collection::vec((0u32..30, 0u32..30, 1u64..64), 0..100),
+        pairs in pairs_strategy(30),
+        shards in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        let g = CsrGraph::from_edges(30, raw.into_iter().map(|(u, v, w)| Edge::new(u, v, w)));
+        let builder = ShardedOracleBuilder::new(shards)
+            .params(test_params())
+            .seed(Seed(seed));
+        let seq = builder
+            .clone()
+            .execution(ExecutionPolicy::Sequential)
+            .build(&g)
+            .unwrap();
+        let par = builder
+            .execution(ExecutionPolicy::Parallel { threads: 4 })
+            .build(&g)
+            .unwrap();
+        prop_assert_eq!(seq.cost, par.cost, "build cost must be policy-invariant");
+
+        for &(s, t) in &pairs {
+            let (r, _) = seq.artifact.query(s, t);
+            assert_sandwich(&g, r, s, t);
+        }
+        let (a_seq, c_seq) = seq.artifact.query_batch(&pairs, ExecutionPolicy::Sequential);
+        let (a_par, c_par) = seq
+            .artifact
+            .query_batch(&pairs, ExecutionPolicy::Parallel { threads: 4 });
+        prop_assert_eq!(&a_seq, &a_par, "query_batch answers must be policy-invariant");
+        prop_assert_eq!(c_seq, c_par, "query_batch cost must be policy-invariant");
+        // the artifact built under Parallel{4} answers identically too
+        let (a_cross, c_cross) = par.artifact.query_batch(&pairs, ExecutionPolicy::Sequential);
+        prop_assert_eq!(&a_seq, &a_cross, "artifacts must not depend on the build policy");
+        prop_assert_eq!(c_seq, c_cross);
+    }
+}
+
+/// A weighted path whose long edges make every storm mutation (a
+/// weight-1 shortcut inside one shard) observably change answers.
+fn storm_graph(n: usize) -> CsrGraph {
+    CsrGraph::from_edges(n, (0..n - 1).map(|i| Edge::new(i as u32, i as u32 + 1, 8)))
+}
+
+/// Sharded manifests round-trip byte-identically, serve through
+/// `OracleService` like any `DistanceOracle`, and the loader feeds
+/// `assemble`, which rejects a manifest whose overlay predates its
+/// shards.
+#[test]
+fn sharded_manifest_serves_identically_through_service() {
+    let g = storm_graph(64);
+    let (run, parts) = ShardedOracleBuilder::new(3)
+        .params(test_params())
+        .seed(Seed(7))
+        .build_with_parts(&g)
+        .unwrap();
+    let built = Arc::new(run.artifact);
+    let base = std::env::temp_dir().join(format!("psh_sharded_it_{}.snap", std::process::id()));
+    snapshot::save_sharded(&base, &built, &parts).unwrap();
+    let (loaded, _) = snapshot::load_sharded(&base, psh::graph::LoadMode::Read).unwrap();
+    let loaded = Arc::new(loaded);
+
+    let pairs: Vec<(u32, u32)> = (0..32).map(|i| (i, 63 - i)).collect();
+    let expect = built.query_batch(&pairs, ExecutionPolicy::Sequential);
+    let got = loaded.query_batch(&pairs, ExecutionPolicy::Parallel { threads: 4 });
+    assert_eq!(expect, got, "manifest round trip must preserve answers");
+
+    let service = OracleService::from_arc(
+        Arc::clone(&loaded) as Arc<dyn DistanceOracle>,
+        ServiceConfig::with_policy(ExecutionPolicy::Parallel { threads: 4 }),
+    );
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        let (a, epoch) = service.query_attributed(s, t);
+        assert_eq!(epoch, 0);
+        assert_eq!(a.distance.to_bits(), expect.0[i].distance.to_bits());
+    }
+
+    // tamper: an overlay built from older shard epochs must be rejected
+    let plan = Arc::clone(loaded.plan());
+    let shards: Vec<_> = (0..loaded.num_shards())
+        .map(|s| Arc::clone(loaded.shard(s)))
+        .collect();
+    let mut stale = loaded.overlay().expect("path has a boundary").clone();
+    stale.built_from[0] += 1;
+    let err = ShardedOracle::assemble(plan, shards, loaded.epochs().to_vec(), Some(stale), None)
+        .expect_err("mixed-epoch stitch must be rejected");
+    assert!(
+        matches!(err, PshError::ShardEpochMismatch { .. }),
+        "wrong error: {err}"
+    );
+
+    for s in 0..built.num_shards() {
+        let _ = std::fs::remove_file(shard_snapshot_path(&base, s));
+    }
+    let _ = std::fs::remove_file(psh::core::shard::overlay_snapshot_path(&base));
+    let _ = std::fs::remove_file(&base);
+}
+
+/// The swap storm: client threads hammer `query_attributed` without
+/// pause while the main thread appends per-shard journal records and
+/// polls a `ShardedReloader`. Every answer must match — bit for bit —
+/// the reference answers of the *single* stitched generation its epoch
+/// tag names. A stitch that mixed shard epochs would produce an answer
+/// matching no generation, because every mutation observably changes
+/// the touched shard's answers.
+#[test]
+fn swap_storm_never_serves_a_mixed_epoch_stitch() {
+    const EPOCHS: usize = 4;
+    const CLIENTS: usize = 4;
+
+    let g = storm_graph(96);
+    let (run, parts) = ShardedOracleBuilder::new(4)
+        .params(test_params())
+        .seed(Seed(11))
+        .build_with_parts(&g)
+        .unwrap();
+    let oracle = Arc::new(run.artifact);
+    let plan = Arc::clone(oracle.plan());
+    let k = oracle.num_shards();
+    assert!(k >= 2, "the storm needs a real partition, got {k} shard(s)");
+    let base: PathBuf =
+        std::env::temp_dir().join(format!("psh_sharded_storm_{}.snap", std::process::id()));
+    // start from clean journals — only this test's appends replay
+    for s in 0..k {
+        let _ = std::fs::remove_file(snapshot::journal_path(shard_snapshot_path(&base, s)));
+    }
+
+    // the workload spans every shard: local endpoints + cross-shard pairs
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for s in 0..k {
+        let members = plan.members(s);
+        pairs.push((members[0], members[members.len() - 1]));
+        pairs.push((members[0], plan.members((s + 1) % k)[0]));
+    }
+
+    // one journal record per epoch: a weight-1 shortcut across shard
+    // `e % k`, in shard-local ids — far-apart endpoints on a weight-8
+    // path, so the fold observably changes that shard's answers
+    let record_for = |e: usize| -> (usize, GraphDelta) {
+        let s = e % k;
+        let ns = plan.members(s).len();
+        // offset endpoints per pass so a shard hit twice never inserts a
+        // duplicate edge
+        let off = (e / k) as u32;
+        let mut delta = GraphDelta::new(ns);
+        delta.insert(off, ns as u32 - 1 - off, 1).unwrap();
+        (s, delta)
+    };
+
+    // --- phase 1: replay the journal sequence to precompute every
+    // generation's reference answers (rebuilds are seeded, so phase 2
+    // reproduces these bytes exactly)
+    let mut refs: Vec<Vec<QueryResult>> = Vec::with_capacity(EPOCHS + 1);
+    refs.push(pairs.iter().map(|&(s, t)| oracle.query(s, t).0).collect());
+    {
+        let warm = OracleService::from_arc(
+            Arc::clone(&oracle) as Arc<dyn DistanceOracle>,
+            ServiceConfig::with_policy(ExecutionPolicy::Sequential),
+        );
+        let mut reloader = ShardedReloader::new(&base, Arc::clone(&oracle), parts.clone());
+        for e in 1..=EPOCHS {
+            let (s, delta) = record_for(e);
+            snapshot::append_journal(reloader.journal(s), &delta).unwrap();
+            let report = reloader
+                .poll(&warm)
+                .unwrap()
+                .expect("a fresh record must swap");
+            assert_eq!(report.epoch, e as u64);
+            assert_eq!(report.shards, vec![s as u32]);
+            refs.push(
+                pairs
+                    .iter()
+                    .map(|&(s, t)| reloader.current().query(s, t).0)
+                    .collect(),
+            );
+        }
+    }
+    for e in 1..=EPOCHS {
+        assert_ne!(refs[e - 1], refs[e], "epoch {e} changed no answer");
+    }
+    for s in 0..k {
+        std::fs::remove_file(snapshot::journal_path(shard_snapshot_path(&base, s))).unwrap();
+    }
+
+    // --- phase 2: the same sequence under concurrent fire
+    let service = OracleService::from_arc(
+        Arc::clone(&oracle) as Arc<dyn DistanceOracle>,
+        ServiceConfig::with_policy(ExecutionPolicy::Sequential),
+    );
+    let mut reloader = ShardedReloader::new(&base, Arc::clone(&oracle), parts);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (service, done, pairs, refs) = (&service, &done, &pairs, &refs);
+            scope.spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    for j in 0..pairs.len() {
+                        // rotate the start per client so the threads
+                        // don't hit the pairs in lockstep
+                        let i = (j + c) % pairs.len();
+                        let (s, t) = pairs[i];
+                        let (a, epoch) = service.query_attributed(s, t);
+                        assert!(
+                            (epoch as usize) < refs.len(),
+                            "answer attributed to unknown epoch {epoch}"
+                        );
+                        let r = &refs[epoch as usize][i];
+                        assert!(
+                            a.distance.to_bits() == r.distance.to_bits()
+                                && a.upper_bound == r.upper_bound,
+                            "pair {i} diverged from generation {epoch}: got {} vs {} — \
+                             a mixed-epoch stitch or a torn swap",
+                            a.distance,
+                            r.distance
+                        );
+                    }
+                }
+                // settled pass: the storm is over, only the final
+                // generation may answer
+                for (i, &(s, t)) in pairs.iter().enumerate() {
+                    let (a, epoch) = service.query_attributed(s, t);
+                    assert_eq!(epoch as usize, EPOCHS, "stale generation after the storm");
+                    assert_eq!(a.distance.to_bits(), refs[EPOCHS][i].distance.to_bits());
+                }
+            });
+        }
+
+        for e in 1..=EPOCHS {
+            let (s, delta) = record_for(e);
+            snapshot::append_journal(reloader.journal(s), &delta).unwrap();
+            let report = reloader
+                .poll(&service)
+                .unwrap()
+                .expect("a fresh record must swap");
+            assert_eq!(report.epoch, e as u64);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        done.store(true, Ordering::SeqCst);
+    });
+    assert_eq!(service.epoch(), EPOCHS as u64);
+    assert_eq!(
+        reloader.current().epochs(),
+        {
+            // per-shard journal epochs: one bump per record that hit the shard
+            let mut want = vec![0u64; k];
+            for e in 1..=EPOCHS {
+                want[e % k] += 1;
+            }
+            want
+        }
+        .as_slice()
+    );
+
+    for s in 0..k {
+        let _ = std::fs::remove_file(snapshot::journal_path(shard_snapshot_path(&base, s)));
+    }
+}
